@@ -1,0 +1,20 @@
+// Figure 5: Fidelity+ across explainers under varying configuration
+// constraint u_l, on RED / ENZ / MUT / MAL. Higher is better; expected
+// shape: AG and SG lead on all datasets except MUT where the margin
+// narrows (the paper's own observation), and only AG/SG complete on MAL.
+
+#include "common.h"
+#include "explain/metrics.h"
+#include "fidelity_sweep.h"
+
+using namespace gvex;
+
+int main() {
+  bench::RunFidelitySweep(
+      "Fig 5 (Fidelity+)",
+      [](const bench::Context& ctx,
+         const std::vector<ExplanationSubgraph>& ex) {
+        return FidelityPlus(ctx.model, ctx.db, ex);
+      });
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 6: Fidelity- across explainers under varying u_l. Lower (closer to
+// zero or negative) is better: the explanation subgraph alone should
+// reproduce the original prediction. Expected shape: AG/SG lowest.
+
+#include "common.h"
+#include "explain/metrics.h"
+#include "fidelity_sweep.h"
+
+using namespace gvex;
+
+int main() {
+  bench::RunFidelitySweep(
+      "Fig 6 (Fidelity-)",
+      [](const bench::Context& ctx,
+         const std::vector<ExplanationSubgraph>& ex) {
+        return FidelityMinus(ctx.model, ctx.db, ex);
+      });
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 9(a,b,c): running time of every explainer on MUT and ENZ, plus the
+// all-datasets overview. Expected shape: AG and SG are 1-2 orders of
+// magnitude faster than the baselines, and only AG/SG complete on MAL.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace gvex;
+
+int main() {
+  struct DatasetSetup {
+    DatasetId id;
+    int num_graphs;
+    int epochs;
+    int cap;
+  };
+  const std::vector<DatasetSetup> setups = {
+      {DatasetId::kMutagenicity, 60, 100, 8},
+      {DatasetId::kEnzymes, 48, 60, 6},
+      {DatasetId::kReddit, 24, 60, 4},
+      {DatasetId::kMalnet, 10, 40, 3},
+  };
+
+  bench::PrintHeader("Fig 9(a,b,c): runtime per method (seconds, u_l = 10)");
+  std::vector<std::string> headers{"Dataset"};
+  for (const auto& m : bench::AllMethods()) headers.push_back(m);
+  Table table(headers);
+  for (const auto& setup : setups) {
+    bench::Context ctx =
+        bench::MakeContext(setup.id, setup.num_graphs, 32, setup.epochs);
+    const int label = bench::PickLabel(ctx);
+    std::vector<std::string> row{ctx.spec.abbrev};
+    for (const auto& method : bench::AllMethods()) {
+      if (bench::MethodSkipped(method, setup.id)) {
+        row.push_back("->24h");  // the paper's absence marker
+        continue;
+      }
+      bench::MethodRun run =
+          bench::RunMethod(method, ctx, label, 10, setup.cap);
+      row.push_back(run.ok ? FmtDouble(run.seconds, 3) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.ToText().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared benchmark infrastructure: dataset + trained-classifier contexts,
+// method registry (GVEX algorithms + baselines under one interface), and the
+// uniform "explain a label group" runner every figure bench uses.
+//
+// Scale notes: generator sizes and explanation caps are chosen so the whole
+// bench suite completes in minutes on a laptop while preserving the paper's
+// comparative shapes (see EXPERIMENTS.md). Like the paper's ">24h" cutoffs,
+// baselines are skipped on MALNET (only AG/SG can handle the large graphs).
+
+#ifndef GVEX_BENCH_COMMON_H_
+#define GVEX_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/explainer.h"
+#include "data/datasets.h"
+#include "data/splits.h"
+#include "explain/approx_gvex.h"
+#include "explain/config.h"
+#include "explain/explanation.h"
+#include "explain/stream_gvex.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph_database.h"
+#include "util/csv.h"
+
+namespace gvex {
+namespace bench {
+
+/// A dataset with a trained classifier and predicted labels installed.
+struct Context {
+  DatasetSpec spec;
+  GraphDatabase db;
+  GcnModel model;
+  float train_accuracy = 0.0f;
+};
+
+/// Builds (generates + trains) a context. `num_graphs` 0 = generator default.
+Context MakeContext(DatasetId id, int num_graphs = 0, int hidden_dim = 32,
+                    int epochs = 80, uint64_t seed = 1);
+
+/// The default GVEX configuration for a dataset with node budget `ul`
+/// (grid-searched values in the spirit of §6.1's parameter tuning).
+Configuration ConfigFor(const Context& ctx, int ul);
+
+/// Method abbreviations used in the paper's plots.
+/// AG = ApproxGVEX, SG = StreamGVEX, GE = GNNExplainer, SX = SubgraphX,
+/// GX = GStarX, GCF = GCFExplainer.
+const std::vector<std::string>& AllMethods();
+const std::vector<std::string>& BaselineMethods();
+
+/// True if `method` is skipped on this dataset (the paper's ">24h" rule).
+bool MethodSkipped(const std::string& method, DatasetId id);
+
+/// Result of one (method, label group) run.
+struct MethodRun {
+  std::vector<ExplanationSubgraph> explanations;
+  std::vector<Pattern> patterns;  // only for AG / SG (two-tier methods)
+  double seconds = 0.0;
+  bool ok = false;
+};
+
+/// Runs `method` over (at most `cap`) graphs of `label`'s group with node
+/// budget `ul`. `num_threads` applies to AG/SG only.
+MethodRun RunMethod(const std::string& method, const Context& ctx, int label,
+                    int ul, int cap = 8, int num_threads = 1);
+
+/// First label whose group is non-empty (the "label of user's interest").
+int PickLabel(const Context& ctx);
+
+/// Caps a label group to the first `cap` graphs (stable order).
+std::vector<int> CappedGroup(const GraphDatabase& db, int label, int cap);
+
+/// Prints a section header like "== Fig 5(a): RED ==".
+void PrintHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace gvex
+
+#endif  // GVEX_BENCH_COMMON_H_

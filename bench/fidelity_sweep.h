@@ -1,0 +1,72 @@
+// Shared sweep for Figs. 5 and 6: fidelity of every method across the four
+// quality datasets (RED, ENZ, MUT, MAL) as the node budget u_l varies.
+
+#ifndef GVEX_BENCH_FIDELITY_SWEEP_H_
+#define GVEX_BENCH_FIDELITY_SWEEP_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "explain/metrics.h"
+
+namespace gvex {
+namespace bench {
+
+/// Runs the u_l sweep and prints one table per dataset. `metric` maps a
+/// finished run to its score.
+inline void RunFidelitySweep(
+    const std::string& figure_name,
+    const std::function<double(const Context&,
+                               const std::vector<ExplanationSubgraph>&)>&
+        metric) {
+  struct DatasetSetup {
+    DatasetId id;
+    int num_graphs;
+    int epochs;
+    int cap;
+    int label;  // -1 = first non-empty group
+  };
+  const std::vector<DatasetSetup> setups = {
+      {DatasetId::kReddit, 24, 100, 4, 1},
+      {DatasetId::kEnzymes, 48, 200, 6, -1},
+      {DatasetId::kMutagenicity, 60, 100, 8, 1},
+      {DatasetId::kMalnet, 20, 150, 3, -1},
+  };
+  const std::vector<int> uls = {5, 10, 15, 20, 25};
+
+  for (const auto& setup : setups) {
+    Context ctx = MakeContext(setup.id, setup.num_graphs, 32, setup.epochs);
+    const int label =
+        (setup.label >= 0 && !ctx.db.LabelGroup(setup.label).empty())
+            ? setup.label
+            : PickLabel(ctx);
+    PrintHeader(figure_name + ": " + ctx.spec.abbrev +
+                " (label " + std::to_string(label) +
+                ", train acc " + FmtDouble(ctx.train_accuracy, 2) + ")");
+    std::vector<std::string> headers{"u_l"};
+    for (const auto& m : AllMethods()) headers.push_back(m);
+    Table table(headers);
+    for (int ul : uls) {
+      std::vector<std::string> row{std::to_string(ul)};
+      for (const auto& method : AllMethods()) {
+        if (MethodSkipped(method, setup.id)) {
+          row.push_back("-");
+          continue;
+        }
+        MethodRun run = RunMethod(method, ctx, label, ul, setup.cap);
+        row.push_back(run.ok ? FmtDouble(metric(ctx, run.explanations), 3)
+                             : "-");
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToText().c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace gvex
+
+#endif  // GVEX_BENCH_FIDELITY_SWEEP_H_

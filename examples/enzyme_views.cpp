@@ -1,0 +1,62 @@
+// Fig. 13: explanation views on the ENZYMES-like dataset — three classes
+// taken out as examples, showing that the generated views isolate distinct
+// subgraph structures per enzyme class.
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "explain/approx_gvex.h"
+#include "explain/metrics.h"
+#include "gnn/trainer.h"
+
+using namespace gvex;
+
+int main() {
+  std::printf("=== Explanation views on ENZYMES (Fig. 13) ===\n\n");
+  DatasetScale scale;
+  scale.num_graphs = 60;
+  GraphDatabase db = MakeDataset(DatasetId::kEnzymes, scale);
+
+  GcnConfig gcn;
+  gcn.input_dim = 3;
+  gcn.hidden_dim = 32;
+  gcn.num_classes = 6;
+  Rng rng(13);
+  GcnModel model(gcn, &rng);
+  std::vector<int> all;
+  for (int i = 0; i < db.size(); ++i) all.push_back(i);
+  TrainConfig tc;
+  tc.epochs = 120;
+  auto report = TrainGcn(&model, db, all, tc);
+  std::printf("GCN train accuracy: %.2f\n",
+              report.ok() ? report.value().train_accuracy : 0.0f);
+  (void)AssignPredictedLabels(model, &db);
+
+  Configuration config;
+  config.theta = 0.05f;
+  config.r = 0.3f;
+  config.default_bound = {2, 8};
+  config.miner.max_pattern_nodes = 4;
+  config.verify_mode = VerifyMode::kRelaxed;  // 6-way task: fragments rarely
+                                              // classify consistently
+  ApproxGvex gvex(&model, config);
+
+  const std::vector<std::string> element = {"helix", "sheet", "turn"};
+  for (int cls : {0, 1, 2}) {  // three classes, as in Fig. 13
+    auto view = gvex.GenerateView(db, cls);
+    if (!view.ok()) {
+      std::printf("\nClass %d: no view (%s)\n", cls,
+                  view.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\nExplanation view %d (class %c):\n", cls + 1, 'A' + cls);
+    std::printf("  %s\n", view.value().Summary().c_str());
+    for (const Pattern& p : view.value().patterns) {
+      std::printf("  pattern %s\n", RenderPattern(p, element).c_str());
+    }
+    std::printf("  Fidelity+ %.3f, Sparsity %.3f\n",
+                FidelityPlus(model, db, view.value().subgraphs),
+                Sparsity(db, view.value().subgraphs));
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// GNNExplainer [Ying et al., NeurIPS'19] re-implementation: learns a soft
+// edge mask by gradient ascent on the mutual-information surrogate
+//   max_M  log P(label | G ⊙ σ(M)) - λ1 ||σ(M)||_1 - λ2 H(σ(M)),
+// then thresholds the mask into an explanation subgraph within the node
+// budget. Simplification vs. the original (documented in DESIGN.md): degree
+// normalization of the propagation operator is taken from the unmasked graph
+// so the mask gradient has the closed form dL/dS computed by the GCN
+// backward pass.
+
+#ifndef GVEX_BASELINES_GNN_EXPLAINER_H_
+#define GVEX_BASELINES_GNN_EXPLAINER_H_
+
+#include "baselines/explainer.h"
+
+namespace gvex {
+
+/// Mask-learning hyperparameters.
+struct GnnExplainerOptions {
+  int epochs = 100;
+  float lr = 0.05f;
+  float l1_coeff = 0.01f;      // sparsity regularizer on σ(m)
+  float entropy_coeff = 0.1f;  // pushes mask entries toward {0,1}
+};
+
+/// Edge-mask learner.
+class GnnExplainer : public Explainer {
+ public:
+  explicit GnnExplainer(const GcnModel* model,
+                        GnnExplainerOptions options = {});
+
+  std::string name() const override { return "GNNExplainer"; }
+
+  Result<ExplanationSubgraph> Explain(const Graph& g, int graph_index,
+                                      int label, int max_nodes) override;
+
+  /// The learned mask of the last Explain call (sigmoid-activated, aligned
+  /// with graph.edges()); exposed for tests.
+  const std::vector<float>& last_mask() const { return last_mask_; }
+
+ private:
+  const GcnModel* model_;
+  GnnExplainerOptions options_;
+  std::vector<float> last_mask_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_BASELINES_GNN_EXPLAINER_H_

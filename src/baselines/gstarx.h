@@ -1,0 +1,40 @@
+// GStarX [Zhang et al., NeurIPS'22] re-implementation: structure-aware node
+// importance via cooperative-game values estimated over *connected*
+// coalitions (the HN-value's locality), then a top-k induced explanation.
+// Simplification (DESIGN.md): the HN value is estimated by Monte-Carlo
+// sampling of connected coalitions grown by random BFS, rather than the
+// exact recursive computation.
+
+#ifndef GVEX_BASELINES_GSTARX_H_
+#define GVEX_BASELINES_GSTARX_H_
+
+#include "baselines/explainer.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// Sampling knobs.
+struct GStarXOptions {
+  int coalition_samples = 40;
+  int max_coalition_size = 10;
+  uint64_t seed = 31;
+};
+
+/// Structure-aware cooperative-game explainer.
+class GStarX : public Explainer {
+ public:
+  explicit GStarX(const GnnClassifier* model, GStarXOptions options = {});
+
+  std::string name() const override { return "GStarX"; }
+
+  Result<ExplanationSubgraph> Explain(const Graph& g, int graph_index,
+                                      int label, int max_nodes) override;
+
+ private:
+  const GnnClassifier* model_;
+  GStarXOptions options_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_BASELINES_GSTARX_H_

@@ -1,0 +1,184 @@
+#include "baselines/pg_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gnn/adam.h"
+#include "gnn/loss.h"
+#include "graph/subgraph.h"
+#include "la/matrix_ops.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+namespace {
+
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Per-edge input feature: concatenated endpoint embeddings (1 x 2d).
+Matrix EdgeFeature(const Matrix& emb, const Edge& e) {
+  Matrix f(1, emb.cols() * 2);
+  for (int j = 0; j < emb.cols(); ++j) {
+    f.at(0, j) = emb.at(e.u, j);
+    f.at(0, emb.cols() + j) = emb.at(e.v, j);
+  }
+  return f;
+}
+
+}  // namespace
+
+PgExplainer::PgExplainer(const GcnModel* model, PgExplainerOptions options)
+    : model_(model), options_(options) {
+  Rng rng(options_.seed);
+  const int in = model_->config().hidden_dim * 2;
+  mlp1_ = DenseLayer(in, options_.hidden_dim, &rng);
+  mlp2_ = DenseLayer(options_.hidden_dim, 1, &rng);
+}
+
+std::vector<float> PgExplainer::EdgeLogits(const Graph& g,
+                                           const Matrix& embeddings) const {
+  std::vector<float> logits;
+  logits.reserve(static_cast<size_t>(g.num_edges()));
+  for (const Edge& e : g.edges()) {
+    Matrix f = EdgeFeature(embeddings, e);
+    Matrix h1 = Relu(mlp1_.Forward(f));
+    logits.push_back(mlp2_.Forward(h1).at(0, 0));
+  }
+  return logits;
+}
+
+Status PgExplainer::Fit(const GraphDatabase& db, int label, int max_graphs) {
+  std::vector<int> group = db.LabelGroup(label);
+  if (group.empty()) {
+    return Status::NotFound("empty label group for PGExplainer::Fit");
+  }
+  if (static_cast<int>(group.size()) > max_graphs) {
+    group.resize(static_cast<size_t>(max_graphs));
+  }
+  // Cache per-graph embeddings (the GNN is frozen).
+  std::vector<Matrix> embeddings;
+  embeddings.reserve(group.size());
+  for (int gi : group) {
+    embeddings.push_back(model_->NodeEmbeddings(db.graph(gi)));
+  }
+
+  AdamConfig adam_cfg;
+  adam_cfg.lr = options_.lr;
+  Adam opt({mlp1_.mutable_weight(), mlp2_.mutable_weight()}, nullptr,
+           adam_cfg);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    Matrix gw1(mlp1_.in_dim(), mlp1_.out_dim());
+    Matrix gw2(mlp2_.in_dim(), mlp2_.out_dim());
+    std::vector<float> gb1(static_cast<size_t>(mlp1_.out_dim()), 0.0f);
+    std::vector<float> gb2(static_cast<size_t>(mlp2_.out_dim()), 0.0f);
+
+    for (size_t k = 0; k < group.size(); ++k) {
+      const Graph& g = db.graph(group[k]);
+      if (g.num_edges() == 0) continue;
+      const Matrix& emb = embeddings[k];
+      // Forward: per-edge mask from the shared MLP.
+      std::vector<Matrix> feats;
+      std::vector<Matrix> h1s;
+      std::vector<Matrix> z1s;
+      std::vector<float> mask(static_cast<size_t>(g.num_edges()));
+      for (int ei = 0; ei < g.num_edges(); ++ei) {
+        Matrix f = EdgeFeature(emb, g.edges()[static_cast<size_t>(ei)]);
+        Matrix z1 = mlp1_.Forward(f);
+        Matrix h1 = Relu(z1);
+        mask[static_cast<size_t>(ei)] = Sigmoid(mlp2_.Forward(h1).at(0, 0));
+        feats.push_back(std::move(f));
+        z1s.push_back(std::move(z1));
+        h1s.push_back(std::move(h1));
+      }
+      // Masked model forward + CE toward the explained label.
+      Matrix x = g.features();
+      if (x.empty()) x = Matrix(g.num_nodes(), model_->config().input_dim, 1.0f);
+      SparseMatrix s = BuildMaskedOperator(g, mask);
+      GcnModel::Trace trace = model_->ForwardWithOperator(s, x);
+      Matrix dlogits;
+      SoftmaxCrossEntropy(trace.logits, label, &dlogits);
+      GcnModel::Gradients model_grads = model_->ZeroGradients();
+      Matrix grad_s(g.num_nodes(), g.num_nodes());
+      model_->Backward(trace, dlogits, &model_grads, nullptr, &grad_s);
+
+      // Per-edge mask gradient (same unmasked-normalization simplification
+      // as GNNExplainer) + regularizers, backprop through the MLP.
+      std::vector<float> deg(static_cast<size_t>(g.num_nodes()), 1.0f);
+      for (const Edge& ed : g.edges()) {
+        deg[static_cast<size_t>(ed.u)] += 1.0f;
+        deg[static_cast<size_t>(ed.v)] += 1.0f;
+      }
+      for (int ei = 0; ei < g.num_edges(); ++ei) {
+        const Edge& ed = g.edges()[static_cast<size_t>(ei)];
+        const float base = 1.0f / std::sqrt(deg[static_cast<size_t>(ed.u)] *
+                                            deg[static_cast<size_t>(ed.v)]);
+        float dmask = base * (grad_s.at(ed.u, ed.v) + grad_s.at(ed.v, ed.u));
+        const float sm = mask[static_cast<size_t>(ei)];
+        const float kEps = 1e-6f;
+        dmask += options_.l1_coeff;
+        dmask += options_.entropy_coeff *
+                 (-std::log(sm + kEps) + std::log(1.0f - sm + kEps));
+        const float dlogit = dmask * sm * (1.0f - sm);
+        Matrix dl(1, 1);
+        dl.at(0, 0) = dlogit;
+        Matrix dh1 = mlp2_.Backward(h1s[static_cast<size_t>(ei)], dl, &gw2,
+                                    &gb2);
+        Matrix dz1 = Hadamard(dh1, ReluMask(z1s[static_cast<size_t>(ei)]));
+        (void)mlp1_.Backward(feats[static_cast<size_t>(ei)], dz1, &gw1, &gb1);
+      }
+    }
+    opt.Step({&gw1, &gw2}, nullptr);
+    // Biases: plain SGD (Adam tracks the weight matrices only).
+    for (size_t j = 0; j < gb1.size(); ++j) {
+      (*mlp1_.mutable_bias())[j] -= options_.lr * gb1[j];
+    }
+    for (size_t j = 0; j < gb2.size(); ++j) {
+      (*mlp2_.mutable_bias())[j] -= options_.lr * gb2[j];
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<ExplanationSubgraph> PgExplainer::Explain(const Graph& g,
+                                                 int graph_index, int label,
+                                                 int max_nodes) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  if (!trained_) {
+    return Status::FailedPrecondition("PgExplainer::Fit must run first");
+  }
+  Matrix emb = model_->NodeEmbeddings(g);
+  std::vector<float> logits = EdgeLogits(g, emb);
+
+  std::vector<int> order(logits.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return logits[static_cast<size_t>(a)] > logits[static_cast<size_t>(b)];
+  });
+  std::set<NodeId> nodes;
+  for (int ei : order) {
+    const Edge& ed = g.edges()[static_cast<size_t>(ei)];
+    std::set<NodeId> tentative = nodes;
+    tentative.insert(ed.u);
+    tentative.insert(ed.v);
+    if (static_cast<int>(tentative.size()) > max_nodes) {
+      if (static_cast<int>(nodes.size()) >= max_nodes) break;
+      continue;
+    }
+    nodes = std::move(tentative);
+  }
+  if (nodes.empty()) nodes.insert(0);
+
+  ExplanationSubgraph out;
+  out.graph_index = graph_index;
+  out.nodes.assign(nodes.begin(), nodes.end());
+  auto sub = ExtractInducedSubgraph(g, out.nodes);
+  if (!sub.ok()) return sub.status();
+  out.subgraph = std::move(sub.value().graph);
+  AnnotateVerification(*model_, g, &out, label);
+  return out;
+}
+
+}  // namespace gvex

@@ -1,0 +1,60 @@
+// PGExplainer [Luo et al., NeurIPS'20] re-implementation: a *parameterized*
+// explainer — a small MLP maps each edge's endpoint embeddings to a mask
+// logit, trained once over a collection of graphs to maximize the predicted
+// probability of the explained label under the masked propagation, with
+// sparsity and entropy regularizers. At inference the trained MLP masks any
+// instance in one shot (no per-instance optimization). Not model-agnostic
+// (Table 1): it differentiates through the GCN like GNNExplainer.
+
+#ifndef GVEX_BASELINES_PG_EXPLAINER_H_
+#define GVEX_BASELINES_PG_EXPLAINER_H_
+
+#include "baselines/explainer.h"
+#include "gnn/dense_layer.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Training knobs for the shared mask MLP.
+struct PgExplainerOptions {
+  int epochs = 30;
+  float lr = 0.02f;
+  float l1_coeff = 0.01f;
+  float entropy_coeff = 0.05f;
+  int hidden_dim = 16;
+  uint64_t seed = 47;
+};
+
+/// Parameterized edge-mask explainer.
+class PgExplainer : public Explainer {
+ public:
+  /// Requires the concrete GCN (gradients through the propagation operator).
+  explicit PgExplainer(const GcnModel* model, PgExplainerOptions options = {});
+
+  std::string name() const override { return "PGExplainer"; }
+
+  /// Trains the shared mask network on the label group's graphs. Must be
+  /// called before Explain.
+  Status Fit(const GraphDatabase& db, int label, int max_graphs = 16);
+
+  /// Masks `g` with the trained network and harvests the top edges.
+  Result<ExplanationSubgraph> Explain(const Graph& g, int graph_index,
+                                      int label, int max_nodes) override;
+
+  bool trained() const { return trained_; }
+
+ private:
+  /// Mask logits for every edge of `g` from the current MLP.
+  std::vector<float> EdgeLogits(const Graph& g, const Matrix& embeddings) const;
+
+  const GcnModel* model_;
+  PgExplainerOptions options_;
+  DenseLayer mlp1_;  // (2*emb_dim) -> hidden
+  DenseLayer mlp2_;  // hidden -> 1
+  bool trained_ = false;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_BASELINES_PG_EXPLAINER_H_

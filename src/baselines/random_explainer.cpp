@@ -1,0 +1,31 @@
+#include "baselines/random_explainer.h"
+
+#include "graph/subgraph.h"
+
+namespace gvex {
+
+RandomExplainer::RandomExplainer(const GnnClassifier* model, uint64_t seed)
+    : model_(model), rng_(seed) {}
+
+Result<ExplanationSubgraph> RandomExplainer::Explain(const Graph& g,
+                                                     int graph_index,
+                                                     int label,
+                                                     int max_nodes) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  std::vector<double> score(static_cast<size_t>(g.num_nodes()));
+  for (auto& s : score) s = rng_.NextDouble();
+  NodeId seed = static_cast<NodeId>(rng_.NextUint(
+      static_cast<uint64_t>(g.num_nodes())));
+  ExplanationSubgraph out;
+  out.graph_index = graph_index;
+  out.nodes = GrowConnectedSet(g, seed, score, max_nodes);
+  auto sub = ExtractInducedSubgraph(g, out.nodes);
+  if (!sub.ok()) return sub.status();
+  out.subgraph = std::move(sub.value().graph);
+  AnnotateVerification(*model_, g, &out, label);
+  return out;
+}
+
+}  // namespace gvex

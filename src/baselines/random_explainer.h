@@ -1,0 +1,30 @@
+// Sanity-floor baseline: a random connected subgraph of the requested size.
+// Not in the paper's comparison, but invaluable for testing that real
+// explainers beat chance.
+
+#ifndef GVEX_BASELINES_RANDOM_EXPLAINER_H_
+#define GVEX_BASELINES_RANDOM_EXPLAINER_H_
+
+#include "baselines/explainer.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// Uniformly seeds a node and grows a random connected set.
+class RandomExplainer : public Explainer {
+ public:
+  RandomExplainer(const GnnClassifier* model, uint64_t seed = 13);
+
+  std::string name() const override { return "Random"; }
+
+  Result<ExplanationSubgraph> Explain(const Graph& g, int graph_index,
+                                      int label, int max_nodes) override;
+
+ private:
+  const GnnClassifier* model_;
+  Rng rng_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_BASELINES_RANDOM_EXPLAINER_H_

@@ -1,0 +1,45 @@
+// SubgraphX [Yuan et al., ICML'21] re-implementation: Monte-Carlo tree
+// search over node-pruning actions; leaf subgraphs are valued by a sampled
+// Shapley approximation of their contribution to P(label). Simplifications
+// vs. the original (documented in DESIGN.md): the coalition sampling uses
+// l-hop neighbors as players like the paper, but with a fixed small sample
+// count, and search tree expansion prunes one node at a time.
+
+#ifndef GVEX_BASELINES_SUBGRAPHX_H_
+#define GVEX_BASELINES_SUBGRAPHX_H_
+
+#include "baselines/explainer.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// MCTS / Shapley knobs.
+struct SubgraphXOptions {
+  int mcts_iterations = 20;
+  int shapley_samples = 10;
+  float exploration_c = 5.0f;
+  uint64_t seed = 29;
+};
+
+/// MCTS + Shapley subgraph explainer.
+class SubgraphX : public Explainer {
+ public:
+  explicit SubgraphX(const GnnClassifier* model, SubgraphXOptions options = {});
+
+  std::string name() const override { return "SubgraphX"; }
+
+  Result<ExplanationSubgraph> Explain(const Graph& g, int graph_index,
+                                      int label, int max_nodes) override;
+
+ private:
+  /// Sampled Shapley value of the node set `coalition` for `label`.
+  double ShapleyValue(const Graph& g, const std::vector<NodeId>& coalition,
+                      int label, Rng* rng) const;
+
+  const GnnClassifier* model_;
+  SubgraphXOptions options_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_BASELINES_SUBGRAPHX_H_

@@ -1,0 +1,116 @@
+#include "baselines/xgnn.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gvex {
+
+Xgnn::Xgnn(const GnnClassifier* model, const GraphDatabase* reference_db,
+           XgnnOptions options)
+    : model_(model), db_(reference_db), options_(options) {
+  for (int i = 0; i < db_->size(); ++i) {
+    const Graph& g = db_->graph(i);
+    feature_dim_ = std::max(feature_dim_, g.feature_dim());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      num_types_ = std::max(num_types_, g.node_type(v) + 1);
+    }
+  }
+}
+
+Status Xgnn::Encode(Graph* g) const {
+  if (feature_dim_ >= num_types_) {
+    // One-hot over types padded to the model's input width.
+    Matrix x(g->num_nodes(), feature_dim_);
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      const int t = g->node_type(v);
+      if (t >= 0 && t < feature_dim_) x.at(v, t) = 1.0f;
+    }
+    return g->SetFeatures(std::move(x));
+  }
+  return g->SetOneHotFeaturesFromTypes(num_types_);
+}
+
+Result<Xgnn::Prototype> Xgnn::Generate(int label) const {
+  if (db_->empty()) return Status::InvalidArgument("empty reference db");
+  if (num_types_ <= 0) return Status::InvalidArgument("no node types");
+
+  // Edge vocabulary from the reference data: which type pairs may bond.
+  std::set<std::pair<int, int>> allowed;
+  for (int i = 0; i < db_->size(); ++i) {
+    const Graph& g = db_->graph(i);
+    for (const Edge& e : g.edges()) {
+      int a = g.node_type(e.u);
+      int b = g.node_type(e.v);
+      allowed.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+
+  // Seed: the single-node graph with the highest P(label).
+  Graph best;
+  double best_p = -1.0;
+  for (int t = 0; t < num_types_; ++t) {
+    Graph g;
+    g.AddNode(t);
+    GVEX_RETURN_NOT_OK(Encode(&g));
+    const double p = model_->ProbaOf(g, label);
+    if (p > best_p) {
+      best_p = p;
+      best = std::move(g);
+    }
+  }
+
+  // Greedy edits: add a typed node attached to an existing node, or close an
+  // edge between existing nodes; keep the edit with the largest gain.
+  for (;;) {
+    Graph best_edit;
+    double best_edit_p = best_p + options_.min_gain;
+    bool found = false;
+    if (best.num_nodes() < options_.max_nodes) {
+      for (NodeId anchor = 0; anchor < best.num_nodes(); ++anchor) {
+        for (int t = 0; t < num_types_; ++t) {
+          const int a = best.node_type(anchor);
+          if (!allowed.count({std::min(a, t), std::max(a, t)})) continue;
+          Graph cand = best;
+          NodeId nv = cand.AddNode(t);
+          if (!cand.AddEdge(anchor, nv).ok()) continue;
+          if (!Encode(&cand).ok()) continue;
+          const double p = model_->ProbaOf(cand, label);
+          if (p >= best_edit_p) {
+            best_edit_p = p;
+            best_edit = std::move(cand);
+            found = true;
+          }
+        }
+      }
+    }
+    for (NodeId u = 0; u < best.num_nodes(); ++u) {
+      for (NodeId v = u + 1; v < best.num_nodes(); ++v) {
+        if (best.HasEdge(u, v)) continue;
+        const int a = best.node_type(u);
+        const int b = best.node_type(v);
+        if (!allowed.count({std::min(a, b), std::max(a, b)})) continue;
+        Graph cand = best;
+        if (!cand.AddEdge(u, v).ok()) continue;
+        if (!Encode(&cand).ok()) continue;
+        const double p = model_->ProbaOf(cand, label);
+        if (p >= best_edit_p) {
+          best_edit_p = p;
+          best_edit = std::move(cand);
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    best = std::move(best_edit);
+    best_p = best_edit_p;
+  }
+
+  auto pattern = Pattern::Create(std::move(best));
+  if (!pattern.ok()) return pattern.status();
+  Prototype proto;
+  proto.pattern = std::move(pattern).value();
+  proto.probability = best_p;
+  return proto;
+}
+
+}  // namespace gvex

@@ -1,0 +1,27 @@
+// SYNTHETIC (BA + motif) generator — the GNNExplainer-style benchmark the
+// paper cites [62]: a Barabási–Albert base graph with HouseMotif (class 0)
+// or CycleMotif (class 1) attachments. The paper's instance has ~0.4M nodes;
+// the default here is laptop-scale with the same construction (DESIGN.md).
+
+#ifndef GVEX_DATA_BA_MOTIF_H_
+#define GVEX_DATA_BA_MOTIF_H_
+
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Generator options.
+struct BaMotifOptions {
+  int num_graphs = 60;
+  uint64_t seed = 707;
+  int base_nodes = 40;
+  int edges_per_node = 1;  // BA attachment parameter m
+  int motifs_per_graph = 2;
+};
+
+/// Generates the dataset (constant default feature).
+GraphDatabase GenerateBaMotif(const BaMotifOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_BA_MOTIF_H_

@@ -1,0 +1,89 @@
+#include "data/datasets.h"
+
+#include "data/ba_motif.h"
+#include "data/enzymes.h"
+#include "data/malnet.h"
+#include "data/motifs.h"
+#include "data/mutagenicity.h"
+#include "data/pcqm.h"
+#include "data/products.h"
+#include "data/reddit.h"
+
+namespace gvex {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {DatasetId::kMutagenicity, "MUTAGENICITY", "MUT", kNumAtomTypes, 2},
+      {DatasetId::kReddit, "REDDIT-BINARY", "RED", kDegreeBins, 2},
+      {DatasetId::kEnzymes, "ENZYMES", "ENZ", 3, 6},
+      {DatasetId::kMalnet, "MALNET-TINY", "MAL", 4, 5},
+      {DatasetId::kPcqm, "PCQM4Mv2", "PCQ", 9, 3},
+      {DatasetId::kProducts, "PRODUCTS", "PRO", 8, 8},
+      {DatasetId::kSynthetic, "SYNTHETIC", "SYN", kDegreeBins, 2},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& SpecFor(DatasetId id) {
+  for (const auto& spec : AllDatasets()) {
+    if (spec.id == id) return spec;
+  }
+  return AllDatasets().front();  // unreachable for valid ids
+}
+
+GraphDatabase MakeDataset(DatasetId id, const DatasetScale& scale) {
+  switch (id) {
+    case DatasetId::kMutagenicity: {
+      MutagenicityOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GenerateMutagenicity(opt);
+    }
+    case DatasetId::kReddit: {
+      RedditOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GenerateReddit(opt);
+    }
+    case DatasetId::kEnzymes: {
+      EnzymesOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GenerateEnzymes(opt);
+    }
+    case DatasetId::kMalnet: {
+      MalnetOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GenerateMalnet(opt);
+    }
+    case DatasetId::kPcqm: {
+      PcqmOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GeneratePcqm(opt);
+    }
+    case DatasetId::kProducts: {
+      ProductsOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GenerateProducts(opt);
+    }
+    case DatasetId::kSynthetic: {
+      BaMotifOptions opt;
+      if (scale.num_graphs > 0) opt.num_graphs = scale.num_graphs;
+      if (scale.seed != 0) opt.seed = scale.seed;
+      return GenerateBaMotif(opt);
+    }
+  }
+  return GraphDatabase();
+}
+
+Result<DatasetId> DatasetFromAbbrev(const std::string& abbrev) {
+  for (const auto& spec : AllDatasets()) {
+    if (spec.abbrev == abbrev) return spec.id;
+  }
+  return Status::NotFound("unknown dataset abbreviation: " + abbrev);
+}
+
+}  // namespace gvex

@@ -1,0 +1,57 @@
+// Dataset registry: the seven benchmark datasets of Table 3, each backed by
+// a synthetic generator (see DESIGN.md for the substitution rationale), plus
+// the metadata the benchmark harness needs (name, feature dim, classes).
+
+#ifndef GVEX_DATA_DATASETS_H_
+#define GVEX_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// The benchmark datasets (Table 3 order).
+enum class DatasetId {
+  kMutagenicity,
+  kReddit,
+  kEnzymes,
+  kMalnet,
+  kPcqm,
+  kProducts,
+  kSynthetic,
+};
+
+/// Static dataset metadata.
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;     // full name, e.g. "MUTAGENICITY"
+  std::string abbrev;   // paper abbreviation, e.g. "MUT"
+  int feature_dim;      // input dim fed to the GCN
+  int num_classes;
+};
+
+/// All dataset specs, in Table 3 order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec lookup by id.
+const DatasetSpec& SpecFor(DatasetId id);
+
+/// Uniform scale knob for generators: number of graphs (0 = default) and a
+/// seed override.
+struct DatasetScale {
+  int num_graphs = 0;
+  uint64_t seed = 0;  // 0 = generator default
+};
+
+/// Instantiates a dataset.
+GraphDatabase MakeDataset(DatasetId id, const DatasetScale& scale = {});
+
+/// Parses "MUT"/"RED"/... into an id.
+Result<DatasetId> DatasetFromAbbrev(const std::string& abbrev);
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_DATASETS_H_

@@ -1,0 +1,90 @@
+#include "data/ego_networks.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "graph/subgraph.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+namespace {
+
+// BFS-truncated neighborhood: collects nodes by hop rings until either the
+// radius or the node cap is reached (center first, then ring by ring).
+std::vector<NodeId> TruncatedNeighborhood(const Graph& g, NodeId center,
+                                          int hops, int max_nodes) {
+  std::vector<int> dist(static_cast<size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<size_t>(center)] = 0;
+  q.push(center);
+  std::vector<NodeId> nodes{center};
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    if (dist[static_cast<size_t>(u)] >= hops) continue;
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (dist[static_cast<size_t>(nb.node)] != -1) continue;
+      if (max_nodes > 0 && static_cast<int>(nodes.size()) >= max_nodes) {
+        return nodes;
+      }
+      dist[static_cast<size_t>(nb.node)] = dist[static_cast<size_t>(u)] + 1;
+      nodes.push_back(nb.node);
+      q.push(nb.node);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Result<GraphDatabase> BuildEgoNetworkDatabase(
+    const Graph& g, const std::vector<int>& node_labels,
+    const EgoNetworkOptions& options) {
+  if (node_labels.size() != static_cast<size_t>(g.num_nodes())) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu labels for %d nodes", node_labels.size(),
+                  g.num_nodes()));
+  }
+  if (options.hops < 0 || options.max_networks <= 0) {
+    return Status::InvalidArgument("hops must be >= 0 and budget positive");
+  }
+  // Bucket labeled nodes per class.
+  std::map<int, std::vector<NodeId>> per_class;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (node_labels[static_cast<size_t>(v)] >= 0) {
+      per_class[node_labels[static_cast<size_t>(v)]].push_back(v);
+    }
+  }
+  if (per_class.empty()) {
+    return Status::InvalidArgument("no labeled nodes");
+  }
+  Rng rng(options.seed);
+  for (auto& [label, nodes] : per_class) rng.Shuffle(&nodes);
+
+  // Round-robin class-balanced sampling.
+  GraphDatabase db;
+  std::map<int, size_t> cursor;
+  int produced = 0;
+  bool progress = true;
+  while (produced < options.max_networks && progress) {
+    progress = false;
+    for (auto& [label, nodes] : per_class) {
+      size_t& at = cursor[label];
+      if (at >= nodes.size() || produced >= options.max_networks) continue;
+      NodeId center = nodes[at++];
+      std::vector<NodeId> ego = TruncatedNeighborhood(
+          g, center, options.hops, options.max_nodes_per_ego);
+      auto sub = ExtractInducedSubgraph(g, ego);
+      if (!sub.ok()) return sub.status();
+      db.Add(std::move(sub.value().graph), label);
+      ++produced;
+      progress = true;
+    }
+  }
+  return db;
+}
+
+}  // namespace gvex

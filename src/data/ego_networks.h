@@ -1,0 +1,37 @@
+// Node-classification support (Table 1: GVEX handles GC and NC). Following
+// the paper's PRODUCTS protocol (§6.2), a node-classification task over one
+// large graph is converted to graph classification: sample labeled center
+// nodes, extract their h-hop ego networks, and label each subgraph with its
+// center's class. Explanation views over the resulting database explain the
+// node classifier's behaviour per class.
+
+#ifndef GVEX_DATA_EGO_NETWORKS_H_
+#define GVEX_DATA_EGO_NETWORKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// Extraction options.
+struct EgoNetworkOptions {
+  int hops = 2;               // ego-network radius (match the GNN depth)
+  int max_networks = 200;     // total sample budget
+  int max_nodes_per_ego = 0;  // 0 = unbounded; else BFS-truncate
+  uint64_t seed = 808;
+};
+
+/// Builds a graph-classification database from (graph, per-node labels).
+/// Sampling is class-balanced up to availability. `node_labels` must have
+/// one entry per node; negative labels mark unlabeled nodes (skipped).
+Result<GraphDatabase> BuildEgoNetworkDatabase(
+    const Graph& g, const std::vector<int>& node_labels,
+    const EgoNetworkOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_EGO_NETWORKS_H_

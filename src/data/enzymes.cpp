@@ -1,0 +1,78 @@
+#include "data/enzymes.h"
+
+#include "data/motifs.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+namespace {
+
+// Three structural element types (helix / sheet / turn).
+constexpr int kHelix = 0;
+constexpr int kSheet = 1;
+constexpr int kTurn = 2;
+
+// Class-specific motif: distinct small structures over typed nodes.
+void PlantClassMotif(Graph* g, int cls, Rng* rng) {
+  switch (cls % 6) {
+    case 0:
+      AddRing(g, 4, kHelix);
+      break;
+    case 1:
+      AddRing(g, 5, kSheet);
+      break;
+    case 2: {
+      // Alternating helix-sheet path.
+      std::vector<NodeId> p;
+      for (int i = 0; i < 5; ++i) {
+        p.push_back(g->AddNode(i % 2 == 0 ? kHelix : kSheet));
+        if (i > 0) (void)g->AddEdge(p[static_cast<size_t>(i - 1)], p.back());
+      }
+      break;
+    }
+    case 3:
+      AddStar(g, 5, kTurn, kHelix);
+      break;
+    case 4:
+      AddStar(g, 5, kTurn, kSheet);
+      break;
+    case 5: {
+      // Triangle of turns with sheet pendant.
+      std::vector<NodeId> tri = AddRing(g, 3, kTurn);
+      NodeId s = g->AddNode(kSheet);
+      (void)g->AddEdge(tri[0], s);
+      break;
+    }
+  }
+  (void)rng;
+}
+
+Graph MakeEnzyme(int cls, const EnzymesOptions& opt, Rng* rng) {
+  Graph g;
+  PlantClassMotif(&g, cls, rng);
+  const int target =
+      static_cast<int>(rng->NextInt(opt.min_nodes, opt.max_nodes));
+  while (g.num_nodes() < target) {
+    NodeId v = g.AddNode(static_cast<int>(rng->NextInt(0, 2)));
+    NodeId t = static_cast<NodeId>(
+        rng->NextUint(static_cast<uint64_t>(g.num_nodes() - 1)));
+    (void)g.AddEdge(v, t);
+    if (rng->NextBool(0.5)) AttachRandomly(&g, v, rng);
+  }
+  (void)g.SetOneHotFeaturesFromTypes(3);
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase GenerateEnzymes(const EnzymesOptions& options) {
+  Rng rng(options.seed);
+  GraphDatabase db;
+  for (int i = 0; i < options.num_graphs; ++i) {
+    const int cls = i % options.num_classes;
+    db.Add(MakeEnzyme(cls, options, &rng), cls);
+  }
+  return db;
+}
+
+}  // namespace gvex

@@ -1,0 +1,98 @@
+#include "data/malnet.h"
+
+#include "data/motifs.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+namespace {
+
+// Family-specific call motifs. Node type encodes a coarse function role
+// (0 = plain, 1 = dispatcher, 2 = worker, 3 = syscall shim).
+void PlantFamilyMotif(Graph* g, int family, Rng* rng) {
+  switch (family % 5) {
+    case 0: {
+      // Dispatcher fan-out: one dispatcher calling many workers.
+      NodeId d = g->AddNode(1);
+      for (int i = 0; i < 8; ++i) {
+        NodeId w = g->AddNode(2);
+        (void)g->AddEdge(d, w);
+      }
+      break;
+    }
+    case 1: {
+      // Long call chain ending in a syscall shim.
+      std::vector<NodeId> chain;
+      for (int i = 0; i < 7; ++i) {
+        chain.push_back(g->AddNode(i == 6 ? 3 : 0));
+        if (i > 0) (void)g->AddEdge(chain[static_cast<size_t>(i - 1)],
+                                    chain.back());
+      }
+      break;
+    }
+    case 2: {
+      // Mutual recursion ring of workers.
+      std::vector<NodeId> ring;
+      for (int i = 0; i < 5; ++i) ring.push_back(g->AddNode(2));
+      for (int i = 0; i < 5; ++i) {
+        (void)g->AddEdge(ring[static_cast<size_t>(i)],
+                         ring[static_cast<size_t>((i + 1) % 5)]);
+      }
+      break;
+    }
+    case 3: {
+      // Double dispatcher: two dispatchers sharing workers.
+      NodeId d1 = g->AddNode(1);
+      NodeId d2 = g->AddNode(1);
+      for (int i = 0; i < 5; ++i) {
+        NodeId w = g->AddNode(2);
+        (void)g->AddEdge(d1, w);
+        (void)g->AddEdge(d2, w);
+      }
+      break;
+    }
+    case 4: {
+      // Syscall shim farm: several shims called by plain functions.
+      for (int i = 0; i < 4; ++i) {
+        NodeId f = g->AddNode(0);
+        NodeId s = g->AddNode(3);
+        (void)g->AddEdge(f, s);
+      }
+      break;
+    }
+  }
+  (void)rng;
+}
+
+Graph MakeCallGraph(int family, const MalnetOptions& opt, Rng* rng) {
+  Graph g(/*directed=*/true);
+  PlantFamilyMotif(&g, family, rng);
+  const int target =
+      static_cast<int>(rng->NextInt(opt.min_functions, opt.max_functions));
+  while (g.num_nodes() < target) {
+    NodeId f = g.AddNode(0);
+    // New functions call 1-3 existing ones.
+    const int calls = static_cast<int>(rng->NextInt(1, 3));
+    for (int c = 0; c < calls; ++c) {
+      NodeId t = static_cast<NodeId>(
+          rng->NextUint(static_cast<uint64_t>(g.num_nodes() - 1)));
+      if (t != f) (void)g.AddEdge(f, t);
+    }
+  }
+  (void)g.SetOneHotFeaturesFromTypes(4);
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase GenerateMalnet(const MalnetOptions& options) {
+  Rng rng(options.seed);
+  GraphDatabase db;
+  for (int i = 0; i < options.num_graphs; ++i) {
+    const int family = i % options.num_classes;
+    db.Add(MakeCallGraph(family, options, &rng), family);
+  }
+  return db;
+}
+
+}  // namespace gvex

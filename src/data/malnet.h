@@ -1,0 +1,29 @@
+// MALNET-TINY-like function-call-graph generator (Table 3: large directed
+// graphs, no features, 5 classes). Each malware family plants a
+// characteristic inter-procedural calling motif (dispatch fans, call chains,
+// mutual-recursion cliques) inside a random call-graph background. Sizes are
+// scaled down from the real 1.5k-node average (see DESIGN.md substitution
+// note); structure and the "big graphs stress explainers" role are kept.
+
+#ifndef GVEX_DATA_MALNET_H_
+#define GVEX_DATA_MALNET_H_
+
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Generator options.
+struct MalnetOptions {
+  int num_graphs = 30;  // 6 per class
+  uint64_t seed = 404;
+  int num_classes = 5;
+  int min_functions = 120;
+  int max_functions = 260;
+};
+
+/// Generates the dataset (directed graphs, constant default feature).
+GraphDatabase GenerateMalnet(const MalnetOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_MALNET_H_

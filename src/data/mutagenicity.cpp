@@ -1,0 +1,85 @@
+#include "data/mutagenicity.h"
+
+#include "data/motifs.h"
+
+namespace gvex {
+
+namespace {
+
+Graph MakeMolecule(bool mutagen, const MutagenicityOptions& opt, Rng* rng) {
+  Graph g;
+  // Carbon ring backbone: 1-3 rings chained together.
+  const int rings = static_cast<int>(
+      rng->NextInt(opt.min_rings, opt.max_rings));
+  std::vector<NodeId> anchors;
+  NodeId prev_ring_node = -1;
+  for (int r = 0; r < rings; ++r) {
+    std::vector<NodeId> ring = AddRing(&g, opt.ring_size, kCarbon);
+    if (prev_ring_node >= 0) {
+      (void)g.AddEdge(prev_ring_node, ring[0]);
+    }
+    prev_ring_node = ring[static_cast<size_t>(opt.ring_size / 2)];
+    for (NodeId v : ring) anchors.push_back(v);
+  }
+
+  // Benign decorations drawn from the SAME distribution for both classes, so
+  // that the planted toxicophore is the only class-separating signal (the
+  // ground-truth-explainability construction: a classifier cannot latch onto
+  // the absence of benign groups).
+  const int decos = static_cast<int>(rng->NextInt(1, 3));
+  for (int i = 0; i < decos; ++i) {
+    NodeId anchor = anchors[static_cast<size_t>(
+        rng->NextUint(static_cast<uint64_t>(anchors.size())))];
+    if (rng->NextBool(0.5)) {
+      AddHydroxylGroup(&g, anchor);
+    } else {
+      // Methyl-ish: one carbon with a hydrogen.
+      NodeId c = g.AddNode(kCarbon);
+      (void)g.AddEdge(anchor, c);
+      NodeId h = g.AddNode(kHydrogen);
+      (void)g.AddEdge(c, h);
+    }
+  }
+  if (mutagen) {
+    // Plant the toxicophore: one nitro group (occasionally two).
+    const int nitros = rng->NextBool(0.25) ? 2 : 1;
+    for (int i = 0; i < nitros; ++i) {
+      NodeId anchor = anchors[static_cast<size_t>(
+          rng->NextUint(static_cast<uint64_t>(anchors.size())))];
+      AddNitroGroup(&g, anchor);
+    }
+  }
+
+  // Hydrogens on a few ring carbons (both classes).
+  const int hydrogens = static_cast<int>(rng->NextInt(2, 5));
+  for (int i = 0; i < hydrogens; ++i) {
+    NodeId anchor = anchors[static_cast<size_t>(
+        rng->NextUint(static_cast<uint64_t>(anchors.size())))];
+    NodeId h = g.AddNode(kHydrogen);
+    (void)g.AddEdge(anchor, h);
+  }
+  // Occasional halogen (both classes — a non-discriminative distractor).
+  if (rng->NextBool(0.4)) {
+    NodeId anchor = anchors[static_cast<size_t>(
+        rng->NextUint(static_cast<uint64_t>(anchors.size())))];
+    NodeId cl = g.AddNode(rng->NextBool(0.5) ? kChlorine : kFluorine);
+    (void)g.AddEdge(anchor, cl);
+  }
+
+  (void)g.SetOneHotFeaturesFromTypes(kNumAtomTypes);
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase GenerateMutagenicity(const MutagenicityOptions& options) {
+  Rng rng(options.seed);
+  GraphDatabase db;
+  for (int i = 0; i < options.num_graphs; ++i) {
+    const bool mutagen = i % 2 == 1;
+    db.Add(MakeMolecule(mutagen, options, &rng), mutagen ? 1 : 0);
+  }
+  return db;
+}
+
+}  // namespace gvex

@@ -1,0 +1,29 @@
+// MUTAGENICITY-like molecule generator (Table 3: ~30 nodes, ~31 edges, 14
+// one-hot node features, 2 classes). Mutagens (label 1) carry nitro and/or
+// amine toxicophore groups on carbon rings; nonmutagens (label 0) carry
+// benign hydroxyl/methyl decorations. The planted toxicophores are the
+// ground-truth explanations the case studies recover.
+
+#ifndef GVEX_DATA_MUTAGENICITY_H_
+#define GVEX_DATA_MUTAGENICITY_H_
+
+#include "graph/graph_database.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// Generator options.
+struct MutagenicityOptions {
+  int num_graphs = 120;
+  uint64_t seed = 101;
+  int min_rings = 1;
+  int max_rings = 3;
+  int ring_size = 6;
+};
+
+/// Generates the dataset (balanced classes, one-hot features installed).
+GraphDatabase GenerateMutagenicity(const MutagenicityOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_MUTAGENICITY_H_

@@ -1,0 +1,72 @@
+#include "data/pcqm.h"
+
+#include "data/motifs.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+namespace {
+
+// 9 atom types (subset of the molecule vocabulary, remapped to [0,9)).
+constexpr int kNumPcqTypes = 9;
+
+Graph MakeSmallMolecule(int cls, Rng* rng) {
+  Graph g;
+  // Small backbone: ring or chain of carbons (type 0).
+  std::vector<NodeId> backbone = rng->NextBool(0.5)
+                                     ? AddRing(&g, 5, 0)
+                                     : AddPath(&g, 6, 0);
+  // Class-determining decoration.
+  NodeId anchor = backbone[static_cast<size_t>(
+      rng->NextUint(static_cast<uint64_t>(backbone.size())))];
+  switch (cls % 3) {
+    case 0: {
+      // Carbonyl-like: O (type 1) double-decoration.
+      NodeId o = g.AddNode(1);
+      (void)g.AddEdge(anchor, o);
+      break;
+    }
+    case 1: {
+      // Nitrogen pair (types 2,2).
+      NodeId n1 = g.AddNode(2);
+      NodeId n2 = g.AddNode(2);
+      (void)g.AddEdge(anchor, n1);
+      (void)g.AddEdge(n1, n2);
+      break;
+    }
+    case 2: {
+      // Halogen trio (types 3,4,5).
+      NodeId a = g.AddNode(3);
+      NodeId b = g.AddNode(4);
+      NodeId c = g.AddNode(5);
+      (void)g.AddEdge(anchor, a);
+      (void)g.AddEdge(anchor, b);
+      (void)g.AddEdge(anchor, c);
+      break;
+    }
+  }
+  // A couple of random peripheral atoms from the remaining types.
+  const int extras = static_cast<int>(rng->NextInt(1, 3));
+  for (int i = 0; i < extras; ++i) {
+    NodeId v = g.AddNode(static_cast<int>(rng->NextInt(6, kNumPcqTypes - 1)));
+    NodeId t = static_cast<NodeId>(
+        rng->NextUint(static_cast<uint64_t>(g.num_nodes() - 1)));
+    if (t != v) (void)g.AddEdge(v, t);
+  }
+  (void)g.SetOneHotFeaturesFromTypes(kNumPcqTypes);
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase GeneratePcqm(const PcqmOptions& options) {
+  Rng rng(options.seed);
+  GraphDatabase db;
+  for (int i = 0; i < options.num_graphs; ++i) {
+    const int cls = i % 3;
+    db.Add(MakeSmallMolecule(cls, &rng), cls);
+  }
+  return db;
+}
+
+}  // namespace gvex

@@ -1,0 +1,24 @@
+// PCQM4Mv2-like quantum-chemistry generator (Table 3: ~15 nodes, ~31 edges,
+// 9 node features, 3 classes, millions of graphs). Used as the scalability
+// workload (Fig. 9d): many small molecules whose class is determined by the
+// dominant functional decoration. The count is a parameter; benches sweep it.
+
+#ifndef GVEX_DATA_PCQM_H_
+#define GVEX_DATA_PCQM_H_
+
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Generator options.
+struct PcqmOptions {
+  int num_graphs = 300;
+  uint64_t seed = 505;
+};
+
+/// Generates the dataset (9 one-hot features from 9 atom types).
+GraphDatabase GeneratePcqm(const PcqmOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_PCQM_H_

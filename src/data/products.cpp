@@ -1,0 +1,51 @@
+#include "data/products.h"
+
+#include "util/rng.h"
+
+namespace gvex {
+
+namespace {
+
+Graph MakeCommunity(int category, const ProductsOptions& opt, Rng* rng) {
+  Graph g;
+  const int target =
+      static_cast<int>(rng->NextInt(opt.min_products, opt.max_products));
+  // Core community: products of the labelled category, densely co-purchased.
+  const int core = target * 2 / 3;
+  for (int i = 0; i < core; ++i) {
+    NodeId v = g.AddNode(category);
+    if (v == 0) continue;
+    // Each new product co-purchased with 2-3 existing core products.
+    const int links = static_cast<int>(rng->NextInt(2, 3));
+    for (int l = 0; l < links; ++l) {
+      NodeId t = static_cast<NodeId>(
+          rng->NextUint(static_cast<uint64_t>(v)));
+      (void)g.AddEdge(v, t);
+    }
+  }
+  // Peripheral cross-category products, sparsely attached.
+  while (g.num_nodes() < target) {
+    int other = static_cast<int>(
+        rng->NextUint(static_cast<uint64_t>(opt.num_categories)));
+    NodeId v = g.AddNode(other);
+    NodeId t = static_cast<NodeId>(
+        rng->NextUint(static_cast<uint64_t>(g.num_nodes() - 1)));
+    if (t != v) (void)g.AddEdge(v, t);
+  }
+  (void)g.SetOneHotFeaturesFromTypes(opt.num_categories);
+  return g;
+}
+
+}  // namespace
+
+GraphDatabase GenerateProducts(const ProductsOptions& options) {
+  Rng rng(options.seed);
+  GraphDatabase db;
+  for (int i = 0; i < options.num_graphs; ++i) {
+    const int category = i % options.num_categories;
+    db.Add(MakeCommunity(category, options, &rng), category);
+  }
+  return db;
+}
+
+}  // namespace gvex

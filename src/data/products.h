@@ -1,0 +1,29 @@
+// PRODUCTS-like co-purchase generator. The paper samples ~400 subgraphs
+// (~3000 nodes each) from the Amazon co-purchasing network and labels each
+// subgraph by its center node's category. We simulate that with community
+// subgraphs: each sample is a dense intra-category community plus
+// cross-category noise, labelled by the dominant category. Node type = the
+// product's category (a coarse stand-in for the 100 features).
+
+#ifndef GVEX_DATA_PRODUCTS_H_
+#define GVEX_DATA_PRODUCTS_H_
+
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Generator options (defaults scaled down for bench runtime).
+struct ProductsOptions {
+  int num_graphs = 40;
+  uint64_t seed = 606;
+  int num_categories = 8;   // stands in for the 47 top-level categories
+  int min_products = 80;
+  int max_products = 200;
+};
+
+/// Generates the dataset (one-hot features from category types).
+GraphDatabase GenerateProducts(const ProductsOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_PRODUCTS_H_

@@ -1,0 +1,28 @@
+// REDDIT-BINARY-like thread generator (Table 3: ~430 nodes, ~996 edges, no
+// node features, 2 classes). Online-discussion threads (label 0) are
+// star-dominated: a few popular posts each answered by many strangers. Q&A
+// threads (label 1) are biclique-dominated: a few experts answering many
+// distinct questioners (Fig. 11's P61 star / P81 biclique motifs). Sizes are
+// scaled down by default for bench runtime; the structure is preserved.
+
+#ifndef GVEX_DATA_REDDIT_H_
+#define GVEX_DATA_REDDIT_H_
+
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Generator options.
+struct RedditOptions {
+  int num_graphs = 60;
+  uint64_t seed = 202;
+  int min_users = 40;
+  int max_users = 90;
+};
+
+/// Generates the dataset (constant default feature; input_dim 1).
+GraphDatabase GenerateReddit(const RedditOptions& options = {});
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_REDDIT_H_

@@ -1,0 +1,31 @@
+#include "data/splits.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace gvex {
+
+Split MakeSplit(const GraphDatabase& db, double val_frac, double test_frac,
+                uint64_t seed) {
+  Split split;
+  std::vector<int> order(static_cast<size_t>(db.size()));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  const int n = db.size();
+  const int n_val = static_cast<int>(n * val_frac);
+  const int n_test = static_cast<int>(n * test_frac);
+  for (int i = 0; i < n; ++i) {
+    if (i < n_val) {
+      split.val.push_back(order[static_cast<size_t>(i)]);
+    } else if (i < n_val + n_test) {
+      split.test.push_back(order[static_cast<size_t>(i)]);
+    } else {
+      split.train.push_back(order[static_cast<size_t>(i)]);
+    }
+  }
+  return split;
+}
+
+}  // namespace gvex

@@ -1,0 +1,27 @@
+// Train/validation/test splits (the paper uses 80/10/10 and explains the
+// test set).
+
+#ifndef GVEX_DATA_SPLITS_H_
+#define GVEX_DATA_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Index partition of a database.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+/// Shuffled split with the given fractions (train gets the remainder).
+Split MakeSplit(const GraphDatabase& db, double val_frac = 0.1,
+                double test_frac = 0.1, uint64_t seed = 99);
+
+}  // namespace gvex
+
+#endif  // GVEX_DATA_SPLITS_H_

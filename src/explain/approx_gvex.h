@@ -1,0 +1,65 @@
+// ApproxGVEX (Algorithm 1): the 1/2-approximate "explain-and-summarize"
+// view generator.
+//
+// Explanation phase — greedy submodular maximization over nodes: repeatedly
+// pick the candidate with maximum marginal explainability gain that passes
+// VpExtend, until the upper bound u_l is reached; then backfill from the
+// candidate pool V_u until the lower bound b_l holds (lines 3-17).
+//
+// Summary phase — Psum covers the selected nodes with mined patterns
+// (line 18).
+
+#ifndef GVEX_EXPLAIN_APPROX_GVEX_H_
+#define GVEX_EXPLAIN_APPROX_GVEX_H_
+
+#include <vector>
+
+#include "explain/config.h"
+#include "explain/explanation.h"
+#include "explain/scoring.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// The explain-and-summarize view generator.
+class ApproxGvex {
+ public:
+  /// `model` must outlive this object.
+  ApproxGvex(const GnnClassifier* model, Configuration config);
+
+  const Configuration& config() const { return config_; }
+
+  /// Explanation phase for one graph: greedily selects V_S and induces the
+  /// explanation subgraph. Returns FailedPrecondition when no subgraph
+  /// satisfying the lower bound exists (Algorithm 1 lines 16-17).
+  Result<ExplanationSubgraph> ExplainGraph(const Graph& g, int graph_index,
+                                           int label) const;
+
+  /// Full pipeline for one label group: ExplainGraph over each graph in the
+  /// group, then Psum to build the pattern tier. Graphs whose explanation is
+  /// infeasible are skipped (reported via skipped count if non-null).
+  Result<ExplanationView> GenerateView(const GraphDatabase& db, int label,
+                                       int* skipped = nullptr) const;
+
+  /// Views for several labels; `num_threads` > 1 parallelizes per graph
+  /// within each label group (§A.7).
+  Result<std::vector<ExplanationView>> GenerateViews(
+      const GraphDatabase& db, const std::vector<int>& labels,
+      int num_threads = 1) const;
+
+ private:
+  // Shared by GenerateView{,s}: explanation phase over a label group with
+  // optional parallelism, then summary phase.
+  Result<ExplanationView> GenerateViewImpl(const GraphDatabase& db, int label,
+                                           int num_threads,
+                                           int* skipped) const;
+
+  const GnnClassifier* model_;
+  Configuration config_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_APPROX_GVEX_H_

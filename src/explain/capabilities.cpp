@@ -1,0 +1,22 @@
+#include "explain/capabilities.h"
+
+namespace gvex {
+
+std::vector<ExplainerCapabilities> CapabilityTable() {
+  std::vector<ExplainerCapabilities> rows;
+  rows.push_back({"SubgraphX", false, true, true, "Subgraph", true, false,
+                  false, false, false, false});
+  rows.push_back({"GNNExplainer", true, true, true, "Edge/Node Features",
+                  true, false, false, false, false, false});
+  rows.push_back({"PGExplainer", true, true, true, "Edges", false, false,
+                  false, false, false, false});
+  rows.push_back({"GStarX", false, true, false, "Subgraph", true, false,
+                  false, false, false, false});
+  rows.push_back({"GCFExplainer", false, true, false, "Subgraph", true, true,
+                  false, true, false, false});
+  rows.push_back({"GVEX", false, true, true, "Graph Views (Pattern+Subgraph)",
+                  true, true, true, true, true, true});
+  return rows;
+}
+
+}  // namespace gvex

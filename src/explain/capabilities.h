@@ -1,0 +1,33 @@
+// The capability matrix of Table 1: which properties each explainer
+// supports. Rendered by bench_table1_capabilities and used by tests to pin
+// the documented feature set of this implementation.
+
+#ifndef GVEX_EXPLAIN_CAPABILITIES_H_
+#define GVEX_EXPLAIN_CAPABILITIES_H_
+
+#include <string>
+#include <vector>
+
+namespace gvex {
+
+/// One row of Table 1.
+struct ExplainerCapabilities {
+  std::string name;
+  bool requires_learning = false;  // node/edge mask learning required
+  bool graph_classification = false;
+  bool node_classification = false;
+  std::string target;              // explanation output format
+  bool model_agnostic = false;
+  bool label_specific = false;
+  bool size_bound = false;
+  bool coverage = false;
+  bool configurable = false;
+  bool queryable = false;
+};
+
+/// All rows of Table 1 (the five baselines + GVEX).
+std::vector<ExplainerCapabilities> CapabilityTable();
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_CAPABILITIES_H_

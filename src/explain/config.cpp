@@ -1,0 +1,45 @@
+#include "explain/config.h"
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+const CoverageBound& Configuration::BoundFor(int label) const {
+  auto it = coverage.find(label);
+  return it == coverage.end() ? default_bound : it->second;
+}
+
+Status Configuration::Validate() const {
+  if (theta < 0.0f || theta > 1.0f) {
+    return Status::InvalidArgument(StrFormat("theta %.3f outside [0,1]", theta));
+  }
+  if (r < 0.0f) {
+    return Status::InvalidArgument(StrFormat("r %.3f negative", r));
+  }
+  if (gamma < 0.0f || gamma > 1.0f) {
+    return Status::InvalidArgument(StrFormat("gamma %.3f outside [0,1]", gamma));
+  }
+  auto check_bound = [](const CoverageBound& b) -> Status {
+    if (b.lower < 0 || b.upper < b.lower) {
+      return Status::InvalidArgument(
+          StrFormat("coverage bound [%d,%d] invalid", b.lower, b.upper));
+    }
+    return Status::OK();
+  };
+  GVEX_RETURN_NOT_OK(check_bound(default_bound));
+  for (const auto& [label, bound] : coverage) {
+    GVEX_RETURN_NOT_OK(check_bound(bound));
+  }
+  if (miner.max_pattern_nodes < 1) {
+    return Status::InvalidArgument("miner.max_pattern_nodes must be >= 1");
+  }
+  if (stream_pgen_hops < 0) {
+    return Status::InvalidArgument("stream_pgen_hops must be >= 0");
+  }
+  if (repair_budget < 0) {
+    return Status::InvalidArgument("repair_budget must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace gvex

@@ -1,0 +1,75 @@
+// The configuration C = (θ, r, {[b_l, u_l]}) of §3.2, extended with the
+// implementation knobs the paper leaves open (influence mode, verification
+// strictness, miner limits).
+
+#ifndef GVEX_EXPLAIN_CONFIG_H_
+#define GVEX_EXPLAIN_CONFIG_H_
+
+#include <map>
+
+#include "gnn/influence.h"
+#include "pattern/miner.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// Per-label coverage constraint [b_l, u_l] on explanation-subgraph nodes.
+/// Following Algorithm 1 / Example 4.2, bounds apply per explanation
+/// subgraph; group-level proper coverage is checked by VerifyView.
+struct CoverageBound {
+  int lower = 0;
+  int upper = 15;
+};
+
+/// How VpExtend (Procedure 2) enforces the consistent/counterfactual
+/// invariants during greedy growth. See DESIGN.md: the paper-literal check
+/// rejects every first node on most graphs, so the default only requires
+/// consistency during growth and evaluates counterfactuality on the result.
+enum class VerifyMode {
+  kStrict,          // paper-literal: consistent AND counterfactual at every step
+  kConsistentOnly,  // consistent at every step (once >= 2 nodes); CF at end
+  kRelaxed,         // score-driven growth; both properties evaluated at end
+};
+
+/// Full configuration for explanation-view generation.
+struct Configuration {
+  /// Influence threshold θ of Eq. (5).
+  float theta = 0.1f;
+  /// Embedding-distance radius r of the diversity neighborhood (Eq. 6).
+  float r = 0.5f;
+  /// Influence/diversity trade-off γ of Eq. (2).
+  float gamma = 0.5f;
+
+  /// Per-label coverage constraints; labels not present use `default_bound`.
+  std::map<int, CoverageBound> coverage;
+  CoverageBound default_bound;
+
+  InfluenceMode influence_mode = InfluenceMode::kAuto;
+  VerifyMode verify_mode = VerifyMode::kConsistentOnly;
+
+  /// Pattern-mining limits consumed by PGen / Psum.
+  MinerOptions miner;
+
+  /// The r-hop radius IncPGen explores around an arriving node (§5).
+  int stream_pgen_hops = 1;
+
+  /// Bound for kAuto exact-Jacobian selection.
+  int auto_exact_node_limit = 128;
+
+  /// Post-selection counterfactual repair (see explain/repair.h): when the
+  /// greedy selection is not counterfactual, greedily swap in the nodes
+  /// whose removal most lowers P(label | G \ V_S). Realizes the feasibility
+  /// requirement of §2.2 that Algorithm 1 would otherwise answer with ∅.
+  bool counterfactual_repair = true;
+  int repair_budget = 8;
+
+  /// Coverage bound for `label`.
+  const CoverageBound& BoundFor(int label) const;
+
+  /// Sanity checks (θ ∈ [0,1], bounds ordered, γ ∈ [0,1], ...).
+  Status Validate() const;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_CONFIG_H_

@@ -1,0 +1,47 @@
+#include "explain/explanation.h"
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+int ExplanationView::TotalSubgraphNodes() const {
+  int total = 0;
+  for (const auto& s : subgraphs) total += s.subgraph.num_nodes();
+  return total;
+}
+
+int ExplanationView::TotalSubgraphEdges() const {
+  int total = 0;
+  for (const auto& s : subgraphs) total += s.subgraph.num_edges();
+  return total;
+}
+
+int ExplanationView::TotalPatternNodes() const {
+  int total = 0;
+  for (const auto& p : patterns) total += p.num_nodes();
+  return total;
+}
+
+int ExplanationView::TotalPatternEdges() const {
+  int total = 0;
+  for (const auto& p : patterns) total += p.num_edges();
+  return total;
+}
+
+std::string ExplanationView::Summary() const {
+  int cf = 0;
+  int cons = 0;
+  for (const auto& s : subgraphs) {
+    if (s.counterfactual) ++cf;
+    if (s.consistent) ++cons;
+  }
+  return StrFormat(
+      "ExplanationView(label=%d, |subgraphs|=%zu, |patterns|=%zu, "
+      "f=%.4f, consistent=%d/%zu, counterfactual=%d/%zu, "
+      "nodes=%d, pattern_nodes=%d)",
+      label, subgraphs.size(), patterns.size(), explainability, cons,
+      subgraphs.size(), cf, subgraphs.size(), TotalSubgraphNodes(),
+      TotalPatternNodes());
+}
+
+}  // namespace gvex

@@ -1,0 +1,57 @@
+// The explanation structures of §2.2: explanation subgraphs (lower tier) and
+// explanation views G^l_V = (P^l, G^l_s) (two-tier).
+
+#ifndef GVEX_EXPLAIN_EXPLANATION_H_
+#define GVEX_EXPLAIN_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace gvex {
+
+/// One explanation subgraph G^l_s of an input graph, with its verification
+/// outcome and its contribution to the explainability objective.
+struct ExplanationSubgraph {
+  /// Index of the explained graph in the database.
+  int graph_index = -1;
+  /// Selected nodes V_s (ids in the original graph).
+  std::vector<NodeId> nodes;
+  /// The node-induced subgraph.
+  Graph subgraph;
+  /// M(G_s) == M(G) == l ("consistent").
+  bool consistent = false;
+  /// M(G \ G_s) != l ("counterfactual").
+  bool counterfactual = false;
+  /// This subgraph's term of Eq. (2): (I(V_s) + γ D(V_s)) / |V|.
+  double explainability = 0.0;
+};
+
+/// A two-tier explanation view for one class label.
+struct ExplanationView {
+  int label = -1;
+  /// Higher tier P^l: patterns covering the nodes of all subgraphs.
+  std::vector<Pattern> patterns;
+  /// Lower tier G^l_s: one explanation subgraph per graph in the label group.
+  std::vector<ExplanationSubgraph> subgraphs;
+  /// f(G^l_V) — sum of the per-subgraph explainability terms.
+  double explainability = 0.0;
+
+  /// Σ |V_si| across subgraphs.
+  int TotalSubgraphNodes() const;
+  /// Σ |E_si| across subgraphs.
+  int TotalSubgraphEdges() const;
+  /// Σ |V_p| across patterns.
+  int TotalPatternNodes() const;
+  /// Σ |E_p| across patterns.
+  int TotalPatternEdges() const;
+
+  /// Human-readable summary for examples and logging.
+  std::string Summary() const;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_EXPLANATION_H_

@@ -1,0 +1,38 @@
+// Evaluation metrics of §6.1: Fidelity+ (Eq. 8), Fidelity- (Eq. 9), Sparsity
+// (Eq. 10), Compression (Eq. 11), and the edge-loss measure of Fig. 8c/d.
+
+#ifndef GVEX_EXPLAIN_METRICS_H_
+#define GVEX_EXPLAIN_METRICS_H_
+
+#include <vector>
+
+#include "explain/explanation.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph_database.h"
+
+namespace gvex {
+
+/// Fidelity+ over a set of explanation subgraphs: mean of
+/// Pr(M(G)=l_G) - Pr(M(G \ G_s)=l_G). Higher is better (removal hurts).
+double FidelityPlus(const GnnClassifier& model, const GraphDatabase& db,
+                    const std::vector<ExplanationSubgraph>& explanations);
+
+/// Fidelity-: mean of Pr(M(G)=l_G) - Pr(M(G_s)=l_G). Closer to (or below)
+/// zero is better (the explanation alone reproduces the prediction).
+double FidelityMinus(const GnnClassifier& model, const GraphDatabase& db,
+                     const std::vector<ExplanationSubgraph>& explanations);
+
+/// Sparsity: mean of 1 - (|V_s|+|E_s|)/(|V|+|E|). Higher = more concise.
+double Sparsity(const GraphDatabase& db,
+                const std::vector<ExplanationSubgraph>& explanations);
+
+/// Compression of the pattern tier relative to the subgraph tier:
+/// 1 - (|V_P|+|E_P|)/(|V_S|+|E_S|). Only meaningful for two-tier views.
+double Compression(const ExplanationView& view);
+
+/// Fraction of subgraph edges not covered by the view's patterns.
+double EdgeLoss(const ExplanationView& view);
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_METRICS_H_

@@ -1,0 +1,31 @@
+// Counterfactual repair: Algorithm 1 returns ∅ when no selection satisfies
+// the counterfactual invariant at every greedy step, which on real models is
+// the common case (removing a single node almost never flips a GCN). Instead
+// of discarding the graph, this post-pass restores feasibility: it greedily
+// adds (or swaps in, when the budget is full) the nodes whose removal from G
+// most decreases P(label | G \ V_S), until M(G \ V_S) != label or a budget
+// is exhausted. The explainability objective is monotone, so additions never
+// hurt it; swaps trade a small amount of f for the counterfactual property
+// required by the definition of explanation subgraphs (§2.2).
+
+#ifndef GVEX_EXPLAIN_REPAIR_H_
+#define GVEX_EXPLAIN_REPAIR_H_
+
+#include <vector>
+
+#include "explain/config.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph.h"
+
+namespace gvex {
+
+/// In-place repair of `vs` toward the counterfactual property. Returns true
+/// if M(G \ vs) != label on exit. Respects bound.upper; performs at most
+/// `max_iters` add/swap steps.
+bool CounterfactualRepair(const GnnClassifier& model, const Graph& g,
+                          int label, const CoverageBound& bound,
+                          int max_iters, std::vector<NodeId>* vs);
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_REPAIR_H_

@@ -1,0 +1,114 @@
+// StreamGVEX (Algorithm 3): the 1/4-approximate single-pass streaming view
+// generator. Nodes of each graph arrive as a stream; V_S is maintained as a
+// bounded cache with the greedy swapping rule of Procedure 4 (replace the
+// min-loss resident only when the arriving node's gain is at least twice the
+// loss), and the pattern tier is maintained incrementally with Procedure 5
+// (mask what existing patterns cover, mine new patterns from the uncovered
+// neighborhood, swap out zero-contribution patterns).
+//
+// The Jacobian is maintained per IncEVerify: one inference trace per graph,
+// with influence columns materialized lazily as their source node arrives.
+// Anytime access: the view after any prefix of the stream is valid for the
+// seen fraction (Theorem 5.1).
+
+#ifndef GVEX_EXPLAIN_STREAM_GVEX_H_
+#define GVEX_EXPLAIN_STREAM_GVEX_H_
+
+#include <functional>
+#include <vector>
+
+#include "explain/config.h"
+#include "explain/explanation.h"
+#include "explain/scoring.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// Streaming per-graph explanation state (one graph, one label).
+class StreamGraphState {
+ public:
+  /// Builds the state; the scoring context is the single-pass EVerify trace.
+  StreamGraphState(const GnnClassifier* model, const Graph* g, int graph_index,
+                   int label, const Configuration* config);
+
+  /// Processes one arriving node (Algorithm 3 lines 3-9).
+  void ProcessNode(NodeId v);
+
+  /// Post-processing: backfill from V_u to satisfy the lower bound
+  /// (Algorithm 3 line 10).
+  void Finalize();
+
+  /// Number of stream nodes processed so far.
+  int processed() const { return processed_; }
+
+  /// Current selected node set V_S.
+  const std::vector<NodeId>& selected() const { return vs_; }
+
+  /// Current incremental pattern tier P_c.
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  /// Materializes the current explanation subgraph (anytime accessor).
+  Result<ExplanationSubgraph> Snapshot() const;
+
+ private:
+  // Procedure 4: greedy swap of V_S.
+  void IncUpdateVS(NodeId v);
+  // Procedure 5: incremental pattern maintenance after V_S changed.
+  void IncUpdateP();
+  double ScoreOf(const std::vector<NodeId>& vs) const;
+
+  const GnnClassifier* model_;
+  const Graph* g_;
+  int graph_index_;
+  int label_;
+  const Configuration* config_;
+  GraphScoringContext ctx_;
+
+  std::vector<NodeId> vs_;
+  std::vector<NodeId> vu_;
+  std::vector<bool> in_vs_;
+  std::vector<bool> in_vu_;
+  std::vector<Pattern> patterns_;
+  int processed_ = 0;
+};
+
+/// Database-level driver mirroring ApproxGvex's interface.
+class StreamGvex {
+ public:
+  StreamGvex(const GnnClassifier* model, Configuration config);
+
+  const Configuration& config() const { return config_; }
+
+  /// Streams one graph's nodes (in `order` if given, else 0..n-1) and returns
+  /// the final explanation subgraph together with its patterns.
+  struct GraphResult {
+    ExplanationSubgraph subgraph;
+    std::vector<Pattern> patterns;
+  };
+  Result<GraphResult> ExplainGraphStreaming(
+      const Graph& g, int graph_index, int label,
+      const std::vector<NodeId>* order = nullptr) const;
+
+  /// Full view for one label group; per-graph streams are independent and
+  /// can run on `num_threads` workers. Patterns from all graphs are merged
+  /// (deduplicated by canonical code).
+  Result<ExplanationView> GenerateView(const GraphDatabase& db, int label,
+                                       int num_threads = 1,
+                                       int* skipped = nullptr) const;
+
+  /// Anytime experiment hook: processes only the first `fraction` of each
+  /// node stream, then finalizes (Fig. 9f).
+  Result<ExplanationView> GenerateViewPartial(const GraphDatabase& db,
+                                              int label,
+                                              double fraction) const;
+
+ private:
+  const GnnClassifier* model_;
+  Configuration config_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_STREAM_GVEX_H_

@@ -1,0 +1,64 @@
+// View verification (§3.3) and its primitive operators (§4):
+//  * EVerify — GNN inference on G_s and G \ G_s to check the consistent and
+//    counterfactual properties (constraint C2).
+//  * PMatch — pattern matching / node coverage (constraints C1, C3); backed
+//    by the pattern substrate.
+//  * VpExtend (Procedure 2) — can candidate node v extend V_S?
+//  * VerifyView — the three-constraint check of Lemma 3.1.
+
+#ifndef GVEX_EXPLAIN_VERIFY_H_
+#define GVEX_EXPLAIN_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "explain/config.h"
+#include "explain/explanation.h"
+#include "gnn/gcn_model.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// Outcome of the consistency/counterfactual inference check.
+struct EVerifyResult {
+  bool consistent = false;       // M(G_s) == l
+  bool counterfactual = false;   // M(G \ G_s) != l
+  int subgraph_label = -1;       // M(G_s)
+  int remainder_label = -1;      // M(G \ G_s)
+};
+
+/// Runs the two inferences of constraint C2 for the node set `nodes` of `g`
+/// against target label `label`.
+Result<EVerifyResult> EVerify(const GnnClassifier& model, const Graph& g,
+                              const std::vector<NodeId>& nodes, int label);
+
+/// Procedure 2: whether V_S can be extended with `v`. Enforces the upper
+/// bound |V_S ∪ {v}| <= u_l always, plus the model-consistency invariants
+/// selected by `config.verify_mode`.
+bool VpExtend(const GnnClassifier& model, const Graph& g,
+              const std::vector<NodeId>& vs, NodeId v, int label,
+              const Configuration& config);
+
+/// Result of full view verification (constraints C1-C3 of Lemma 3.1).
+struct ViewVerification {
+  bool is_graph_view = false;        // C1: patterns cover all subgraph nodes
+  bool is_explanation_view = false;  // C2: all subgraphs consistent + CF
+  bool properly_covers = false;      // C3: per-subgraph node counts in bounds
+  std::string detail;                // first violated condition, if any
+
+  bool ok() const {
+    return is_graph_view && is_explanation_view && properly_covers;
+  }
+};
+
+/// Verifies an explanation view against the database and configuration.
+/// The view's graph_index fields must reference `db`.
+ViewVerification VerifyView(const GnnClassifier& model, const GraphDatabase& db,
+                            const ExplanationView& view,
+                            const Configuration& config);
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_VERIFY_H_

@@ -1,0 +1,157 @@
+#include "explain/view_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+// Format:
+//   view <label> <explainability> <num_patterns> <num_subgraphs>
+//   pattern
+//   <graph text>
+//   subgraph <graph_index> <consistent> <counterfactual> <explainability>
+//   nodes <id...>
+//   <graph text>
+//   endview
+
+std::string SerializeView(const ExplanationView& view) {
+  std::string out = StrFormat("view %d %.9g %zu %zu\n", view.label,
+                              view.explainability, view.patterns.size(),
+                              view.subgraphs.size());
+  for (const Pattern& p : view.patterns) {
+    out += "pattern\n";
+    out += SerializeGraph(p.graph());
+  }
+  for (const ExplanationSubgraph& s : view.subgraphs) {
+    out += StrFormat("subgraph %d %d %d %.9g\nnodes", s.graph_index,
+                     s.consistent ? 1 : 0, s.counterfactual ? 1 : 0,
+                     s.explainability);
+    for (NodeId v : s.nodes) out += StrFormat(" %d", v);
+    out += "\n";
+    out += SerializeGraph(s.subgraph);
+  }
+  out += "endview\n";
+  return out;
+}
+
+namespace {
+
+// Pulls the next serialized graph block (up to and including "end") from the
+// stream of lines starting at *pos; returns the parsed graph.
+Result<Graph> ReadGraphBlock(const std::vector<std::string>& lines,
+                             size_t* pos) {
+  std::string block;
+  bool ended = false;
+  while (*pos < lines.size()) {
+    const std::string& line = lines[*pos];
+    block += line + "\n";
+    ++*pos;
+    if (Trim(line) == "end") {
+      ended = true;
+      break;
+    }
+  }
+  if (!ended) return Status::InvalidArgument("unterminated graph block");
+  auto parsed = ParseGraphs(block);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value().size() != 1) {
+    return Status::InvalidArgument("expected exactly one graph in block");
+  }
+  return std::move(parsed.value()[0].graph);
+}
+
+}  // namespace
+
+Result<std::vector<ExplanationView>> ParseViews(const std::string& text) {
+  std::vector<ExplanationView> views;
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t pos = 0;
+  while (pos < lines.size()) {
+    std::string line = Trim(lines[pos]);
+    if (line.empty()) {
+      ++pos;
+      continue;
+    }
+    auto head = SplitWhitespace(line);
+    if (head.empty() || head[0] != "view" || head.size() < 5) {
+      return Status::InvalidArgument(
+          StrFormat("expected 'view' header at line %zu", pos + 1));
+    }
+    ++pos;
+    ExplanationView view;
+    view.label = std::stoi(head[1]);
+    view.explainability = std::stod(head[2]);
+    const size_t num_patterns = std::stoul(head[3]);
+    const size_t num_subgraphs = std::stoul(head[4]);
+
+    for (size_t i = 0; i < num_patterns; ++i) {
+      if (pos >= lines.size() || Trim(lines[pos]) != "pattern") {
+        return Status::InvalidArgument("expected 'pattern'");
+      }
+      ++pos;
+      auto g = ReadGraphBlock(lines, &pos);
+      if (!g.ok()) return g.status();
+      auto p = Pattern::Create(std::move(g).value());
+      if (!p.ok()) return p.status();
+      view.patterns.push_back(std::move(p).value());
+    }
+    for (size_t i = 0; i < num_subgraphs; ++i) {
+      if (pos >= lines.size()) {
+        return Status::InvalidArgument("truncated view");
+      }
+      auto sub_head = SplitWhitespace(Trim(lines[pos]));
+      if (sub_head.size() < 5 || sub_head[0] != "subgraph") {
+        return Status::InvalidArgument("expected 'subgraph' header");
+      }
+      ++pos;
+      ExplanationSubgraph s;
+      s.graph_index = std::stoi(sub_head[1]);
+      s.consistent = std::stoi(sub_head[2]) != 0;
+      s.counterfactual = std::stoi(sub_head[3]) != 0;
+      s.explainability = std::stod(sub_head[4]);
+      if (pos >= lines.size()) {
+        return Status::InvalidArgument("truncated subgraph");
+      }
+      auto node_line = SplitWhitespace(Trim(lines[pos]));
+      if (node_line.empty() || node_line[0] != "nodes") {
+        return Status::InvalidArgument("expected 'nodes' line");
+      }
+      ++pos;
+      for (size_t j = 1; j < node_line.size(); ++j) {
+        s.nodes.push_back(std::stoi(node_line[j]));
+      }
+      auto g = ReadGraphBlock(lines, &pos);
+      if (!g.ok()) return g.status();
+      s.subgraph = std::move(g).value();
+      view.subgraphs.push_back(std::move(s));
+    }
+    if (pos >= lines.size() || Trim(lines[pos]) != "endview") {
+      return Status::InvalidArgument("missing 'endview'");
+    }
+    ++pos;
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+Status SaveViews(const std::string& path,
+                 const std::vector<ExplanationView>& views) {
+  std::ofstream f(path);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  for (const auto& view : views) f << SerializeView(view);
+  if (!f.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<ExplanationView>> LoadViews(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ParseViews(ss.str());
+}
+
+}  // namespace gvex

@@ -1,0 +1,29 @@
+// Persistence for explanation views: generated views can be saved and
+// reloaded, so the queryable store survives across sessions (views as
+// materialized database objects — the view-based paradigm of §2.1).
+
+#ifndef GVEX_EXPLAIN_VIEW_IO_H_
+#define GVEX_EXPLAIN_VIEW_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// Serializes one explanation view (patterns + subgraphs + metadata).
+std::string SerializeView(const ExplanationView& view);
+
+/// Parses one or more views serialized by SerializeView.
+Result<std::vector<ExplanationView>> ParseViews(const std::string& text);
+
+/// File round-trip helpers.
+Status SaveViews(const std::string& path,
+                 const std::vector<ExplanationView>& views);
+Result<std::vector<ExplanationView>> LoadViews(const std::string& path);
+
+}  // namespace gvex
+
+#endif  // GVEX_EXPLAIN_VIEW_IO_H_

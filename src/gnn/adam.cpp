@@ -1,0 +1,61 @@
+#include "gnn/adam.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gvex {
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<float>* bias,
+           const AdamConfig& config)
+    : params_(std::move(params)), bias_(bias), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+  if (bias_) {
+    m_bias_.assign(bias_->size(), 0.0f);
+    v_bias_.assign(bias_->size(), 0.0f);
+  }
+}
+
+void Adam::Step(const std::vector<Matrix*>& grads,
+                const std::vector<float>* bias_grad) {
+  assert(grads.size() == params_.size());
+  ++t_;
+  const float b1t = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float b2t = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads[i];
+    assert(p.rows() == g.rows() && p.cols() == g.cols());
+    for (int r = 0; r < p.rows(); ++r) {
+      float* prow = p.row(r);
+      const float* grow = g.row(r);
+      float* mrow = m_[i].row(r);
+      float* vrow = v_[i].row(r);
+      for (int c = 0; c < p.cols(); ++c) {
+        float gv = grow[c] + config_.weight_decay * prow[c];
+        mrow[c] = config_.beta1 * mrow[c] + (1.0f - config_.beta1) * gv;
+        vrow[c] = config_.beta2 * vrow[c] + (1.0f - config_.beta2) * gv * gv;
+        float mhat = mrow[c] / b1t;
+        float vhat = vrow[c] / b2t;
+        prow[c] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+      }
+    }
+  }
+  if (bias_ && bias_grad) {
+    assert(bias_grad->size() == bias_->size());
+    for (size_t j = 0; j < bias_->size(); ++j) {
+      float gv = (*bias_grad)[j];
+      m_bias_[j] = config_.beta1 * m_bias_[j] + (1.0f - config_.beta1) * gv;
+      v_bias_[j] = config_.beta2 * v_bias_[j] + (1.0f - config_.beta2) * gv * gv;
+      float mhat = m_bias_[j] / b1t;
+      float vhat = v_bias_[j] / b2t;
+      (*bias_)[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace gvex

@@ -1,0 +1,50 @@
+// Adam optimizer [Kingma & Ba 2015] — the paper trains its GCN with Adam at
+// learning rate 1e-3. Operates on a registered list of Matrix parameters plus
+// one optional bias vector.
+
+#ifndef GVEX_GNN_ADAM_H_
+#define GVEX_GNN_ADAM_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gvex {
+
+/// Adam hyperparameters.
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam state over a fixed parameter list. Register parameters once; call
+/// Step with matching gradient tensors each iteration.
+class Adam {
+ public:
+  Adam(std::vector<Matrix*> params, std::vector<float>* bias,
+       const AdamConfig& config);
+
+  /// Applies one update. `grads` must align with the registered matrices;
+  /// `bias_grad` with the registered bias (may both be null if absent).
+  void Step(const std::vector<Matrix*>& grads,
+            const std::vector<float>* bias_grad);
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Matrix*> params_;
+  std::vector<float>* bias_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  std::vector<float> m_bias_;
+  std::vector<float> v_bias_;
+  int64_t t_ = 0;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_ADAM_H_

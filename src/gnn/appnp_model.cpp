@@ -1,0 +1,136 @@
+#include "gnn/appnp_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/matrix_ops.h"
+
+namespace gvex {
+
+namespace {
+
+Matrix GlorotMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m.at(i, j) = rng->NextFloat(-limit, limit);
+  }
+  return m;
+}
+
+void AddBias(const Matrix& bias, Matrix* x) {
+  for (int i = 0; i < x->rows(); ++i) {
+    for (int j = 0; j < x->cols(); ++j) x->at(i, j) += bias.at(0, j);
+  }
+}
+
+void AccumulateBiasGrad(const Matrix& g, Matrix* bias_grad) {
+  for (int i = 0; i < g.rows(); ++i) {
+    for (int j = 0; j < g.cols(); ++j) bias_grad->at(0, j) += g.at(i, j);
+  }
+}
+
+}  // namespace
+
+AppnpModel::AppnpModel(const AppnpConfig& config, Rng* rng)
+    : config_(config) {
+  assert(config.input_dim > 0 && config.power_iterations >= 0);
+  w1_ = GlorotMatrix(config.input_dim, config.hidden_dim, rng);
+  b1_ = Matrix(1, config.hidden_dim);
+  w2_ = GlorotMatrix(config.hidden_dim, config.hidden_dim, rng);
+  b2_ = Matrix(1, config.hidden_dim);
+  fc_ = DenseLayer(config.hidden_dim, config.num_classes, rng);
+}
+
+Matrix AppnpModel::InputFeatures(const Graph& g) const {
+  Matrix x = g.features();
+  if (x.empty() && g.num_nodes() > 0) {
+    x = Matrix(g.num_nodes(), config_.input_dim, 1.0f);
+  }
+  return x;
+}
+
+AppnpModel::Trace AppnpModel::Forward(const Graph& g) const {
+  Trace t;
+  t.s = g.NormalizedAdjacency();
+  t.x = InputFeatures(g);
+  t.z1 = MatMul(t.x, w1_);
+  AddBias(b1_, &t.z1);
+  t.h1 = Relu(t.z1);
+  t.z = MatMul(t.h1, w2_);
+  AddBias(b2_, &t.z);
+  // Personalized-PageRank smoothing.
+  Matrix h = t.z;
+  for (int k = 0; k < config_.power_iterations; ++k) {
+    Matrix sh = t.s.Multiply(h);
+    sh *= (1.0f - config_.alpha);
+    Matrix az = t.z;
+    az *= config_.alpha;
+    sh += az;
+    h = std::move(sh);
+  }
+  t.h_final = h;
+  t.pooled = Readout(config_.readout, t.h_final, &t.pool_argmax);
+  t.logits = fc_.Forward(t.pooled);
+  t.probs = Softmax(t.logits.RowVec(0));
+  return t;
+}
+
+std::vector<float> AppnpModel::PredictProba(const Graph& g) const {
+  if (g.num_nodes() == 0) {
+    Matrix zero(1, config_.hidden_dim);
+    return Softmax(fc_.Forward(zero).RowVec(0));
+  }
+  return Forward(g).probs;
+}
+
+Matrix AppnpModel::NodeEmbeddings(const Graph& g) const {
+  if (g.num_nodes() == 0) return Matrix(0, config_.hidden_dim);
+  return Forward(g).h_final;
+}
+
+AppnpModel::Gradients AppnpModel::ZeroGradients() const {
+  Gradients grads;
+  grads.mats.emplace_back(w1_.rows(), w1_.cols());
+  grads.mats.emplace_back(b1_.rows(), b1_.cols());
+  grads.mats.emplace_back(w2_.rows(), w2_.cols());
+  grads.mats.emplace_back(b2_.rows(), b2_.cols());
+  grads.mats.emplace_back(fc_.in_dim(), fc_.out_dim());
+  grads.fc_bias.assign(static_cast<size_t>(fc_.out_dim()), 0.0f);
+  return grads;
+}
+
+void AppnpModel::Backward(const Trace& trace, const Matrix& grad_logits,
+                          Gradients* grads) const {
+  assert(grads != nullptr);
+  Matrix dpooled = fc_.Backward(trace.pooled, grad_logits, &grads->mats[4],
+                                &grads->fc_bias);
+  const int n = trace.h_final.rows();
+  Matrix dh =
+      ReadoutBackward(config_.readout, dpooled, n, trace.pool_argmax);
+  // Through the propagation recursion H^{(k)} = (1-α) S H^{(k-1)} + α Z:
+  //   dZ += α Σ_k (1-α)^? ... handled iteratively:
+  Matrix dz(n, dh.cols());
+  Matrix d = dh;
+  for (int k = 0; k < config_.power_iterations; ++k) {
+    Matrix az = d;
+    az *= config_.alpha;
+    dz += az;
+    d = trace.s.MultiplyTransposed(d);
+    d *= (1.0f - config_.alpha);
+  }
+  dz += d;  // the H^{(0)} = Z term
+  // Through the MLP.
+  grads->mats[2] += MatMulTransA(trace.h1, dz);  // dW2
+  AccumulateBiasGrad(dz, &grads->mats[3]);       // db2
+  Matrix dh1 = MatMulTransB(dz, w2_);
+  Matrix dz1 = Hadamard(dh1, ReluMask(trace.z1));
+  grads->mats[0] += MatMulTransA(trace.x, dz1);  // dW1
+  AccumulateBiasGrad(dz1, &grads->mats[1]);      // db1
+}
+
+std::vector<Matrix*> AppnpModel::MutableParams() {
+  return {&w1_, &b1_, &w2_, &b2_, fc_.mutable_weight()};
+}
+
+}  // namespace gvex

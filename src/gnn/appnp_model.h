@@ -1,0 +1,82 @@
+// APPNP [Klicpera et al., ICLR'19] ("predict then propagate") — the last of
+// the §2.1 message-passing variants: a per-node MLP produces predictions Z,
+// which are smoothed by K personalized-PageRank propagation steps,
+//   H^{(0)} = Z,   H^{(k)} = (1-α) S H^{(k-1)} + α Z,
+// with S the symmetric-normalized adjacency of Eq. (1), followed by readout
+// and a linear head.
+
+#ifndef GVEX_GNN_APPNP_MODEL_H_
+#define GVEX_GNN_APPNP_MODEL_H_
+
+#include <vector>
+
+#include "gnn/classifier.h"
+#include "gnn/dense_layer.h"
+#include "gnn/readout.h"
+#include "graph/graph.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// APPNP hyperparameters.
+struct AppnpConfig {
+  int input_dim = 0;
+  int hidden_dim = 64;
+  int power_iterations = 4;  // K
+  float alpha = 0.2f;        // teleport probability
+  int num_classes = 2;
+  ReadoutKind readout = ReadoutKind::kMean;
+};
+
+/// APPNP graph classifier with full training support.
+class AppnpModel : public GnnClassifier {
+ public:
+  AppnpModel() = default;
+  AppnpModel(const AppnpConfig& config, Rng* rng);
+
+  const AppnpConfig& config() const { return config_; }
+  int num_classes() const override { return config_.num_classes; }
+  /// Propagation depth = K (the influence horizon).
+  int num_layers() const override { return config_.power_iterations; }
+
+  std::vector<float> PredictProba(const Graph& g) const override;
+  Matrix NodeEmbeddings(const Graph& g) const override;
+
+  struct Trace {
+    SparseMatrix s;
+    Matrix x;       // input features
+    Matrix z1;      // X W1 + b1 (pre-ReLU)
+    Matrix h1;      // ReLU(z1)
+    Matrix z;       // H1 W2 + b2 — the per-node predictions before smoothing
+    Matrix h_final; // after K propagation steps
+    std::vector<int> pool_argmax;
+    Matrix pooled;
+    Matrix logits;
+    std::vector<float> probs;
+  };
+
+  struct Gradients {
+    std::vector<Matrix> mats;  // {w1, b1, w2, b2, head}
+    std::vector<float> fc_bias;
+  };
+
+  Trace Forward(const Graph& g) const;
+  Gradients ZeroGradients() const;
+  void Backward(const Trace& trace, const Matrix& grad_logits,
+                Gradients* grads) const;
+
+  std::vector<Matrix*> MutableParams();
+  std::vector<float>* MutableFcBias() { return fc_.mutable_bias(); }
+
+ private:
+  Matrix InputFeatures(const Graph& g) const;
+
+  AppnpConfig config_;
+  Matrix w1_, b1_, w2_, b2_;  // the prediction MLP (biases as 1 x d)
+  DenseLayer fc_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_APPNP_MODEL_H_

@@ -1,0 +1,50 @@
+// The abstract black-box classifier interface the explainers program
+// against. GVEX is model-agnostic (Table 1): it only needs the outputs of a
+// trained GNN — class probabilities and last-layer node embeddings — never
+// its internals. Any message-passing architecture (GCN, GIN, GraphSAGE,
+// R-GCN, ...) plugs in by implementing this interface.
+
+#ifndef GVEX_GNN_CLASSIFIER_H_
+#define GVEX_GNN_CLASSIFIER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/matrix.h"
+#include "la/matrix_ops.h"
+
+namespace gvex {
+
+/// Black-box GNN classifier view.
+class GnnClassifier {
+ public:
+  virtual ~GnnClassifier() = default;
+
+  /// Number of class labels.
+  virtual int num_classes() const = 0;
+
+  /// Number of message-passing layers (the k of k-hop influence).
+  virtual int num_layers() const = 0;
+
+  /// Class probability distribution for a graph (empty graphs are legal).
+  virtual std::vector<float> PredictProba(const Graph& g) const = 0;
+
+  /// Last-layer node embeddings X^k (n x d).
+  virtual Matrix NodeEmbeddings(const Graph& g) const = 0;
+
+  /// argmax class label.
+  virtual int Predict(const Graph& g) const {
+    return ArgMax(PredictProba(g));
+  }
+
+  /// Probability assigned to `label` (0 for out-of-range labels).
+  virtual float ProbaOf(const Graph& g, int label) const {
+    auto p = PredictProba(g);
+    if (label < 0 || label >= static_cast<int>(p.size())) return 0.0f;
+    return p[static_cast<size_t>(label)];
+  }
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_CLASSIFIER_H_

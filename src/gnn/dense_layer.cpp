@@ -1,0 +1,44 @@
+#include "gnn/dense_layer.h"
+
+#include <cmath>
+
+#include "la/matrix_ops.h"
+
+namespace gvex {
+
+DenseLayer::DenseLayer(int in_dim, int out_dim, Rng* rng) {
+  weight_ = Matrix(in_dim, out_dim);
+  bias_.assign(static_cast<size_t>(out_dim), 0.0f);
+  const float limit = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  for (int i = 0; i < in_dim; ++i) {
+    for (int j = 0; j < out_dim; ++j) {
+      weight_.at(i, j) = rng->NextFloat(-limit, limit);
+    }
+  }
+}
+
+Matrix DenseLayer::Forward(const Matrix& x) const {
+  Matrix y = MatMul(x, weight_);
+  for (int i = 0; i < y.rows(); ++i) {
+    for (int j = 0; j < y.cols(); ++j) {
+      y.at(i, j) += bias_[static_cast<size_t>(j)];
+    }
+  }
+  return y;
+}
+
+Matrix DenseLayer::Backward(const Matrix& x, const Matrix& grad_out,
+                            Matrix* grad_weight,
+                            std::vector<float>* grad_bias) const {
+  if (grad_weight) *grad_weight += MatMulTransA(x, grad_out);
+  if (grad_bias) {
+    for (int i = 0; i < grad_out.rows(); ++i) {
+      for (int j = 0; j < grad_out.cols(); ++j) {
+        (*grad_bias)[static_cast<size_t>(j)] += grad_out.at(i, j);
+      }
+    }
+  }
+  return MatMulTransB(grad_out, weight_);
+}
+
+}  // namespace gvex

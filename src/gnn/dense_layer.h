@@ -1,0 +1,44 @@
+// Fully-connected classification head: logits = x W + b.
+
+#ifndef GVEX_GNN_DENSE_LAYER_H_
+#define GVEX_GNN_DENSE_LAYER_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// Linear layer with bias.
+class DenseLayer {
+ public:
+  DenseLayer() = default;
+
+  /// Glorot-uniform weight init; zero bias.
+  DenseLayer(int in_dim, int out_dim, Rng* rng);
+
+  int in_dim() const { return weight_.rows(); }
+  int out_dim() const { return weight_.cols(); }
+
+  const Matrix& weight() const { return weight_; }
+  const std::vector<float>& bias() const { return bias_; }
+  Matrix* mutable_weight() { return &weight_; }
+  std::vector<float>* mutable_bias() { return &bias_; }
+
+  /// y = x W + b for a single row vector x (1 x in).
+  Matrix Forward(const Matrix& x) const;
+
+  /// Given dL/dy (1 x out) and the forward input, accumulates dW, db and
+  /// returns dL/dx (1 x in).
+  Matrix Backward(const Matrix& x, const Matrix& grad_out, Matrix* grad_weight,
+                  std::vector<float>* grad_bias) const;
+
+ private:
+  Matrix weight_;
+  std::vector<float> bias_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_DENSE_LAYER_H_

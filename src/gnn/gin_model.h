@@ -1,0 +1,96 @@
+// Graph Isomorphism Network [Xu et al., ICLR'19] — one of the message-
+// passing variants the paper lists in §2.1. Each layer computes
+//   h'_v = MLP( (1+ε) h_v + Σ_{u∈N(v)} h_u ),
+// with a 2-layer ReLU MLP, followed by sum-pool readout and a linear head.
+// Used to demonstrate GVEX's model-agnosticism: explainers consume it
+// through the GnnClassifier interface only.
+
+#ifndef GVEX_GNN_GIN_MODEL_H_
+#define GVEX_GNN_GIN_MODEL_H_
+
+#include <vector>
+
+#include "gnn/classifier.h"
+#include "gnn/dense_layer.h"
+#include "gnn/readout.h"
+#include "graph/graph.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// GIN hyperparameters.
+struct GinConfig {
+  int input_dim = 0;
+  int hidden_dim = 64;
+  int num_layers = 3;
+  int num_classes = 2;
+  float eps = 0.0f;  // GIN-0 by default
+  ReadoutKind readout = ReadoutKind::kSum;
+};
+
+/// k-layer GIN graph classifier with full training support.
+class GinModel : public GnnClassifier {
+ public:
+  GinModel() = default;
+  GinModel(const GinConfig& config, Rng* rng);
+
+  const GinConfig& config() const { return config_; }
+  int num_classes() const override { return config_.num_classes; }
+  int num_layers() const override { return config_.num_layers; }
+
+  std::vector<float> PredictProba(const Graph& g) const override;
+  Matrix NodeEmbeddings(const Graph& g) const override;
+
+  /// One layer's MLP parameters (biases stored as 1 x d matrices so the
+  /// optimizer treats all tensors uniformly).
+  struct LayerParams {
+    Matrix w1, b1, w2, b2;
+  };
+
+  /// Forward artifacts per layer.
+  struct LayerCache {
+    Matrix input;  // X
+    Matrix agg;    // S_gin X
+    Matrix z1, h1, z2, out;
+  };
+
+  struct Trace {
+    SparseMatrix s;  // A + (1+eps) I
+    std::vector<LayerCache> caches;
+    std::vector<int> pool_argmax;
+    Matrix pooled;
+    Matrix logits;
+    std::vector<float> probs;
+  };
+
+  /// Gradients aligned with MutableParams() order.
+  struct Gradients {
+    std::vector<Matrix> mats;
+    std::vector<float> fc_bias;
+  };
+
+  Trace Forward(const Graph& g) const;
+  Gradients ZeroGradients() const;
+  void Backward(const Trace& trace, const Matrix& grad_logits,
+                Gradients* grads) const;
+
+  /// Parameter tensors in a fixed order: per layer {w1,b1,w2,b2}, then the
+  /// head weight; head bias separate.
+  std::vector<Matrix*> MutableParams();
+  std::vector<float>* MutableFcBias() { return fc_.mutable_bias(); }
+
+  /// The GIN aggregation operator S = A + (1+ε) I for `g`.
+  SparseMatrix AggregationOperator(const Graph& g) const;
+
+ private:
+  Matrix InputFeatures(const Graph& g) const;
+
+  GinConfig config_;
+  std::vector<LayerParams> layers_;
+  DenseLayer fc_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_GIN_MODEL_H_

@@ -1,0 +1,139 @@
+#include "gnn/influence.h"
+
+#include <cmath>
+#include <vector>
+
+#include "la/matrix_ops.h"
+
+namespace gvex {
+
+namespace {
+
+// Exact mode: propagate Jacobian blocks for every source node u.
+// J_{k}(v,u) has shape d_k x d_0. We iterate sources; per source we keep a
+// vector of n blocks and apply one layer at a time. Requires access to the
+// GCN internals; other architectures fall back to the random-walk mode.
+Matrix ExactI1(const GcnModel& model, const Graph& g) {
+  const int n = g.num_nodes();
+  Matrix i1(n, n);
+  if (n == 0) return i1;
+
+  GcnModel::Trace trace = model.Forward(g);
+  const SparseMatrix& s = trace.s;
+  const int d0 = trace.caches.front().input.cols();
+
+  for (NodeId u = 0; u < n; ++u) {
+    // J_0(w,u) = δ_{wu} I (d0 x d0). Represent implicitly for layer 1 and
+    // materialize from layer 1 onward.
+    std::vector<Matrix> jac(static_cast<size_t>(n));
+    for (size_t k = 0; k < model.gcn_layers().size(); ++k) {
+      const GcnLayer& layer = model.gcn_layers()[k];
+      const Matrix wt = layer.weight().Transposed();  // d_k x d_{k-1}
+      const Matrix& mask = trace.caches[k].relu_mask;
+      std::vector<Matrix> next(static_cast<size_t>(n));
+      for (NodeId v = 0; v < n; ++v) {
+        Matrix acc(wt.rows(), d0);
+        bool any = false;
+        for (int idx = s.row_begin(v); idx < s.row_end(v); ++idx) {
+          const NodeId w = s.col_at(idx);
+          const float sw = s.value_at(idx);
+          if (k == 0) {
+            // J_0(w,u) = δ_{wu} I: contribution sw * W^T columns.
+            if (w != u) continue;
+            for (int r = 0; r < wt.rows(); ++r) {
+              for (int c = 0; c < d0; ++c) {
+                acc.at(r, c) += sw * wt.at(r, c);
+              }
+            }
+            any = true;
+          } else {
+            const Matrix& jw = jac[static_cast<size_t>(w)];
+            if (jw.empty()) continue;
+            // acc += sw * W^T * J(w)
+            for (int r = 0; r < wt.rows(); ++r) {
+              float* arow = acc.row(r);
+              for (int m = 0; m < wt.cols(); ++m) {
+                const float wv = sw * wt.at(r, m);
+                if (wv == 0.0f) continue;
+                const float* jrow = jw.row(m);
+                for (int c = 0; c < d0; ++c) arow[c] += wv * jrow[c];
+              }
+            }
+            any = true;
+          }
+        }
+        if (any) {
+          // Apply the ReLU mask of node v at layer k.
+          for (int r = 0; r < acc.rows(); ++r) {
+            const float mv = mask.at(v, r);
+            if (mv == 0.0f) {
+              float* arow = acc.row(r);
+              for (int c = 0; c < d0; ++c) arow[c] = 0.0f;
+            }
+          }
+          next[static_cast<size_t>(v)] = std::move(acc);
+        }
+      }
+      jac = std::move(next);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const Matrix& jv = jac[static_cast<size_t>(v)];
+      i1.at(v, u) = jv.empty() ? 0.0f : static_cast<float>(jv.L1Norm());
+    }
+  }
+  return i1;
+}
+
+// Random-walk mode: I1(v,u) = [S^k]_{vu}.
+Matrix RandomWalkI1(const GnnClassifier& model, const Graph& g) {
+  const int n = g.num_nodes();
+  Matrix i1(n, n);
+  if (n == 0) return i1;
+  SparseMatrix s = g.NormalizedAdjacency();
+  Matrix power = Matrix::Identity(n);
+  for (int k = 0; k < model.num_layers(); ++k) {
+    power = s.Multiply(power);
+  }
+  // power(v, u) = [S^k]_{vu}.
+  return power;
+}
+
+}  // namespace
+
+NodeInfluence NodeInfluence::Compute(const GnnClassifier& model, const Graph& g,
+                                     InfluenceMode mode,
+                                     int auto_exact_node_limit) {
+  NodeInfluence out;
+  InfluenceMode resolved = mode;
+  if (mode == InfluenceMode::kAuto) {
+    resolved = g.num_nodes() <= auto_exact_node_limit
+                   ? InfluenceMode::kExactJacobian
+                   : InfluenceMode::kRandomWalk;
+  }
+  // The exact Jacobian differentiates through GCN internals; for any other
+  // architecture the model-agnostic random-walk surrogate is used (the
+  // explainer stays black-box).
+  const auto* gcn = dynamic_cast<const GcnModel*>(&model);
+  if (resolved == InfluenceMode::kExactJacobian && gcn == nullptr) {
+    resolved = InfluenceMode::kRandomWalk;
+  }
+  out.mode_used_ = resolved;
+  out.i1_ = resolved == InfluenceMode::kExactJacobian
+                ? ExactI1(*gcn, g)
+                : RandomWalkI1(model, g);
+  // Normalize per target v (Eq. 4): I2(u,v) = I1(v,u) / Σ_w I1(v,w).
+  const int n = out.i1_.rows();
+  out.i2_ = Matrix(n, n);
+  for (int v = 0; v < n; ++v) {
+    double total = 0.0;
+    for (int w = 0; w < n; ++w) total += out.i1_.at(v, w);
+    if (total <= 0.0) continue;
+    for (int u = 0; u < n; ++u) {
+      out.i2_.at(u, v) =
+          static_cast<float>(out.i1_.at(v, u) / total);
+    }
+  }
+  return out;
+}
+
+}  // namespace gvex

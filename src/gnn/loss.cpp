@@ -1,0 +1,32 @@
+#include "gnn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/matrix_ops.h"
+
+namespace gvex {
+
+float SoftmaxCrossEntropy(const Matrix& logits, int target,
+                          Matrix* grad_logits) {
+  assert(logits.rows() == 1);
+  assert(target >= 0 && target < logits.cols());
+  std::vector<float> p = Softmax(logits.RowVec(0));
+  if (grad_logits) {
+    *grad_logits = Matrix(1, logits.cols());
+    for (int j = 0; j < logits.cols(); ++j) {
+      grad_logits->at(0, j) = p[static_cast<size_t>(j)];
+    }
+    grad_logits->at(0, target) -= 1.0f;
+  }
+  return NegLogLikelihood(p, target);
+}
+
+float NegLogLikelihood(const std::vector<float>& probs, int target) {
+  assert(target >= 0 && target < static_cast<int>(probs.size()));
+  float p = probs[static_cast<size_t>(target)];
+  const float kEps = 1e-12f;
+  return -std::log(p > kEps ? p : kEps);
+}
+
+}  // namespace gvex

@@ -1,0 +1,22 @@
+// Softmax cross-entropy loss for graph classification.
+
+#ifndef GVEX_GNN_LOSS_H_
+#define GVEX_GNN_LOSS_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gvex {
+
+/// Cross-entropy of softmax(logits) against `target`. `grad_logits`
+/// (optional, 1 x C) receives d loss / d logits = softmax - onehot(target).
+float SoftmaxCrossEntropy(const Matrix& logits, int target,
+                          Matrix* grad_logits);
+
+/// Negative log-probability of `target` given precomputed probabilities.
+float NegLogLikelihood(const std::vector<float>& probs, int target);
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_LOSS_H_

@@ -1,0 +1,26 @@
+// Text serialization of trained GCN models, so benches/examples can cache a
+// trained classifier instead of retraining.
+
+#ifndef GVEX_GNN_MODEL_IO_H_
+#define GVEX_GNN_MODEL_IO_H_
+
+#include <string>
+
+#include "gnn/gcn_model.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// Serializes the architecture + all weights (text, locale-independent).
+std::string SerializeModel(const GcnModel& model);
+
+/// Parses a model serialized by SerializeModel.
+Result<GcnModel> ParseModel(const std::string& text);
+
+/// Writes to / reads from a file.
+Status SaveModel(const std::string& path, const GcnModel& model);
+Result<GcnModel> LoadModel(const std::string& path);
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_MODEL_IO_H_

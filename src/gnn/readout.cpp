@@ -1,0 +1,63 @@
+#include "gnn/readout.h"
+
+#include <cassert>
+
+#include "la/matrix_ops.h"
+
+namespace gvex {
+
+Matrix Readout(ReadoutKind kind, const Matrix& node_embeddings,
+               std::vector<int>* argmax) {
+  switch (kind) {
+    case ReadoutKind::kMax:
+      return MaxPoolRows(node_embeddings, argmax);
+    case ReadoutKind::kMean:
+      if (argmax) argmax->clear();
+      return MeanPoolRows(node_embeddings);
+    case ReadoutKind::kSum: {
+      if (argmax) argmax->clear();
+      Matrix out(1, node_embeddings.cols());
+      for (int i = 0; i < node_embeddings.rows(); ++i) {
+        for (int j = 0; j < node_embeddings.cols(); ++j) {
+          out.at(0, j) += node_embeddings.at(i, j);
+        }
+      }
+      return out;
+    }
+  }
+  return Matrix();
+}
+
+Matrix ReadoutBackward(ReadoutKind kind, const Matrix& grad_pooled,
+                       int num_nodes, const std::vector<int>& argmax) {
+  Matrix dx(num_nodes, grad_pooled.cols());
+  if (num_nodes == 0) return dx;
+  switch (kind) {
+    case ReadoutKind::kMax:
+      assert(argmax.size() == static_cast<size_t>(grad_pooled.cols()));
+      for (int j = 0; j < grad_pooled.cols(); ++j) {
+        int winner = argmax[static_cast<size_t>(j)];
+        if (winner >= 0) dx.at(winner, j) = grad_pooled.at(0, j);
+      }
+      break;
+    case ReadoutKind::kMean: {
+      const float inv = 1.0f / static_cast<float>(num_nodes);
+      for (int i = 0; i < num_nodes; ++i) {
+        for (int j = 0; j < grad_pooled.cols(); ++j) {
+          dx.at(i, j) = grad_pooled.at(0, j) * inv;
+        }
+      }
+      break;
+    }
+    case ReadoutKind::kSum:
+      for (int i = 0; i < num_nodes; ++i) {
+        for (int j = 0; j < grad_pooled.cols(); ++j) {
+          dx.at(i, j) = grad_pooled.at(0, j);
+        }
+      }
+      break;
+  }
+  return dx;
+}
+
+}  // namespace gvex

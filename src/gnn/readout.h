@@ -1,0 +1,26 @@
+// Graph-level readout. The paper's classifier uses max pooling over node
+// embeddings; mean pooling is provided for ablations.
+
+#ifndef GVEX_GNN_READOUT_H_
+#define GVEX_GNN_READOUT_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gvex {
+
+enum class ReadoutKind { kMax, kMean, kSum };
+
+/// Pools node embeddings (n x d) to a graph embedding (1 x d).
+/// `argmax` receives per-column winners for max pooling (backward routing).
+Matrix Readout(ReadoutKind kind, const Matrix& node_embeddings,
+               std::vector<int>* argmax);
+
+/// Backward of the readout: scatters dL/d(pooled) (1 x d) back to node rows.
+Matrix ReadoutBackward(ReadoutKind kind, const Matrix& grad_pooled,
+                       int num_nodes, const std::vector<int>& argmax);
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_READOUT_H_

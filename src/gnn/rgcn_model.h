@@ -1,0 +1,95 @@
+// Relational GCN (R-GCN, Schlichtkrull et al. 2018) — implements the paper's
+// future-work item "consider the impact of edge features": message passing
+// with one weight matrix per edge type,
+//   h'_v = ReLU( h_v W_self + Σ_t Σ_{u∈N_t(v)} (1/|N_t(v)|) h_u W_t ),
+// so bond types / relation labels shape the learned representation. Plugs
+// into the explainers through GnnClassifier like every other architecture.
+
+#ifndef GVEX_GNN_RGCN_MODEL_H_
+#define GVEX_GNN_RGCN_MODEL_H_
+
+#include <vector>
+
+#include "gnn/classifier.h"
+#include "gnn/dense_layer.h"
+#include "gnn/readout.h"
+#include "graph/graph.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// R-GCN hyperparameters.
+struct RgcnConfig {
+  int input_dim = 0;
+  int hidden_dim = 64;
+  int num_layers = 2;
+  int num_classes = 2;
+  int num_edge_types = 1;
+  ReadoutKind readout = ReadoutKind::kMax;
+};
+
+/// Edge-type-aware graph classifier with full training support.
+class RgcnModel : public GnnClassifier {
+ public:
+  RgcnModel() = default;
+  RgcnModel(const RgcnConfig& config, Rng* rng);
+
+  const RgcnConfig& config() const { return config_; }
+  int num_classes() const override { return config_.num_classes; }
+  int num_layers() const override { return config_.num_layers; }
+
+  std::vector<float> PredictProba(const Graph& g) const override;
+  Matrix NodeEmbeddings(const Graph& g) const override;
+
+  struct LayerParams {
+    Matrix w_self;
+    std::vector<Matrix> w_rel;  // one per edge type
+    Matrix bias;                // 1 x d
+  };
+
+  struct LayerCache {
+    Matrix input;
+    std::vector<Matrix> rel_agg;  // per type: S_t X
+    Matrix z;
+    Matrix out;
+  };
+
+  struct Trace {
+    std::vector<SparseMatrix> rel_ops;  // per-type mean operators
+    std::vector<LayerCache> caches;
+    std::vector<int> pool_argmax;
+    Matrix pooled;
+    Matrix logits;
+    std::vector<float> probs;
+  };
+
+  struct Gradients {
+    std::vector<Matrix> mats;
+    std::vector<float> fc_bias;
+  };
+
+  Trace Forward(const Graph& g) const;
+  Gradients ZeroGradients() const;
+  void Backward(const Trace& trace, const Matrix& grad_logits,
+                Gradients* grads) const;
+
+  /// Parameter tensors: per layer {w_self, w_rel[0..T), bias}, then head.
+  std::vector<Matrix*> MutableParams();
+  std::vector<float>* MutableFcBias() { return fc_.mutable_bias(); }
+
+  /// Per-edge-type mean aggregation operators (edges whose type exceeds
+  /// num_edge_types-1 are clamped to the last relation).
+  std::vector<SparseMatrix> RelationOperators(const Graph& g) const;
+
+ private:
+  Matrix InputFeatures(const Graph& g) const;
+
+  RgcnConfig config_;
+  std::vector<LayerParams> layers_;
+  DenseLayer fc_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_RGCN_MODEL_H_

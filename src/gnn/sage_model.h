@@ -1,0 +1,89 @@
+// GraphSAGE [Hamilton et al., NeurIPS'17] with mean aggregation — another
+// message-passing variant from §2.1. Each layer computes
+//   h'_v = ReLU( h_v W_self + mean_{u∈N(v)} h_u · W_nb + b ),
+// followed by mean-pool readout and a linear head.
+
+#ifndef GVEX_GNN_SAGE_MODEL_H_
+#define GVEX_GNN_SAGE_MODEL_H_
+
+#include <vector>
+
+#include "gnn/classifier.h"
+#include "gnn/dense_layer.h"
+#include "gnn/readout.h"
+#include "graph/graph.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace gvex {
+
+/// GraphSAGE hyperparameters.
+struct SageConfig {
+  int input_dim = 0;
+  int hidden_dim = 64;
+  int num_layers = 3;
+  int num_classes = 2;
+  ReadoutKind readout = ReadoutKind::kMean;
+};
+
+/// k-layer GraphSAGE graph classifier with full training support.
+class SageModel : public GnnClassifier {
+ public:
+  SageModel() = default;
+  SageModel(const SageConfig& config, Rng* rng);
+
+  const SageConfig& config() const { return config_; }
+  int num_classes() const override { return config_.num_classes; }
+  int num_layers() const override { return config_.num_layers; }
+
+  std::vector<float> PredictProba(const Graph& g) const override;
+  Matrix NodeEmbeddings(const Graph& g) const override;
+
+  struct LayerParams {
+    Matrix w_self, w_nb, bias;  // bias is 1 x d
+  };
+
+  struct LayerCache {
+    Matrix input;  // X
+    Matrix nb;     // M X (mean of neighbors)
+    Matrix z;      // pre-activation
+    Matrix out;
+  };
+
+  struct Trace {
+    SparseMatrix m;  // row-normalized adjacency D^-1 A (no self loop)
+    std::vector<LayerCache> caches;
+    std::vector<int> pool_argmax;
+    Matrix pooled;
+    Matrix logits;
+    std::vector<float> probs;
+  };
+
+  struct Gradients {
+    std::vector<Matrix> mats;
+    std::vector<float> fc_bias;
+  };
+
+  Trace Forward(const Graph& g) const;
+  Gradients ZeroGradients() const;
+  void Backward(const Trace& trace, const Matrix& grad_logits,
+                Gradients* grads) const;
+
+  /// Parameter tensors: per layer {w_self, w_nb, bias}, then head weight.
+  std::vector<Matrix*> MutableParams();
+  std::vector<float>* MutableFcBias() { return fc_.mutable_bias(); }
+
+  /// Row-normalized mean-aggregation operator for `g`.
+  SparseMatrix MeanOperator(const Graph& g) const;
+
+ private:
+  Matrix InputFeatures(const Graph& g) const;
+
+  SageConfig config_;
+  std::vector<LayerParams> layers_;
+  DenseLayer fc_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_GNN_SAGE_MODEL_H_

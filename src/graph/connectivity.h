@@ -1,0 +1,30 @@
+// Connectivity queries over attributed graphs: connected components, BFS
+// distances, and connectivity checks used by pattern mining (patterns must be
+// connected per §2.1) and by the explanation-subgraph bookkeeping.
+
+#ifndef GVEX_GRAPH_CONNECTIVITY_H_
+#define GVEX_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gvex {
+
+/// Connected components (edges treated as undirected). Each inner vector
+/// lists node ids of one component, in ascending order; components are
+/// ordered by their smallest node.
+std::vector<std::vector<NodeId>> ConnectedComponents(const Graph& g);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// BFS hop distances from `src` (-1 where unreachable), undirected traversal.
+std::vector<int> BfsDistances(const Graph& g, NodeId src);
+
+/// True iff the subgraph induced by `nodes` is connected in g.
+bool InducedSubsetConnected(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace gvex
+
+#endif  // GVEX_GRAPH_CONNECTIVITY_H_

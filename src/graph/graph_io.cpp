@@ -1,0 +1,150 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+std::string SerializeGraph(const Graph& g, int label) {
+  std::string out = StrFormat("graph %d %d %d\n", g.num_nodes(),
+                              g.directed() ? 1 : 0, label);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out += StrFormat("n %d %d", v, g.node_type(v));
+    if (g.has_features()) {
+      for (int j = 0; j < g.feature_dim(); ++j) {
+        out += StrFormat(" %.6g", g.features().at(v, j));
+      }
+    }
+    out += "\n";
+  }
+  for (const Edge& e : g.edges()) {
+    out += StrFormat("e %d %d %d\n", e.u, e.v, e.edge_type);
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<std::vector<LabeledGraph>> ParseGraphs(const std::string& text) {
+  std::vector<LabeledGraph> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  LabeledGraph cur;
+  bool in_graph = false;
+  int expected_nodes = 0;
+  std::vector<std::vector<float>> feats;
+
+  auto finish_graph = [&]() -> Status {
+    if (cur.graph.num_nodes() != expected_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("graph declared %d nodes but %d given", expected_nodes,
+                    cur.graph.num_nodes()));
+    }
+    bool any_feats = false;
+    for (const auto& f : feats) {
+      if (!f.empty()) any_feats = true;
+    }
+    if (any_feats) {
+      size_t dim = 0;
+      for (const auto& f : feats) dim = std::max(dim, f.size());
+      Matrix x(cur.graph.num_nodes(), static_cast<int>(dim));
+      for (int v = 0; v < cur.graph.num_nodes(); ++v) {
+        const auto& f = feats[static_cast<size_t>(v)];
+        for (size_t j = 0; j < f.size(); ++j) {
+          x.at(v, static_cast<int>(j)) = f[j];
+        }
+      }
+      GVEX_RETURN_NOT_OK(cur.graph.SetFeatures(std::move(x)));
+    }
+    out.push_back(std::move(cur));
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    auto tok = SplitWhitespace(line);
+    if (tok[0] == "graph") {
+      if (in_graph) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: nested 'graph'", lineno));
+      }
+      if (tok.size() < 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: malformed graph header", lineno));
+      }
+      expected_nodes = std::stoi(tok[1]);
+      bool directed = std::stoi(tok[2]) != 0;
+      cur = LabeledGraph{Graph(directed), -1};
+      if (tok.size() >= 4) cur.label = std::stoi(tok[3]);
+      feats.assign(static_cast<size_t>(expected_nodes), {});
+      in_graph = true;
+    } else if (tok[0] == "n") {
+      if (!in_graph || tok.size() < 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: malformed node line", lineno));
+      }
+      int id = std::stoi(tok[1]);
+      int type = std::stoi(tok[2]);
+      NodeId got = cur.graph.AddNode(type);
+      if (got != id) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: node ids must be dense in order (got %d, "
+                      "expected %d)",
+                      lineno, id, got));
+      }
+      for (size_t j = 3; j < tok.size(); ++j) {
+        feats[static_cast<size_t>(id)].push_back(std::stof(tok[j]));
+      }
+    } else if (tok[0] == "e") {
+      if (!in_graph || tok.size() < 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: malformed edge line", lineno));
+      }
+      int et = tok.size() >= 4 ? std::stoi(tok[3]) : 0;
+      Status st = cur.graph.AddEdge(std::stoi(tok[1]), std::stoi(tok[2]), et);
+      if (!st.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: %s", lineno, st.ToString().c_str()));
+      }
+    } else if (tok[0] == "end") {
+      if (!in_graph) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: 'end' outside graph", lineno));
+      }
+      GVEX_RETURN_NOT_OK(finish_graph());
+      in_graph = false;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown directive '%s'", lineno,
+                    tok[0].c_str()));
+    }
+  }
+  if (in_graph) {
+    return Status::InvalidArgument("unterminated graph (missing 'end')");
+  }
+  return out;
+}
+
+Status SaveGraphs(const std::string& path,
+                  const std::vector<LabeledGraph>& graphs) {
+  std::ofstream f(path);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  for (const auto& lg : graphs) f << SerializeGraph(lg.graph, lg.label);
+  if (!f.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<LabeledGraph>> LoadGraphs(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ParseGraphs(ss.str());
+}
+
+}  // namespace gvex

@@ -1,0 +1,45 @@
+// Plain-text serialization of attributed graphs and graph databases.
+//
+// Format (line-oriented, '#' comments allowed):
+//   graph <num_nodes> <directed:0|1> [label]
+//   n <id> <type> [f0 f1 ...]
+//   e <u> <v> <edge_type>
+//   end
+//
+// A file may contain many graphs; `label` is the class label used by the
+// classification task (-1 when absent).
+
+#ifndef GVEX_GRAPH_GRAPH_IO_H_
+#define GVEX_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// One serialized record: a graph plus its (optional) class label.
+struct LabeledGraph {
+  Graph graph;
+  int label = -1;
+};
+
+/// Serializes one labeled graph in the text format above.
+std::string SerializeGraph(const Graph& g, int label = -1);
+
+/// Parses all graphs from text.
+Result<std::vector<LabeledGraph>> ParseGraphs(const std::string& text);
+
+/// Writes a set of labeled graphs to `path`.
+Status SaveGraphs(const std::string& path,
+                  const std::vector<LabeledGraph>& graphs);
+
+/// Loads all graphs from `path`.
+Result<std::vector<LabeledGraph>> LoadGraphs(const std::string& path);
+
+}  // namespace gvex
+
+#endif  // GVEX_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,37 @@
+// Node-induced subgraph extraction and complement (G \ Gs) — the two graph
+// surgeries the explanation-subgraph definition of §2.2 relies on.
+
+#ifndef GVEX_GRAPH_SUBGRAPH_H_
+#define GVEX_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gvex {
+
+/// A node-induced subgraph together with the mapping back to the parent.
+struct InducedSubgraph {
+  Graph graph;
+  /// original_nodes[i] is the parent-graph id of subgraph node i.
+  std::vector<NodeId> original_nodes;
+};
+
+/// Extracts the subgraph induced by `nodes` (order preserved after dedup).
+/// Copies node types, induced edges, and feature rows. Out-of-range ids are
+/// rejected.
+Result<InducedSubgraph> ExtractInducedSubgraph(const Graph& g,
+                                               const std::vector<NodeId>& nodes);
+
+/// The complement surgery G \ Gs of the counterfactual check: the subgraph
+/// induced by V \ nodes.
+Result<InducedSubgraph> RemoveNodes(const Graph& g,
+                                    const std::vector<NodeId>& nodes);
+
+/// Extracts the subgraph induced by the r-hop neighborhood of `center`
+/// (inclusive). Used by IncPGen in the streaming algorithm.
+InducedSubgraph ExtractNeighborhood(const Graph& g, NodeId center, int hops);
+
+}  // namespace gvex
+
+#endif  // GVEX_GRAPH_SUBGRAPH_H_

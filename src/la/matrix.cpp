@@ -1,0 +1,122 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    assert(rows[static_cast<size_t>(r)].size() ==
+           static_cast<size_t>(m.cols()));
+    for (int c = 0; c < m.cols(); ++c) {
+      m.at(r, c) = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+std::vector<float> Matrix::RowVec(int r) const {
+  return std::vector<float>(row(r), row(r) + cols_);
+}
+
+void Matrix::SetRow(int r, const std::vector<float>& v) {
+  assert(v.size() == static_cast<size_t>(cols_));
+  std::copy(v.begin(), v.end(), row(r));
+}
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix m = *this;
+  m += o;
+  return m;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix m = *this;
+  m -= o;
+  return m;
+}
+
+Matrix Matrix::operator*(float s) const {
+  Matrix m = *this;
+  m *= s;
+  return m;
+}
+
+bool Matrix::operator==(const Matrix& o) const {
+  return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+double Matrix::L1Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += std::fabs(static_cast<double>(v));
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (float v : data_) m = std::max(m, std::fabs(static_cast<double>(v)));
+  return m;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::string out = StrFormat("Matrix %dx%d\n", rows_, cols_);
+  int rs = std::min(rows_, max_rows);
+  int cs = std::min(cols_, max_cols);
+  for (int r = 0; r < rs; ++r) {
+    out += "  [";
+    for (int c = 0; c < cs; ++c) {
+      out += StrFormat("%8.4f", at(r, c));
+      if (c + 1 < cs) out += ", ";
+    }
+    if (cs < cols_) out += ", ...";
+    out += "]\n";
+  }
+  if (rs < rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace gvex

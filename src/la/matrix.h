@@ -1,0 +1,109 @@
+// Row-major dense float matrix. This is the numeric substrate for the GCN:
+// node feature matrices X^k, layer weights Θ_k, gradients, and Jacobian
+// blocks all use this type. Deliberately minimal — no expression templates,
+// no BLAS — so behaviour is easy to audit and deterministic.
+
+#ifndef GVEX_LA_MATRIX_H_
+#define GVEX_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gvex {
+
+/// Dense rows x cols matrix of float, row-major storage.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(int rows, int cols, float fill)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {}
+
+  /// Builds from a nested initializer-style vector (row major). All rows must
+  /// have equal length.
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major contiguous).
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Copies row r into a vector.
+  std::vector<float> RowVec(int r) const;
+
+  /// Overwrites row r from a vector of length cols().
+  void SetRow(int r, const std::vector<float>& v);
+
+  /// Sets every entry to `v`.
+  void Fill(float v);
+
+  /// Elementwise in-place operations.
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(float s);
+
+  /// Elementwise binary operators (shape-asserted).
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(float s) const;
+
+  /// Exact equality (useful in tests; floats stored, no tolerance).
+  bool operator==(const Matrix& o) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Sum of absolute values of all entries (entrywise L1).
+  double L1Norm() const;
+
+  /// Max |entry|.
+  double MaxAbs() const;
+
+  /// Human-readable rendering for debugging and golden tests.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_LA_MATRIX_H_

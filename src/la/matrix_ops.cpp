@@ -1,0 +1,169 @@
+#include "la/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gvex {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float s = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * brow[j];
+  }
+  return c;
+}
+
+Matrix Relu(const Matrix& x) {
+  Matrix y = x;
+  for (int i = 0; i < y.rows(); ++i) {
+    float* row = y.row(i);
+    for (int j = 0; j < y.cols(); ++j) row[j] = std::max(0.0f, row[j]);
+  }
+  return y;
+}
+
+Matrix ReluMask(const Matrix& x) {
+  Matrix m(x.rows(), x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* xr = x.row(i);
+    float* mr = m.row(i);
+    for (int j = 0; j < x.cols(); ++j) mr[j] = xr[j] > 0.0f ? 1.0f : 0.0f;
+  }
+  return m;
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix p(logits.rows(), logits.cols());
+  for (int i = 0; i < logits.rows(); ++i) {
+    const float* lr = logits.row(i);
+    float* pr = p.row(i);
+    float mx = lr[0];
+    for (int j = 1; j < logits.cols(); ++j) mx = std::max(mx, lr[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < logits.cols(); ++j) {
+      pr[j] = std::exp(lr[j] - mx);
+      sum += pr[j];
+    }
+    for (int j = 0; j < logits.cols(); ++j) pr[j] /= sum;
+  }
+  return p;
+}
+
+std::vector<float> Softmax(const std::vector<float>& logits) {
+  std::vector<float> p(logits.size());
+  if (logits.empty()) return p;
+  float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    sum += p[i];
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+Matrix MaxPoolRows(const Matrix& x, std::vector<int>* argmax) {
+  Matrix out(1, x.cols());
+  if (argmax) argmax->assign(static_cast<size_t>(x.cols()), -1);
+  if (x.rows() == 0) return out;  // empty graph pools to zeros
+  for (int j = 0; j < x.cols(); ++j) {
+    float best = x.at(0, j);
+    int best_i = 0;
+    for (int i = 1; i < x.rows(); ++i) {
+      if (x.at(i, j) > best) {
+        best = x.at(i, j);
+        best_i = i;
+      }
+    }
+    out.at(0, j) = best;
+    if (argmax) (*argmax)[static_cast<size_t>(j)] = best_i;
+  }
+  return out;
+}
+
+Matrix MeanPoolRows(const Matrix& x) {
+  Matrix out(1, x.cols());
+  if (x.rows() == 0) return out;
+  for (int j = 0; j < x.cols(); ++j) {
+    float s = 0.0f;
+    for (int i = 0; i < x.rows(); ++i) s += x.at(i, j);
+    out.at(0, j) = s / static_cast<float>(x.rows());
+  }
+  return out;
+}
+
+double RowSquaredDistance(const Matrix& x, int r1, int r2) {
+  const float* a = x.row(r1);
+  const float* b = x.row(r2);
+  double s = 0.0;
+  for (int j = 0; j < x.cols(); ++j) {
+    double d = static_cast<double>(a[j]) - b[j];
+    s += d * d;
+  }
+  return s;
+}
+
+double NormalizedRowDistance(const Matrix& x, int r1, int r2) {
+  if (x.cols() == 0) return 0.0;
+  return std::sqrt(RowSquaredDistance(x, r1, r2) / x.cols());
+}
+
+int ArgMax(const std::vector<float>& v) {
+  if (v.empty()) return 0;
+  return static_cast<int>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace gvex

@@ -1,0 +1,57 @@
+// Free-function kernels over Matrix: GEMM, activations, reductions, softmax.
+// Kept separate from the container so tests can exercise each kernel alone.
+
+#ifndef GVEX_LA_MATRIX_OPS_H_
+#define GVEX_LA_MATRIX_OPS_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gvex {
+
+/// C = A * B. Shapes must agree (A.cols == B.rows).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing the transpose.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing the transpose.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Elementwise (Hadamard) product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// ReLU applied entrywise.
+Matrix Relu(const Matrix& x);
+
+/// 1 where x > 0 else 0 — the ReLU derivative mask recorded in forward passes
+/// and reused for backprop and exact Jacobian computation.
+Matrix ReluMask(const Matrix& x);
+
+/// Row-wise softmax (numerically stabilized).
+Matrix SoftmaxRows(const Matrix& logits);
+
+/// Softmax over a single vector.
+std::vector<float> Softmax(const std::vector<float>& logits);
+
+/// Column-wise max over rows -> 1 x cols. `argmax` (optional, same shape)
+/// receives the winning row per column for gradient routing.
+Matrix MaxPoolRows(const Matrix& x, std::vector<int>* argmax);
+
+/// Column-wise mean over rows -> 1 x cols.
+Matrix MeanPoolRows(const Matrix& x);
+
+/// Squared Euclidean distance between rows r1 and r2 of x.
+double RowSquaredDistance(const Matrix& x, int r1, int r2);
+
+/// Euclidean distance between rows, normalized by sqrt(cols) so thresholds
+/// transfer across embedding widths (the paper's "normalized Euclidean").
+double NormalizedRowDistance(const Matrix& x, int r1, int r2);
+
+/// argmax over a vector; returns 0 for empty input.
+int ArgMax(const std::vector<float>& v);
+
+}  // namespace gvex
+
+#endif  // GVEX_LA_MATRIX_OPS_H_

@@ -1,0 +1,84 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gvex {
+
+SparseMatrix::SparseMatrix(int rows, int cols, std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  assert(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  col_idx_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    const int r = triplets[i].row;
+    const int c = triplets[i].col;
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    float v = 0.0f;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    col_idx_.push_back(c);
+    values_.push_back(v);
+    ++row_ptr_[static_cast<size_t>(r) + 1];
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    row_ptr_[r + 1] += row_ptr_[r];
+  }
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  assert(cols_ == x.rows());
+  Matrix y(rows_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    float* yrow = y.row(r);
+    for (int idx = row_begin(r); idx < row_end(r); ++idx) {
+      const float v = value_at(idx);
+      const float* xrow = x.row(col_at(idx));
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
+  assert(rows_ == x.rows());
+  Matrix y(cols_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    const float* xrow = x.row(r);
+    for (int idx = row_begin(r); idx < row_end(r); ++idx) {
+      const float v = value_at(idx);
+      float* yrow = y.row(col_at(idx));
+      for (int j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix d(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int idx = row_begin(r); idx < row_end(r); ++idx) {
+      d.at(r, col_at(idx)) = value_at(idx);
+    }
+  }
+  return d;
+}
+
+float SparseMatrix::At(int r, int c) const {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  auto begin = col_idx_.begin() + row_begin(r);
+  auto end = col_idx_.begin() + row_end(r);
+  auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0f;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+}  // namespace gvex

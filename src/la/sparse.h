@@ -1,0 +1,60 @@
+// CSR sparse matrix, used for the symmetric-normalized propagation operator
+// S = D^-1/2 (A + I) D^-1/2 of Eq. (1), and for k-step random-walk influence.
+
+#ifndef GVEX_LA_SPARSE_H_
+#define GVEX_LA_SPARSE_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace gvex {
+
+/// Compressed-sparse-row square/rectangular float matrix. Rows are built in
+/// order via a triplet constructor; duplicate entries are summed.
+class SparseMatrix {
+ public:
+  struct Triplet {
+    int row;
+    int col;
+    float value;
+  };
+
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from triplets; duplicates are coalesced by summing.
+  SparseMatrix(int rows, int cols, std::vector<Triplet> triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// y = S * x (dense right operand). Shapes: (rows x cols) * (cols x d).
+  Matrix Multiply(const Matrix& x) const;
+
+  /// y = S^T * x without materializing the transpose.
+  Matrix MultiplyTransposed(const Matrix& x) const;
+
+  /// Dense rendering (tests / tiny graphs only).
+  Matrix ToDense() const;
+
+  /// Entry accessor (binary search within the row). O(log nnz_row).
+  float At(int r, int c) const;
+
+  /// Row iteration support: [row_begin(r), row_end(r)) index into cols/vals.
+  int row_begin(int r) const { return row_ptr_[static_cast<size_t>(r)]; }
+  int row_end(int r) const { return row_ptr_[static_cast<size_t>(r) + 1]; }
+  int col_at(int idx) const { return col_idx_[static_cast<size_t>(idx)]; }
+  float value_at(int idx) const { return values_[static_cast<size_t>(idx)]; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int> row_ptr_;   // size rows+1
+  std::vector<int> col_idx_;   // size nnz, sorted within each row
+  std::vector<float> values_;  // size nnz
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_LA_SPARSE_H_

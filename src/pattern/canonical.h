@@ -1,0 +1,20 @@
+// Canonical codes for small labeled graphs, used to deduplicate mined
+// patterns: two patterns receive the same code iff they are isomorphic.
+
+#ifndef GVEX_PATTERN_CANONICAL_H_
+#define GVEX_PATTERN_CANONICAL_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gvex {
+
+/// Computes a canonical string for `g` (node/edge types included).
+/// Exact for any size, but cost grows with the number of automorphism-class
+/// permutations; intended for pattern-sized graphs (<= ~10 nodes).
+std::string CanonicalCode(const Graph& g);
+
+}  // namespace gvex
+
+#endif  // GVEX_PATTERN_CANONICAL_H_

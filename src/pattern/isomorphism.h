@@ -1,0 +1,48 @@
+// Subgraph isomorphism (the PMatch primitive of §4). VF2-style backtracking
+// with node-type, edge-type, and degree pruning. Supports both induced
+// semantics (non-edges of the pattern must map to non-edges — the paper's
+// stated "node-induced subgraph isomorphism") and standard subgraph
+// semantics.
+
+#ifndef GVEX_PATTERN_ISOMORPHISM_H_
+#define GVEX_PATTERN_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gvex {
+
+/// Matching semantics for pattern edges.
+enum class MatchSemantics {
+  kInduced,     // edge in P <=> edge in G between mapped nodes
+  kNonInduced,  // edge in P  => edge in G
+};
+
+/// Options bounding a matching run.
+struct MatchOptions {
+  MatchSemantics semantics = MatchSemantics::kInduced;
+  /// Stop after this many matches (0 = unlimited).
+  int max_matches = 4096;
+  /// Backtracking-step budget; guards worst cases (0 = unlimited).
+  int64_t max_steps = 10'000'000;
+};
+
+/// One match: match[i] is the data-graph node that pattern node i maps to.
+using Match = std::vector<NodeId>;
+
+/// Enumerates matches of `pattern` into `target`.
+std::vector<Match> FindMatches(const Graph& pattern, const Graph& target,
+                               const MatchOptions& options = {});
+
+/// True iff at least one match exists (early-exit search).
+bool ContainsPattern(const Graph& target, const Graph& pattern,
+                     const MatchOptions& options = {});
+
+/// Full graph isomorphism test (same node count + induced matching).
+bool GraphsIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace gvex
+
+#endif  // GVEX_PATTERN_ISOMORPHISM_H_

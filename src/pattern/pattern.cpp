@@ -1,0 +1,63 @@
+#include "pattern/pattern.h"
+
+#include "graph/connectivity.h"
+#include "pattern/canonical.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+Result<Pattern> Pattern::Create(Graph g) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("pattern must be non-empty");
+  }
+  if (!IsConnected(g)) {
+    return Status::InvalidArgument("pattern must be connected");
+  }
+  Pattern p;
+  p.code_ = CanonicalCode(g);
+  p.graph_ = std::move(g);
+  return p;
+}
+
+Pattern Pattern::SingleNode(int node_type) {
+  Graph g;
+  g.AddNode(node_type);
+  auto r = Create(std::move(g));
+  return std::move(r).value();
+}
+
+std::string Pattern::ToString() const {
+  std::string types = "[";
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (v > 0) types += ",";
+    types += StrFormat("%d", graph_.node_type(v));
+  }
+  types += "]";
+  return StrFormat("P(n=%d, m=%d, types=%s)", num_nodes(), num_edges(),
+                   types.c_str());
+}
+
+std::string TypeName(const std::vector<std::string>& vocab, int type) {
+  if (type >= 0 && type < static_cast<int>(vocab.size())) {
+    return vocab[static_cast<size_t>(type)];
+  }
+  return StrFormat("t%d", type);
+}
+
+std::string RenderPattern(const Pattern& p,
+                          const std::vector<std::string>& vocab) {
+  const Graph& g = p.graph();
+  std::string out = "{nodes: ";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v > 0) out += " ";
+    out += StrFormat("%d:%s", v, TypeName(vocab, g.node_type(v)).c_str());
+  }
+  out += "; edges:";
+  for (const Edge& e : g.edges()) {
+    out += StrFormat(" %d-%d", e.u, e.v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gvex

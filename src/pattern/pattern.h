@@ -1,0 +1,62 @@
+// Graph patterns (§2.1): connected graphs with typed nodes and edges but no
+// features. Patterns are the "higher tier" of an explanation view; they are
+// matched into explanation subgraphs via node-induced subgraph isomorphism.
+
+#ifndef GVEX_PATTERN_PATTERN_H_
+#define GVEX_PATTERN_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// A graph pattern P(V_p, E_p, L_p). Thin wrapper over Graph that enforces
+/// the pattern invariants (connected, no features) and carries the canonical
+/// code used for deduplication.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Wraps a structure graph. Returns InvalidArgument if `g` is empty or
+  /// disconnected (patterns must be connected per §2.1).
+  static Result<Pattern> Create(Graph g);
+
+  /// Builds a single-node pattern of the given type.
+  static Pattern SingleNode(int node_type);
+
+  const Graph& graph() const { return graph_; }
+  int num_nodes() const { return graph_.num_nodes(); }
+  int num_edges() const { return graph_.num_edges(); }
+
+  /// Canonical code (computed lazily at Create); equal codes <=> isomorphic
+  /// patterns (for the supported pattern sizes).
+  const std::string& canonical_code() const { return code_; }
+
+  /// Structural equality via canonical codes.
+  bool IsomorphicTo(const Pattern& other) const {
+    return code_ == other.code_;
+  }
+
+  /// Render like "P(n=3, m=2, types=[1,2,2])".
+  std::string ToString() const;
+
+ private:
+  Graph graph_;
+  std::string code_;
+};
+
+/// Named type vocabularies used by examples to pretty-print patterns
+/// (e.g. atom symbols). Maps type id -> display name; ids outside the map
+/// render as "t<id>".
+std::string TypeName(const std::vector<std::string>& vocab, int type);
+
+/// Renders a pattern using a node-type vocabulary, e.g. "N(-O)(-O)-C ring".
+std::string RenderPattern(const Pattern& p,
+                          const std::vector<std::string>& vocab);
+
+}  // namespace gvex
+
+#endif  // GVEX_PATTERN_PATTERN_H_

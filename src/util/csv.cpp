@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::string out;
+  std::vector<std::string> escaped;
+  escaped.reserve(headers_.size());
+  for (const auto& h : headers_) escaped.push_back(CsvEscape(h));
+  out += Join(escaped, ",") + "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& cell : row) escaped.push_back(CsvEscape(cell));
+    out += Join(escaped, ",") + "\n";
+  }
+  return out;
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  f << ToCsv();
+  if (!f.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+std::string FmtDouble(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return std::string(buf);
+}
+
+}  // namespace gvex

@@ -1,0 +1,60 @@
+// Minimal leveled logger writing to stderr. Thread-safe at line granularity.
+
+#ifndef GVEX_UTIL_LOGGING_H_
+#define GVEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gvex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that is emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace gvex
+
+#define GVEX_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::gvex::GetLogLevel()))
+
+#define GVEX_LOG(level)                                             \
+  !GVEX_LOG_ENABLED(::gvex::LogLevel::level)                        \
+      ? (void)0                                                     \
+      : ::gvex::internal::LogMessageVoidify() &                     \
+            ::gvex::internal::LogMessage(::gvex::LogLevel::level,   \
+                                         __FILE__, __LINE__)
+
+#define GVEX_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  ::gvex::internal::LogMessage(::gvex::LogLevel::kError, __FILE__,         \
+                               __LINE__)                                   \
+      << "Check failed: " #cond " "
+
+#endif  // GVEX_UTIL_LOGGING_H_

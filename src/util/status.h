@@ -1,0 +1,144 @@
+// Status / Result error model, following the RocksDB/Arrow idiom: library
+// functions that can fail return a Status (or Result<T> carrying a value),
+// never throw across the library boundary.
+
+#ifndef GVEX_UTIL_STATUS_H_
+#define GVEX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace gvex {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+  kAborted,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "InvalidArgument: node id 7 out of bounds".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error: holds T on success, a non-OK Status on failure.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)), has_value_(true) {}
+
+  /// Implicit from a non-OK status: failure. Asserts the status is not OK.
+  Result(Status status) : status_(std::move(status)), has_value_(false) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return has_value_ ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_ = T();
+  bool has_value_;
+};
+
+/// Propagates a non-OK status to the caller (for use in Status-returning fns).
+#define GVEX_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::gvex::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Unwraps a Result into `lhs`, propagating errors.
+#define GVEX_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto GVEX_CONCAT_(result_, __LINE__) = (expr); \
+  if (!GVEX_CONCAT_(result_, __LINE__).ok())     \
+    return GVEX_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(GVEX_CONCAT_(result_, __LINE__)).value()
+
+#define GVEX_CONCAT_IMPL_(a, b) a##b
+#define GVEX_CONCAT_(a, b) GVEX_CONCAT_IMPL_(a, b)
+
+}  // namespace gvex
+
+#endif  // GVEX_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+// Small string helpers shared by serialization and the bench table printers.
+
+#ifndef GVEX_UTIL_STRING_UTIL_H_
+#define GVEX_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace gvex {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Splits on arbitrary whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace gvex
+
+#endif  // GVEX_UTIL_STRING_UTIL_H_

@@ -1,0 +1,55 @@
+// Fixed-size worker pool used for the parallel per-graph view generation
+// scheme of the paper (§A.7 "Parallel Implementation").
+
+#ifndef GVEX_UTIL_THREAD_POOL_H_
+#define GVEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gvex {
+
+/// A minimal task queue + worker threads. Tasks are void(); results are
+/// communicated through captured state. `Wait` blocks until the queue drains
+/// and all in-flight tasks finish.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Convenience: runs `fn(i)` for i in [0, n) across `num_threads` workers
+  /// and waits for completion.
+  static void ParallelFor(int num_threads, int n,
+                          const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signalled when work arrives / shutdown
+  std::condition_variable done_cv_;   // signalled when a task completes
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_UTIL_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the benchmark harness and the streaming
+// algorithm's anytime reporting.
+
+#ifndef GVEX_UTIL_TIMER_H_
+#define GVEX_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gvex {
+
+/// Starts timing at construction; `ElapsedMs`/`ElapsedSec` read without
+/// stopping; `Restart` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_UTIL_TIMER_H_

@@ -1,0 +1,67 @@
+#include "baselines/pg_explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "explain/metrics.h"
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+TEST(PgExplainerTest, RequiresFitBeforeExplain) {
+  const auto& fx = testing::GetTrainedFixture();
+  PgExplainer pg(&fx.model);
+  const int gi = fx.db.LabelGroup(1)[0];
+  EXPECT_TRUE(pg.Explain(fx.db.graph(gi), gi, 1, 6)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PgExplainerTest, FitFailsOnEmptyGroup) {
+  const auto& fx = testing::GetTrainedFixture();
+  PgExplainer pg(&fx.model);
+  EXPECT_TRUE(pg.Fit(fx.db, 77).IsNotFound());
+}
+
+TEST(PgExplainerTest, TrainedExplainerProducesBoundedSubgraphs) {
+  const auto& fx = testing::GetTrainedFixture();
+  PgExplainerOptions opt;
+  opt.epochs = 15;
+  PgExplainer pg(&fx.model, opt);
+  ASSERT_TRUE(pg.Fit(fx.db, 1, 8).ok());
+  EXPECT_TRUE(pg.trained());
+  for (int gi : fx.db.LabelGroup(1)) {
+    auto ex = pg.Explain(fx.db.graph(gi), gi, 1, 6);
+    ASSERT_TRUE(ex.ok());
+    EXPECT_GE(static_cast<int>(ex.value().nodes.size()), 1);
+    EXPECT_LE(static_cast<int>(ex.value().nodes.size()), 6);
+  }
+}
+
+TEST(PgExplainerTest, OneFitExplainsManyInstances) {
+  // The parameterized property: a single trained mask network explains every
+  // instance without per-instance optimization.
+  const auto& fx = testing::GetTrainedFixture();
+  PgExplainerOptions opt;
+  opt.epochs = 15;
+  PgExplainer pg(&fx.model, opt);
+  ASSERT_TRUE(pg.Fit(fx.db, 1, 8).ok());
+  auto group = pg.ExplainGroup(fx.db, 1, 6);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group.value().size(), fx.db.LabelGroup(1).size());
+  const double sparsity = Sparsity(fx.db, group.value());
+  EXPECT_GT(sparsity, 0.2);
+}
+
+TEST(PgExplainerTest, RejectsEmptyGraph) {
+  const auto& fx = testing::GetTrainedFixture();
+  PgExplainerOptions opt;
+  opt.epochs = 5;
+  PgExplainer pg(&fx.model, opt);
+  ASSERT_TRUE(pg.Fit(fx.db, 1, 4).ok());
+  Graph empty;
+  EXPECT_FALSE(pg.Explain(empty, 0, 1, 5).ok());
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,81 @@
+#include "baselines/xgnn.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motifs.h"
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+TEST(XgnnTest, GeneratesConnectedBoundedPrototype) {
+  const auto& fx = testing::GetTrainedFixture();
+  XgnnOptions opt;
+  opt.max_nodes = 6;
+  Xgnn xgnn(&fx.model, &fx.db, opt);
+  auto proto = xgnn.Generate(1);
+  ASSERT_TRUE(proto.ok()) << proto.status().ToString();
+  EXPECT_GE(proto.value().pattern.num_nodes(), 1);
+  EXPECT_LE(proto.value().pattern.num_nodes(), 6);
+  EXPECT_GT(proto.value().probability, 0.5);
+}
+
+TEST(XgnnTest, MutagenPrototypeContainsNitrogenOrOxygen) {
+  // The model's "mutagen" concept is the nitro group; the generated
+  // prototype should contain N or O atoms.
+  const auto& fx = testing::GetTrainedFixture();
+  Xgnn xgnn(&fx.model, &fx.db);
+  auto proto = xgnn.Generate(1);
+  ASSERT_TRUE(proto.ok());
+  bool has_no = false;
+  const Graph& g = proto.value().pattern.graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node_type(v) == kNitrogen || g.node_type(v) == kOxygen) {
+      has_no = true;
+    }
+  }
+  EXPECT_TRUE(has_no);
+}
+
+TEST(XgnnTest, PrototypesDifferPerLabel) {
+  const auto& fx = testing::GetTrainedFixture();
+  Xgnn xgnn(&fx.model, &fx.db);
+  auto p0 = xgnn.Generate(0);
+  auto p1 = xgnn.Generate(1);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_FALSE(p0.value().pattern.IsomorphicTo(p1.value().pattern));
+}
+
+TEST(XgnnTest, EdgeVocabularyRespected) {
+  // Generated prototypes only use type pairs bonded in the reference data.
+  const auto& fx = testing::GetTrainedFixture();
+  std::set<std::pair<int, int>> allowed;
+  for (int i = 0; i < fx.db.size(); ++i) {
+    const Graph& g = fx.db.graph(i);
+    for (const Edge& e : g.edges()) {
+      int a = g.node_type(e.u);
+      int b = g.node_type(e.v);
+      allowed.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+  Xgnn xgnn(&fx.model, &fx.db);
+  auto proto = xgnn.Generate(1);
+  ASSERT_TRUE(proto.ok());
+  const Graph& g = proto.value().pattern.graph();
+  for (const Edge& e : g.edges()) {
+    int a = g.node_type(e.u);
+    int b = g.node_type(e.v);
+    EXPECT_TRUE(allowed.count({std::min(a, b), std::max(a, b)}));
+  }
+}
+
+TEST(XgnnTest, EmptyReferenceRejected) {
+  const auto& fx = testing::GetTrainedFixture();
+  GraphDatabase empty;
+  Xgnn xgnn(&fx.model, &empty);
+  EXPECT_FALSE(xgnn.Generate(1).ok());
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,108 @@
+#include "data/ego_networks.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motifs.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace gvex {
+namespace {
+
+// A two-community graph: community label = node label.
+Graph TwoCommunities(std::vector<int>* labels) {
+  Graph g;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) g.AddNode(0);
+  labels->assign(20, 0);
+  for (int i = 10; i < 20; ++i) (*labels)[static_cast<size_t>(i)] = 1;
+  // Dense intra-community rings + one bridge.
+  for (int i = 0; i < 10; ++i) (void)g.AddEdge(i, (i + 1) % 10);
+  for (int i = 10; i < 20; ++i) {
+    (void)g.AddEdge(i, i + 1 == 20 ? 10 : i + 1);
+  }
+  (void)g.AddEdge(0, 10);
+  (void)g.SetOneHotFeaturesFromTypes(1);
+  return g;
+}
+
+TEST(EgoNetworksTest, BuildsBalancedDatabase) {
+  std::vector<int> labels;
+  Graph g = TwoCommunities(&labels);
+  EgoNetworkOptions opt;
+  opt.hops = 1;
+  opt.max_networks = 10;
+  auto db = BuildEgoNetworkDatabase(g, labels, opt);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 10);
+  EXPECT_EQ(db.value().LabelGroup(0).size(), 5u);
+  EXPECT_EQ(db.value().LabelGroup(1).size(), 5u);
+}
+
+TEST(EgoNetworksTest, EgoSizeBoundedByRadius) {
+  std::vector<int> labels;
+  Graph g = TwoCommunities(&labels);
+  EgoNetworkOptions opt;
+  opt.hops = 1;
+  opt.max_networks = 4;
+  auto db = BuildEgoNetworkDatabase(g, labels, opt);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < db.value().size(); ++i) {
+    // Ring nodes have degree <= 3 (incl. the bridge): 1-hop ego <= 4 nodes.
+    EXPECT_LE(db.value().graph(i).num_nodes(), 4);
+    EXPECT_GE(db.value().graph(i).num_nodes(), 1);
+  }
+}
+
+TEST(EgoNetworksTest, NodeCapTruncates) {
+  std::vector<int> labels;
+  Graph g = TwoCommunities(&labels);
+  EgoNetworkOptions opt;
+  opt.hops = 5;
+  opt.max_networks = 4;
+  opt.max_nodes_per_ego = 6;
+  auto db = BuildEgoNetworkDatabase(g, labels, opt);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < db.value().size(); ++i) {
+    EXPECT_LE(db.value().graph(i).num_nodes(), 6);
+  }
+}
+
+TEST(EgoNetworksTest, UnlabeledNodesSkipped) {
+  std::vector<int> labels;
+  Graph g = TwoCommunities(&labels);
+  for (size_t i = 0; i < 10; ++i) labels[i] = -1;  // unlabel community 0
+  EgoNetworkOptions opt;
+  opt.max_networks = 50;
+  auto db = BuildEgoNetworkDatabase(g, labels, opt);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 10);  // only community 1 centers
+  for (int i = 0; i < db.value().size(); ++i) {
+    EXPECT_EQ(db.value().true_label(i), 1);
+  }
+}
+
+TEST(EgoNetworksTest, ValidatesInput) {
+  Graph g = testing::PathGraph(3);
+  EXPECT_FALSE(BuildEgoNetworkDatabase(g, {0, 1}).ok());  // size mismatch
+  EXPECT_FALSE(BuildEgoNetworkDatabase(g, {-1, -1, -1}).ok());  // unlabeled
+  EgoNetworkOptions bad;
+  bad.max_networks = 0;
+  EXPECT_FALSE(BuildEgoNetworkDatabase(g, {0, 0, 0}, bad).ok());
+}
+
+TEST(EgoNetworksTest, FeaturesCarriedIntoEgos) {
+  std::vector<int> labels;
+  Graph g = TwoCommunities(&labels);
+  EgoNetworkOptions opt;
+  opt.max_networks = 4;
+  auto db = BuildEgoNetworkDatabase(g, labels, opt);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < db.value().size(); ++i) {
+    EXPECT_TRUE(db.value().graph(i).has_features());
+    EXPECT_EQ(db.value().graph(i).feature_dim(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace gvex

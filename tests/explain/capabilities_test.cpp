@@ -1,0 +1,43 @@
+#include "explain/capabilities.h"
+
+#include <gtest/gtest.h>
+
+namespace gvex {
+namespace {
+
+TEST(CapabilitiesTest, TableHasSixRows) {
+  EXPECT_EQ(CapabilityTable().size(), 6u);
+}
+
+TEST(CapabilitiesTest, GvexRowClaimsAllProperties) {
+  const auto rows = CapabilityTable();
+  const auto& gvex = rows.back();
+  EXPECT_EQ(gvex.name, "GVEX");
+  EXPECT_FALSE(gvex.requires_learning);
+  EXPECT_TRUE(gvex.model_agnostic);
+  EXPECT_TRUE(gvex.label_specific);
+  EXPECT_TRUE(gvex.size_bound);
+  EXPECT_TRUE(gvex.coverage);
+  EXPECT_TRUE(gvex.configurable);
+  EXPECT_TRUE(gvex.queryable);
+}
+
+TEST(CapabilitiesTest, NoBaselineIsQueryable) {
+  for (const auto& row : CapabilityTable()) {
+    if (row.name != "GVEX") {
+      EXPECT_FALSE(row.queryable) << row.name;
+      EXPECT_FALSE(row.configurable) << row.name;
+    }
+  }
+}
+
+TEST(CapabilitiesTest, OnlyMaskLearnersRequireLearning) {
+  for (const auto& row : CapabilityTable()) {
+    const bool is_learner =
+        row.name == "GNNExplainer" || row.name == "PGExplainer";
+    EXPECT_EQ(row.requires_learning, is_learner) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace gvex

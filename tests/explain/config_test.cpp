@@ -1,0 +1,61 @@
+#include "explain/config.h"
+
+#include <gtest/gtest.h>
+
+namespace gvex {
+namespace {
+
+TEST(ConfigTest, DefaultsValidate) {
+  Configuration c;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, BoundForFallsBackToDefault) {
+  Configuration c;
+  c.default_bound = {1, 7};
+  c.coverage[3] = {2, 9};
+  EXPECT_EQ(c.BoundFor(3).upper, 9);
+  EXPECT_EQ(c.BoundFor(0).upper, 7);
+  EXPECT_EQ(c.BoundFor(0).lower, 1);
+}
+
+TEST(ConfigTest, RejectsBadTheta) {
+  Configuration c;
+  c.theta = -0.1f;
+  EXPECT_FALSE(c.Validate().ok());
+  c.theta = 1.5f;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadGamma) {
+  Configuration c;
+  c.gamma = 2.0f;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNegativeRadius) {
+  Configuration c;
+  c.r = -1.0f;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsInvertedBounds) {
+  Configuration c;
+  c.default_bound = {5, 3};
+  EXPECT_FALSE(c.Validate().ok());
+  c.default_bound = {0, 10};
+  c.coverage[1] = {-1, 5};
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadMinerAndHops) {
+  Configuration c;
+  c.miner.max_pattern_nodes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.miner.max_pattern_nodes = 3;
+  c.stream_pgen_hops = -1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,101 @@
+#include "explain/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "explain/approx_gvex.h"
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+Configuration MetricConfig() {
+  Configuration c;
+  c.theta = 0.05f;
+  c.r = 0.3f;
+  c.default_bound = {2, 8};
+  c.miner.max_pattern_nodes = 3;
+  return c;
+}
+
+ExplanationView MakeView(const GcnModel& model, const GraphDatabase& db,
+                         int label) {
+  ApproxGvex algo(&model, MetricConfig());
+  auto view = algo.GenerateView(db, label);
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+TEST(MetricsTest, EmptyExplanationsScoreZero) {
+  const auto& fx = testing::GetTrainedFixture();
+  EXPECT_EQ(FidelityPlus(fx.model, fx.db, {}), 0.0);
+  EXPECT_EQ(FidelityMinus(fx.model, fx.db, {}), 0.0);
+  EXPECT_EQ(Sparsity(fx.db, {}), 0.0);
+}
+
+TEST(MetricsTest, FidelityPlusPositiveForGvexExplanations) {
+  const auto& fx = testing::GetTrainedFixture();
+  ExplanationView view = MakeView(fx.model, fx.db, 1);
+  const double fid_plus = FidelityPlus(fx.model, fx.db, view.subgraphs);
+  // Removing the explanation should hurt the prediction on average.
+  EXPECT_GT(fid_plus, 0.0);
+  EXPECT_LE(fid_plus, 1.0);
+}
+
+TEST(MetricsTest, FidelityMinusNearZeroForConsistentExplanations) {
+  const auto& fx = testing::GetTrainedFixture();
+  ExplanationView view = MakeView(fx.model, fx.db, 1);
+  const double fid_minus = FidelityMinus(fx.model, fx.db, view.subgraphs);
+  // Consistent subgraphs keep the prediction probability close to original.
+  EXPECT_LT(fid_minus, 0.6);
+  EXPECT_GE(fid_minus, -1.0);
+}
+
+TEST(MetricsTest, SparsityInUnitRangeAndHighForSmallExplanations) {
+  const auto& fx = testing::GetTrainedFixture();
+  ExplanationView view = MakeView(fx.model, fx.db, 1);
+  const double sparsity = Sparsity(fx.db, view.subgraphs);
+  EXPECT_GT(sparsity, 0.0);
+  EXPECT_LT(sparsity, 1.0);
+  // u_l = 8 of ~35-node molecules: sparsity should be substantial.
+  EXPECT_GT(sparsity, 0.4);
+}
+
+TEST(MetricsTest, CompressionHighWhenPatternsSummarize) {
+  const auto& fx = testing::GetTrainedFixture();
+  ExplanationView view = MakeView(fx.model, fx.db, 1);
+  const double compression = Compression(view);
+  EXPECT_GE(compression, 0.0);
+  EXPECT_LT(compression, 1.0);
+  // Patterns (few, small) vs subgraphs (one per graph in the group).
+  EXPECT_GT(compression, 0.5);
+}
+
+TEST(MetricsTest, CompressionOfEmptyViewIsZero) {
+  ExplanationView view;
+  EXPECT_EQ(Compression(view), 0.0);
+  EXPECT_EQ(EdgeLoss(view), 0.0);
+}
+
+TEST(MetricsTest, EdgeLossWithinUnitRange) {
+  const auto& fx = testing::GetTrainedFixture();
+  ExplanationView view = MakeView(fx.model, fx.db, 1);
+  const double loss = EdgeLoss(view);
+  EXPECT_GE(loss, 0.0);
+  EXPECT_LE(loss, 1.0);
+}
+
+TEST(MetricsTest, FullGraphExplanationHasZeroSparsity) {
+  const auto& fx = testing::GetTrainedFixture();
+  const int gi = 0;
+  const Graph& g = fx.db.graph(gi);
+  ExplanationSubgraph ex;
+  ex.graph_index = gi;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ex.nodes.push_back(v);
+  ex.subgraph = g;
+  EXPECT_NEAR(Sparsity(fx.db, {ex}), 0.0, 1e-9);
+  // Fidelity-: explaining with the whole graph reproduces the prediction.
+  EXPECT_NEAR(FidelityMinus(fx.model, fx.db, {ex}), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,91 @@
+#include "explain/psum.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/coverage.h"
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+Configuration PsumConfig(int max_pattern_nodes = 3) {
+  Configuration c;
+  c.miner.max_pattern_nodes = max_pattern_nodes;
+  c.miner.max_patterns = 64;
+  return c;
+}
+
+TEST(PsumTest, EmptyInputIsTriviallyCovered) {
+  auto r = Psum(std::vector<Graph>{}, PsumConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().full_node_coverage);
+  EXPECT_TRUE(r.value().patterns.empty());
+  EXPECT_EQ(r.value().EdgeLoss(), 0.0);
+}
+
+TEST(PsumTest, CoversAllNodesOfSingleSubgraph) {
+  std::vector<Graph> subs{testing::TriangleWithTail()};
+  auto r = Psum(subs, PsumConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().full_node_coverage);
+  std::vector<const Graph*> ptr{&subs[0]};
+  EXPECT_TRUE(PatternsCoverAllNodes(r.value().patterns, ptr));
+}
+
+TEST(PsumTest, CoversMultipleHeterogeneousSubgraphs) {
+  std::vector<Graph> subs{testing::StarGraph(3), testing::PathGraph(4, 0),
+                          testing::TriangleWithTail()};
+  auto r = Psum(subs, PsumConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().full_node_coverage);
+  std::vector<const Graph*> ptrs;
+  for (const auto& s : subs) ptrs.push_back(&s);
+  EXPECT_TRUE(PatternsCoverAllNodes(r.value().patterns, ptrs));
+}
+
+TEST(PsumTest, EdgeAccountingConsistent) {
+  std::vector<Graph> subs{testing::TriangleWithTail()};
+  auto r = Psum(subs, PsumConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().total_edges, subs[0].num_edges());
+  EXPECT_LE(r.value().covered_edges, r.value().total_edges);
+  EXPECT_GE(r.value().covered_edges, 0);
+  EXPECT_GE(r.value().EdgeLoss(), 0.0);
+  EXPECT_LE(r.value().EdgeLoss(), 1.0);
+}
+
+TEST(PsumTest, LargerPatternBudgetNeverWorsensEdgeLoss) {
+  std::vector<Graph> subs{testing::TriangleWithTail(),
+                          testing::StarGraph(4)};
+  auto small = Psum(subs, PsumConfig(1));
+  auto large = Psum(subs, PsumConfig(4));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // With only single-node patterns no edges can be covered.
+  EXPECT_EQ(small.value().covered_edges, 0);
+  EXPECT_GE(large.value().covered_edges, small.value().covered_edges);
+  EXPECT_LE(large.value().EdgeLoss(), small.value().EdgeLoss() + 1e-12);
+}
+
+TEST(PsumTest, PatternsAreFewerThanNodes) {
+  std::vector<Graph> subs{testing::PathGraph(6, 0)};
+  auto r = Psum(subs, PsumConfig());
+  ASSERT_TRUE(r.ok());
+  // Summarization: a path of one node type needs very few patterns.
+  EXPECT_LE(r.value().patterns.size(), 2u);
+}
+
+TEST(PsumTest, EdgelessSubgraphCoveredBySingletons) {
+  Graph g;
+  g.AddNode(2);
+  g.AddNode(3);
+  std::vector<Graph> subs{std::move(g)};
+  auto r = Psum(subs, PsumConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().full_node_coverage);
+  EXPECT_EQ(r.value().total_edges, 0);
+  EXPECT_EQ(r.value().EdgeLoss(), 0.0);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,171 @@
+#include "explain/stream_gvex.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "explain/approx_gvex.h"
+#include "pattern/coverage.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace gvex {
+namespace {
+
+Configuration StreamConfig(int upper = 8) {
+  Configuration c;
+  c.theta = 0.05f;
+  c.r = 0.3f;
+  c.gamma = 0.5f;
+  c.default_bound = {2, upper};
+  c.verify_mode = VerifyMode::kConsistentOnly;
+  c.miner.max_pattern_nodes = 3;
+  return c;
+}
+
+TEST(StreamGvexTest, SingleGraphStreamProducesBoundedSubgraph) {
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig(6));
+  const int gi = fx.db.LabelGroup(1)[0];
+  auto res = algo.ExplainGraphStreaming(fx.db.graph(gi), gi, 1);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GE(static_cast<int>(res.value().subgraph.nodes.size()), 2);
+  EXPECT_LE(static_cast<int>(res.value().subgraph.nodes.size()), 6);
+  EXPECT_FALSE(res.value().patterns.empty());
+}
+
+TEST(StreamGvexTest, PatternsCoverStreamedSubgraph) {
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  const int gi = fx.db.LabelGroup(1)[0];
+  auto res = algo.ExplainGraphStreaming(fx.db.graph(gi), gi, 1);
+  ASSERT_TRUE(res.ok());
+  std::vector<const Graph*> subs{&res.value().subgraph.subgraph};
+  EXPECT_TRUE(PatternsCoverAllNodes(res.value().patterns, subs));
+}
+
+TEST(StreamGvexTest, AnytimeSnapshotsAreValidPrefixResults) {
+  const auto& fx = testing::GetTrainedFixture();
+  Configuration c = StreamConfig();
+  const int gi = fx.db.LabelGroup(1)[0];
+  const Graph& g = fx.db.graph(gi);
+  StreamGraphState state(&fx.model, &g, gi, 1, &c);
+  double prev_score = -1.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    state.ProcessNode(v);
+    if (!state.selected().empty()) {
+      auto snap = state.Snapshot();
+      ASSERT_TRUE(snap.ok());
+      EXPECT_LE(static_cast<int>(snap.value().nodes.size()),
+                c.default_bound.upper);
+      // Anytime explainability should never be negative.
+      EXPECT_GE(snap.value().explainability, 0.0);
+      prev_score = snap.value().explainability;
+    }
+  }
+  EXPECT_GE(prev_score, 0.0);
+  EXPECT_EQ(state.processed(), g.num_nodes());
+}
+
+TEST(StreamGvexTest, NodeOrderInsensitiveQuality) {
+  // Theorem 5.1 / §A.8: different node orders give similar-quality (not
+  // identical) views. We assert both orders produce feasible subgraphs whose
+  // scores are within a loose band of each other.
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  const int gi = fx.db.LabelGroup(1)[0];
+  const Graph& g = fx.db.graph(gi);
+
+  std::vector<NodeId> forward(static_cast<size_t>(g.num_nodes()));
+  std::iota(forward.begin(), forward.end(), 0);
+  std::vector<NodeId> shuffled = forward;
+  Rng rng(77);
+  rng.Shuffle(&shuffled);
+
+  auto r1 = algo.ExplainGraphStreaming(g, gi, 1, &forward);
+  auto r2 = algo.ExplainGraphStreaming(g, gi, 1, &shuffled);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  const double s1 = r1.value().subgraph.explainability;
+  const double s2 = r2.value().subgraph.explainability;
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, 0.0);
+  EXPECT_LT(std::abs(s1 - s2), 0.8 * std::max(s1, s2) + 1e-9);
+}
+
+TEST(StreamGvexTest, GenerateViewMatchesGroupSize) {
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  int skipped = 0;
+  auto view = algo.GenerateView(fx.db, 1, 1, &skipped);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(static_cast<int>(view.value().subgraphs.size()) + skipped,
+            static_cast<int>(fx.db.LabelGroup(1).size()));
+  EXPECT_FALSE(view.value().patterns.empty());
+}
+
+TEST(StreamGvexTest, StreamedScoreIsWithinFactorOfBatch) {
+  // The 1/4-approximation is relative to the optimum; against ApproxGVEX's
+  // 1/2-approximate result the stream should land within a constant factor.
+  const auto& fx = testing::GetTrainedFixture();
+  Configuration c = StreamConfig();
+  ApproxGvex batch(&fx.model, c);
+  StreamGvex stream(&fx.model, c);
+  const auto group = fx.db.LabelGroup(1);
+  int compared = 0;
+  for (size_t k = 0; k < group.size() && compared < 5; ++k) {
+    const int gi = group[k];
+    auto b = batch.ExplainGraph(fx.db.graph(gi), gi, 1);
+    auto s = stream.ExplainGraphStreaming(fx.db.graph(gi), gi, 1);
+    if (!b.ok() || !s.ok()) continue;
+    ++compared;
+    EXPECT_GE(s.value().subgraph.explainability,
+              0.25 * b.value().explainability - 1e-9)
+        << "graph " << gi;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(StreamGvexTest, PartialFractionProcessesPrefixOnly) {
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  auto partial = algo.GenerateViewPartial(fx.db, 1, 0.5);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial.value().subgraphs.empty());
+  auto full = algo.GenerateViewPartial(fx.db, 1, 1.0);
+  ASSERT_TRUE(full.ok());
+  // Full pass can only see more candidates, so total explainability per
+  // subgraph count should not be dramatically lower.
+  EXPECT_GE(full.value().explainability, 0.0);
+}
+
+TEST(StreamGvexTest, PartialFractionValidation) {
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  EXPECT_FALSE(algo.GenerateViewPartial(fx.db, 1, 0.0).ok());
+  EXPECT_FALSE(algo.GenerateViewPartial(fx.db, 1, 1.5).ok());
+}
+
+TEST(StreamGvexTest, EmptyGraphRejected) {
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  Graph empty;
+  EXPECT_FALSE(algo.ExplainGraphStreaming(empty, 0, 1).ok());
+}
+
+TEST(StreamGvexTest, SwapKeepsCacheBounded) {
+  const auto& fx = testing::GetTrainedFixture();
+  Configuration c = StreamConfig(3);  // tiny cache forces swapping
+  const int gi = fx.db.LabelGroup(1)[0];
+  const Graph& g = fx.db.graph(gi);
+  StreamGraphState state(&fx.model, &g, gi, 1, &c);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    state.ProcessNode(v);
+    EXPECT_LE(static_cast<int>(state.selected().size()), 3);
+  }
+  state.Finalize();
+  EXPECT_LE(static_cast<int>(state.selected().size()), 3);
+}
+
+}  // namespace
+}  // namespace gvex

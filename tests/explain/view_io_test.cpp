@@ -1,0 +1,91 @@
+#include "explain/view_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "explain/approx_gvex.h"
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+ExplanationView MakeRealView() {
+  const auto& fx = testing::GetTrainedFixture();
+  Configuration c;
+  c.theta = 0.05f;
+  c.r = 0.3f;
+  c.default_bound = {2, 6};
+  c.miner.max_pattern_nodes = 3;
+  ApproxGvex algo(&fx.model, c);
+  auto view = algo.GenerateView(fx.db, 1);
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+TEST(ViewIoTest, RoundTripPreservesStructure) {
+  ExplanationView view = MakeRealView();
+  auto parsed = ParseViews(SerializeView(view));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  const ExplanationView& back = parsed.value()[0];
+  EXPECT_EQ(back.label, view.label);
+  EXPECT_NEAR(back.explainability, view.explainability, 1e-6);
+  ASSERT_EQ(back.patterns.size(), view.patterns.size());
+  for (size_t i = 0; i < view.patterns.size(); ++i) {
+    EXPECT_TRUE(back.patterns[i].IsomorphicTo(view.patterns[i]));
+  }
+  ASSERT_EQ(back.subgraphs.size(), view.subgraphs.size());
+  for (size_t i = 0; i < view.subgraphs.size(); ++i) {
+    EXPECT_EQ(back.subgraphs[i].graph_index, view.subgraphs[i].graph_index);
+    EXPECT_EQ(back.subgraphs[i].nodes, view.subgraphs[i].nodes);
+    EXPECT_EQ(back.subgraphs[i].consistent, view.subgraphs[i].consistent);
+    EXPECT_EQ(back.subgraphs[i].counterfactual,
+              view.subgraphs[i].counterfactual);
+    EXPECT_EQ(back.subgraphs[i].subgraph.num_nodes(),
+              view.subgraphs[i].subgraph.num_nodes());
+    EXPECT_EQ(back.subgraphs[i].subgraph.num_edges(),
+              view.subgraphs[i].subgraph.num_edges());
+  }
+}
+
+TEST(ViewIoTest, MultipleViewsInOneText) {
+  ExplanationView view = MakeRealView();
+  std::string text = SerializeView(view) + SerializeView(view);
+  auto parsed = ParseViews(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+}
+
+TEST(ViewIoTest, FileRoundTrip) {
+  ExplanationView view = MakeRealView();
+  const std::string path = ::testing::TempDir() + "/gvex_views.txt";
+  ASSERT_TRUE(SaveViews(path, {view}).ok());
+  auto loaded = LoadViews(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].label, view.label);
+  std::remove(path.c_str());
+}
+
+TEST(ViewIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseViews("garbage\n").ok());
+  EXPECT_FALSE(ParseViews("view 1 0.5 1 0\npattern\n").ok());  // truncated
+  ExplanationView view = MakeRealView();
+  std::string text = SerializeView(view);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(ParseViews(text).ok());
+}
+
+TEST(ViewIoTest, EmptyTextGivesNoViews) {
+  auto parsed = ParseViews("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(ViewIoTest, MissingFileFails) {
+  EXPECT_TRUE(LoadViews("/no/such/views.txt").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace gvex

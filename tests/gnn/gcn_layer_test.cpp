@@ -1,0 +1,144 @@
+#include "gnn/gcn_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/readout.h"
+#include "la/matrix_ops.h"
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+SparseMatrix PathOperator(int n) { return testing::PathGraph(n).NormalizedAdjacency(); }
+
+TEST(GcnLayerTest, GlorotInitWithinBounds) {
+  Rng rng(1);
+  GcnLayer layer(8, 16, &rng);
+  const float limit = std::sqrt(6.0f / (8 + 16));
+  EXPECT_LE(layer.weight().MaxAbs(), limit + 1e-6);
+  EXPECT_GT(layer.weight().FrobeniusNorm(), 0.0);
+}
+
+TEST(GcnLayerTest, ForwardMatchesManualComputation) {
+  Rng rng(2);
+  GcnLayer layer(1, 1, &rng);
+  layer.mutable_weight()->at(0, 0) = 2.0f;
+  SparseMatrix s = PathOperator(2);
+  Matrix x(2, 1, 1.0f);
+  GcnLayer::Cache cache;
+  Matrix h = layer.Forward(s, x, /*relu=*/true, &cache);
+  // Manual: S is symmetric-normalized path of 2 nodes with self loops:
+  // deg = 2 each, S = [[0.5, 0.5], [0.5, 0.5]]; SXW = [[2],[2]] * 0.5+0.5 = 2.
+  EXPECT_NEAR(h.at(0, 0), 2.0f, 1e-5f);
+  EXPECT_NEAR(h.at(1, 0), 2.0f, 1e-5f);
+  EXPECT_EQ(cache.relu_mask.at(0, 0), 1.0f);
+}
+
+TEST(GcnLayerTest, ReluDisabledKeepsNegatives) {
+  Rng rng(3);
+  GcnLayer layer(1, 1, &rng);
+  layer.mutable_weight()->at(0, 0) = -1.0f;
+  SparseMatrix s = PathOperator(2);
+  Matrix x(2, 1, 1.0f);
+  Matrix lin = layer.Forward(s, x, /*relu=*/false, nullptr);
+  EXPECT_LT(lin.at(0, 0), 0.0f);
+  Matrix rel = layer.Forward(s, x, /*relu=*/true, nullptr);
+  EXPECT_EQ(rel.at(0, 0), 0.0f);
+}
+
+// Finite-difference gradient check for the weight gradient: L = sum(H).
+TEST(GcnLayerTest, WeightGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  GcnLayer layer(3, 2, &rng);
+  SparseMatrix s = PathOperator(4);
+  Matrix x(4, 3);
+  Rng xr(9);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) x.at(i, j) = xr.NextFloat(-1.0f, 1.0f);
+  }
+  auto loss = [&](const GcnLayer& l) {
+    Matrix h = l.Forward(s, x, true, nullptr);
+    double total = 0.0;
+    for (int i = 0; i < h.rows(); ++i) {
+      for (int j = 0; j < h.cols(); ++j) total += h.at(i, j);
+    }
+    return total;
+  };
+  GcnLayer::Cache cache;
+  Matrix h = layer.Forward(s, x, true, &cache);
+  Matrix grad_out(h.rows(), h.cols(), 1.0f);  // dL/dH = 1
+  Matrix grad_w(3, 2);
+  layer.Backward(s, cache, true, grad_out, &grad_w);
+
+  const float eps = 1e-3f;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      GcnLayer plus = layer;
+      plus.mutable_weight()->at(i, j) += eps;
+      GcnLayer minus = layer;
+      minus.mutable_weight()->at(i, j) -= eps;
+      const double fd = (loss(plus) - loss(minus)) / (2.0 * eps);
+      EXPECT_NEAR(grad_w.at(i, j), fd, 5e-2)
+          << "weight (" << i << "," << j << ")";
+    }
+  }
+}
+
+// Finite-difference check for the input gradient.
+TEST(GcnLayerTest, InputGradientMatchesFiniteDifference) {
+  Rng rng(5);
+  GcnLayer layer(2, 2, &rng);
+  SparseMatrix s = PathOperator(3);
+  Matrix x(3, 2);
+  Rng xr(11);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) x.at(i, j) = xr.NextFloat(-1.0f, 1.0f);
+  }
+  auto loss = [&](const Matrix& input) {
+    Matrix h = layer.Forward(s, input, true, nullptr);
+    double total = 0.0;
+    for (int i = 0; i < h.rows(); ++i) {
+      for (int j = 0; j < h.cols(); ++j) total += h.at(i, j);
+    }
+    return total;
+  };
+  GcnLayer::Cache cache;
+  Matrix h = layer.Forward(s, x, true, &cache);
+  Matrix grad_out(h.rows(), h.cols(), 1.0f);
+  Matrix grad_w(2, 2);
+  Matrix dx = layer.Backward(s, cache, true, grad_out, &grad_w);
+
+  const float eps = 1e-3f;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      Matrix xp = x;
+      xp.at(i, j) += eps;
+      Matrix xm = x;
+      xm.at(i, j) -= eps;
+      const double fd = (loss(xp) - loss(xm)) / (2.0 * eps);
+      EXPECT_NEAR(dx.at(i, j), fd, 5e-2) << "input (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ReadoutTest, MaxBackwardRoutesToWinners) {
+  Matrix x = Matrix::FromRows({{1, 5}, {3, 2}});
+  std::vector<int> argmax;
+  Matrix pooled = Readout(ReadoutKind::kMax, x, &argmax);
+  Matrix grad_pooled = Matrix::FromRows({{10, 20}});
+  Matrix dx = ReadoutBackward(ReadoutKind::kMax, grad_pooled, 2, argmax);
+  EXPECT_EQ(dx.at(1, 0), 10.0f);  // col 0 winner is row 1
+  EXPECT_EQ(dx.at(0, 1), 20.0f);  // col 1 winner is row 0
+  EXPECT_EQ(dx.at(0, 0), 0.0f);
+}
+
+TEST(ReadoutTest, MeanBackwardSpreadsUniformly) {
+  Matrix grad_pooled = Matrix::FromRows({{8.0f}});
+  Matrix dx = ReadoutBackward(ReadoutKind::kMean, grad_pooled, 4, {});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dx.at(i, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,139 @@
+#include "gnn/influence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+GcnModel SmallModel(int input_dim, uint64_t seed = 41) {
+  GcnConfig cfg;
+  cfg.input_dim = input_dim;
+  cfg.hidden_dim = 4;
+  cfg.num_layers = 2;
+  cfg.num_classes = 2;
+  Rng rng(seed);
+  return GcnModel(cfg, &rng);
+}
+
+// Exact Jacobian must match finite differences of the node embeddings.
+TEST(InfluenceTest, ExactJacobianMatchesFiniteDifference) {
+  Graph g = testing::TriangleWithTail();
+  GcnModel model = SmallModel(g.feature_dim());
+  NodeInfluence inf =
+      NodeInfluence::Compute(model, g, InfluenceMode::kExactJacobian);
+
+  const float eps = 1e-3f;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      // Finite-difference L1 norm of dX^k_v / dX^0_u: perturb each input
+      // coordinate of u and accumulate |dX^k_v|.
+      double fd_l1 = 0.0;
+      for (int a = 0; a < g.feature_dim(); ++a) {
+        Graph gp = g;
+        Matrix xp = g.features();
+        xp.at(u, a) += eps;
+        (void)gp.SetFeatures(xp);
+        Matrix ep = model.NodeEmbeddings(gp);
+
+        Graph gm = g;
+        Matrix xm = g.features();
+        xm.at(u, a) -= eps;
+        (void)gm.SetFeatures(xm);
+        Matrix em = model.NodeEmbeddings(gm);
+
+        for (int j = 0; j < ep.cols(); ++j) {
+          fd_l1 += std::fabs((ep.at(v, j) - em.at(v, j)) / (2.0f * eps));
+        }
+      }
+      EXPECT_NEAR(inf.I1(v, u), fd_l1, 0.05 + 0.05 * fd_l1)
+          << "pair v=" << v << " u=" << u;
+    }
+  }
+}
+
+TEST(InfluenceTest, I2RowsNormalizeToOne) {
+  Graph g = testing::TriangleWithTail();
+  GcnModel model = SmallModel(g.feature_dim());
+  NodeInfluence inf =
+      NodeInfluence::Compute(model, g, InfluenceMode::kExactJacobian);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double total = 0.0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) total += inf.I2(u, v);
+    // Rows normalize to 1 unless the target embedding is totally dead.
+    if (total > 0.0) EXPECT_NEAR(total, 1.0, 1e-4);
+  }
+}
+
+TEST(InfluenceTest, RandomWalkIsKStepPropagationMass) {
+  Graph g = testing::PathGraph(3);
+  GcnModel model = SmallModel(1);
+  NodeInfluence inf =
+      NodeInfluence::Compute(model, g, InfluenceMode::kRandomWalk);
+  // S^2 computed by hand via dense multiply.
+  Matrix s = g.NormalizedAdjacency().ToDense();
+  Matrix s2 = Matrix(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 3; ++k) acc += s.at(i, k) * s.at(k, j);
+      s2.at(i, j) = acc;
+    }
+  }
+  for (NodeId v = 0; v < 3; ++v) {
+    for (NodeId u = 0; u < 3; ++u) {
+      EXPECT_NEAR(inf.I1(v, u), s2.at(v, u), 1e-5f);
+    }
+  }
+}
+
+TEST(InfluenceTest, RandomWalkInfluenceDecaysWithDistance) {
+  Graph g = testing::PathGraph(6);
+  GcnModel model = SmallModel(1);
+  NodeInfluence inf =
+      NodeInfluence::Compute(model, g, InfluenceMode::kRandomWalk);
+  // On a path, node 0's influence on node 1 exceeds its influence on node 5
+  // (which is 0 beyond k hops).
+  EXPECT_GT(inf.I1(1, 0), inf.I1(5, 0));
+  EXPECT_EQ(inf.I1(5, 0), 0.0f);  // distance 5 > 2 layers
+}
+
+TEST(InfluenceTest, AutoSelectsExactForSmallGraphs) {
+  Graph g = testing::PathGraph(4);
+  GcnModel model = SmallModel(1);
+  NodeInfluence inf = NodeInfluence::Compute(model, g, InfluenceMode::kAuto,
+                                             /*auto_exact_node_limit=*/10);
+  EXPECT_EQ(inf.mode_used(), InfluenceMode::kExactJacobian);
+}
+
+TEST(InfluenceTest, AutoSelectsRandomWalkForLargeGraphs) {
+  Graph g = testing::PathGraph(20);
+  GcnModel model = SmallModel(1);
+  NodeInfluence inf = NodeInfluence::Compute(model, g, InfluenceMode::kAuto,
+                                             /*auto_exact_node_limit=*/10);
+  EXPECT_EQ(inf.mode_used(), InfluenceMode::kRandomWalk);
+}
+
+TEST(InfluenceTest, EmptyGraph) {
+  Graph g;
+  GcnModel model = SmallModel(1);
+  NodeInfluence inf =
+      NodeInfluence::Compute(model, g, InfluenceMode::kRandomWalk);
+  EXPECT_EQ(inf.num_nodes(), 0);
+}
+
+TEST(InfluenceTest, SelfInfluenceIsPositive) {
+  Graph g = testing::TriangleWithTail();
+  GcnModel model = SmallModel(g.feature_dim());
+  NodeInfluence inf =
+      NodeInfluence::Compute(model, g, InfluenceMode::kRandomWalk);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GT(inf.I1(v, v), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gvex

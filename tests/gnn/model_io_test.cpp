@@ -1,0 +1,74 @@
+#include "gnn/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+GcnModel MakeModel(uint64_t seed = 51) {
+  GcnConfig cfg;
+  cfg.input_dim = 3;
+  cfg.hidden_dim = 5;
+  cfg.num_layers = 2;
+  cfg.num_classes = 4;
+  Rng rng(seed);
+  return GcnModel(cfg, &rng);
+}
+
+TEST(ModelIoTest, SerializeParseRoundTripPreservesPredictions) {
+  GcnModel model = MakeModel();
+  Graph g = testing::PathGraph(5, 0, 3);
+  auto before = model.PredictProba(g);
+
+  auto parsed = ParseModel(SerializeModel(model));
+  ASSERT_TRUE(parsed.ok());
+  auto after = parsed.value().PredictProba(g);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-5f);
+  }
+}
+
+TEST(ModelIoTest, ConfigPreserved) {
+  GcnModel model = MakeModel();
+  auto parsed = ParseModel(SerializeModel(model));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().config().input_dim, 3);
+  EXPECT_EQ(parsed.value().config().hidden_dim, 5);
+  EXPECT_EQ(parsed.value().config().num_layers, 2);
+  EXPECT_EQ(parsed.value().config().num_classes, 4);
+}
+
+TEST(ModelIoTest, SaveLoadFile) {
+  GcnModel model = MakeModel();
+  const std::string path = ::testing::TempDir() + "/gvex_model.txt";
+  ASSERT_TRUE(SaveModel(path, model).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  Graph g = testing::PathGraph(4, 0, 3);
+  EXPECT_EQ(loaded.value().Predict(g), model.Predict(g));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsCorruptHeader) {
+  EXPECT_FALSE(ParseModel("garbage v9").ok());
+  EXPECT_FALSE(ParseModel("").ok());
+}
+
+TEST(ModelIoTest, RejectsTruncatedWeights) {
+  GcnModel model = MakeModel();
+  std::string text = SerializeModel(model);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(ParseModel(text).ok());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadModel("/no/such/model.txt").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace gvex

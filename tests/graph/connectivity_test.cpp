@@ -1,0 +1,74 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+TEST(ConnectivityTest, SingleComponent) {
+  Graph g = testing::PathGraph(4);
+  auto comps = ConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, TwoComponents) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(0);
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(2, 3);
+  auto comps = ConnectedComponents(g);
+  ASSERT_EQ(comps.size(), 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(comps[2], (std::vector<NodeId>{4}));
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_TRUE(ConnectedComponents(g).empty());
+}
+
+TEST(ConnectivityTest, DirectedEdgesTreatedAsUndirected) {
+  Graph g(/*directed=*/true);
+  g.AddNode(0);
+  g.AddNode(0);
+  (void)g.AddEdge(1, 0);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(BfsDistancesTest, PathDistances) {
+  Graph g = testing::PathGraph(5);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsDistancesTest, UnreachableIsMinusOne) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], -1);
+}
+
+TEST(InducedSubsetConnectedTest, ConnectedSubset) {
+  Graph g = testing::PathGraph(5);
+  EXPECT_TRUE(InducedSubsetConnected(g, {1, 2, 3}));
+}
+
+TEST(InducedSubsetConnectedTest, DisconnectedSubset) {
+  Graph g = testing::PathGraph(5);
+  EXPECT_FALSE(InducedSubsetConnected(g, {0, 4}));
+}
+
+TEST(InducedSubsetConnectedTest, EmptyAndSingleton) {
+  Graph g = testing::PathGraph(3);
+  EXPECT_TRUE(InducedSubsetConnected(g, {}));
+  EXPECT_TRUE(InducedSubsetConnected(g, {2}));
+}
+
+}  // namespace
+}  // namespace gvex

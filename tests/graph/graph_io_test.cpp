@@ -1,0 +1,91 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+TEST(GraphIoTest, SerializeParseRoundTrip) {
+  Graph g = testing::TriangleWithTail();
+  std::string text = SerializeGraph(g, 1);
+  auto parsed = ParseGraphs(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  const LabeledGraph& lg = parsed.value()[0];
+  EXPECT_EQ(lg.label, 1);
+  EXPECT_EQ(lg.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(lg.graph.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(lg.graph.node_type(v), g.node_type(v));
+  }
+  ASSERT_TRUE(lg.graph.has_features());
+  EXPECT_EQ(lg.graph.features().RowVec(0), g.features().RowVec(0));
+}
+
+TEST(GraphIoTest, MultipleGraphsInOneText) {
+  std::string text = SerializeGraph(testing::PathGraph(3), 0) +
+                     SerializeGraph(testing::StarGraph(2), 1);
+  auto parsed = ParseGraphs(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].label, 0);
+  EXPECT_EQ(parsed.value()[1].label, 1);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::string text =
+      "# a comment\n\ngraph 2 0 -1\nn 0 0\nn 1 0\ne 0 1 0\nend\n";
+  auto parsed = ParseGraphs(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()[0].graph.num_edges(), 1);
+  EXPECT_EQ(parsed.value()[0].label, -1);
+}
+
+TEST(GraphIoTest, DirectedFlagPreserved) {
+  Graph g(/*directed=*/true);
+  g.AddNode(0);
+  g.AddNode(1);
+  (void)g.AddEdge(0, 1);
+  auto parsed = ParseGraphs(SerializeGraph(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value()[0].graph.directed());
+  EXPECT_TRUE(parsed.value()[0].graph.HasEdge(0, 1));
+  EXPECT_FALSE(parsed.value()[0].graph.HasEdge(1, 0));
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseGraphs("graph 1 0\nn 0 0\n").ok());        // no end
+  EXPECT_FALSE(ParseGraphs("n 0 0\n").ok());                   // node outside
+  EXPECT_FALSE(ParseGraphs("graph 2 0\nn 1 0\nend\n").ok());   // non-dense id
+  EXPECT_FALSE(ParseGraphs("bogus\n").ok());                   // unknown tag
+  EXPECT_FALSE(
+      ParseGraphs("graph 1 0\nn 0 0\ne 0 5 0\nend\n").ok());   // bad edge
+}
+
+TEST(GraphIoTest, NodeCountMismatchRejected) {
+  EXPECT_FALSE(ParseGraphs("graph 3 0\nn 0 0\nend\n").ok());
+}
+
+TEST(GraphIoTest, SaveAndLoadFile) {
+  std::vector<LabeledGraph> graphs;
+  graphs.push_back({testing::PathGraph(4), 0});
+  graphs.push_back({testing::StarGraph(3), 1});
+  const std::string path = ::testing::TempDir() + "/gvex_graphs.txt";
+  ASSERT_TRUE(SaveGraphs(path, graphs).ok());
+  auto loaded = LoadGraphs(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[1].graph.num_nodes(), 4);  // star with 3 leaves
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadGraphs("/no/such/file.txt").ok());
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,132 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gvex {
+namespace {
+
+TEST(GraphTest, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode(5), 0);
+  EXPECT_EQ(g.AddNode(7), 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.node_type(0), 5);
+  EXPECT_EQ(g.node_type(1), 7);
+}
+
+TEST(GraphTest, UndirectedEdgeVisibleBothWays) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  ASSERT_TRUE(g.AddEdge(0, 1, 3).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.EdgeType(0, 1), 3);
+  EXPECT_EQ(g.EdgeType(1, 0), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(GraphTest, DirectedEdgeOneWay) {
+  Graph g(/*directed=*/true);
+  g.AddNode(0);
+  g.AddNode(0);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.EdgeType(1, 0), -1);
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Graph g;
+  g.AddNode(0);
+  EXPECT_TRUE(g.AddEdge(0, 0).IsInvalidArgument());
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 1).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(1, 0).IsInvalidArgument());  // same undirected edge
+}
+
+TEST(GraphTest, RejectsOutOfBoundsEdge) {
+  Graph g;
+  g.AddNode(0);
+  EXPECT_TRUE(g.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(-1, 0).IsInvalidArgument());
+}
+
+TEST(GraphTest, SetFeaturesValidatesShape) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  EXPECT_TRUE(g.SetFeatures(Matrix(1, 4)).IsInvalidArgument());
+  EXPECT_TRUE(g.SetFeatures(Matrix(2, 4)).ok());
+  EXPECT_TRUE(g.has_features());
+  EXPECT_EQ(g.feature_dim(), 4);
+}
+
+TEST(GraphTest, OneHotFeaturesFromTypes) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(2);
+  ASSERT_TRUE(g.SetOneHotFeaturesFromTypes(3).ok());
+  EXPECT_EQ(g.features().at(0, 0), 1.0f);
+  EXPECT_EQ(g.features().at(0, 2), 0.0f);
+  EXPECT_EQ(g.features().at(1, 2), 1.0f);
+}
+
+TEST(GraphTest, OneHotRejectsOutOfRangeType) {
+  Graph g;
+  g.AddNode(5);
+  EXPECT_TRUE(g.SetOneHotFeaturesFromTypes(3).IsInvalidArgument());
+}
+
+TEST(GraphTest, NormalizedAdjacencyRowSumsForRegularGraph) {
+  // Triangle: every node has degree 2, Â degree 3, so each S row sums to 1.
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(0);
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(0, 2);
+  SparseMatrix s = g.NormalizedAdjacency();
+  Matrix ones(3, 1, 1.0f);
+  Matrix rowsum = s.Multiply(ones);
+  for (int v = 0; v < 3; ++v) EXPECT_NEAR(rowsum.at(v, 0), 1.0f, 1e-6f);
+}
+
+TEST(GraphTest, NormalizedAdjacencyIsSymmetric) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(0);
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(2, 3);
+  SparseMatrix s = g.NormalizedAdjacency();
+  Matrix d = s.ToDense();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(d.at(i, j), d.at(j, i), 1e-7f);
+    }
+  }
+}
+
+TEST(GraphTest, IsolatedNodeSelfLoopWeightIsOne) {
+  Graph g;
+  g.AddNode(0);
+  SparseMatrix s = g.NormalizedAdjacency();
+  EXPECT_NEAR(s.At(0, 0), 1.0f, 1e-7f);
+}
+
+TEST(GraphTest, ToStringMentionsCounts) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  (void)g.AddEdge(0, 1);
+  EXPECT_EQ(g.ToString(), "Graph(n=2, m=1, directed=false)");
+}
+
+}  // namespace
+}  // namespace gvex

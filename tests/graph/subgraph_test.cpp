@@ -1,0 +1,107 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+using testing::TriangleWithTail;
+
+TEST(InducedSubgraphTest, ExtractsNodesTypesAndEdges) {
+  Graph g = TriangleWithTail();
+  auto r = ExtractInducedSubgraph(g, {0, 1, 2});
+  ASSERT_TRUE(r.ok());
+  const Graph& sub = r.value().graph;
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 3);  // the full triangle
+  EXPECT_EQ(sub.node_type(0), 1);
+  EXPECT_EQ(r.value().original_nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(InducedSubgraphTest, CopiesFeatureRows) {
+  Graph g = TriangleWithTail();
+  auto r = ExtractInducedSubgraph(g, {2, 4});
+  ASSERT_TRUE(r.ok());
+  const Graph& sub = r.value().graph;
+  ASSERT_TRUE(sub.has_features());
+  EXPECT_EQ(sub.features().RowVec(0), g.features().RowVec(2));
+  EXPECT_EQ(sub.features().RowVec(1), g.features().RowVec(4));
+}
+
+TEST(InducedSubgraphTest, OnlyInducedEdgesIncluded) {
+  Graph g = TriangleWithTail();
+  auto r = ExtractInducedSubgraph(g, {0, 3});  // not adjacent
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_edges(), 0);
+}
+
+TEST(InducedSubgraphTest, DeduplicatesNodes) {
+  Graph g = TriangleWithTail();
+  auto r = ExtractInducedSubgraph(g, {1, 1, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 2);
+}
+
+TEST(InducedSubgraphTest, RejectsOutOfRange) {
+  Graph g = TriangleWithTail();
+  EXPECT_FALSE(ExtractInducedSubgraph(g, {0, 99}).ok());
+  EXPECT_FALSE(ExtractInducedSubgraph(g, {-1}).ok());
+}
+
+TEST(InducedSubgraphTest, EmptySelectionGivesEmptyGraph) {
+  Graph g = TriangleWithTail();
+  auto r = ExtractInducedSubgraph(g, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 0);
+}
+
+TEST(RemoveNodesTest, ComplementSurgery) {
+  Graph g = TriangleWithTail();  // nodes 0..4
+  auto r = RemoveNodes(g, {0, 1});
+  ASSERT_TRUE(r.ok());
+  const Graph& rest = r.value().graph;
+  EXPECT_EQ(rest.num_nodes(), 3);
+  // Remaining original nodes: 2,3,4 with edges 2-3, 3-4.
+  EXPECT_EQ(rest.num_edges(), 2);
+  EXPECT_EQ(r.value().original_nodes, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(RemoveNodesTest, RemoveAllYieldsEmpty) {
+  Graph g = TriangleWithTail();
+  auto r = RemoveNodes(g, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 0);
+}
+
+TEST(RemoveNodesTest, RemoveNothingIsIdentityShape) {
+  Graph g = TriangleWithTail();
+  auto r = RemoveNodes(g, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.value().graph.num_edges(), g.num_edges());
+}
+
+TEST(NeighborhoodTest, ZeroHopsIsJustCenter) {
+  Graph g = TriangleWithTail();
+  InducedSubgraph nb = ExtractNeighborhood(g, 3, 0);
+  EXPECT_EQ(nb.graph.num_nodes(), 1);
+  EXPECT_EQ(nb.original_nodes[0], 3);
+}
+
+TEST(NeighborhoodTest, OneHopCollectsNeighbors) {
+  Graph g = TriangleWithTail();
+  InducedSubgraph nb = ExtractNeighborhood(g, 3, 1);
+  // Node 3 neighbors: 2 and 4.
+  EXPECT_EQ(nb.graph.num_nodes(), 3);
+}
+
+TEST(NeighborhoodTest, LargeRadiusCoversComponent) {
+  Graph g = TriangleWithTail();
+  InducedSubgraph nb = ExtractNeighborhood(g, 0, 10);
+  EXPECT_EQ(nb.graph.num_nodes(), 5);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,122 @@
+#include "la/matrix_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gvex {
+namespace {
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_TRUE(MatMul(a, Matrix::Identity(3)) == a);
+  EXPECT_TRUE(MatMul(Matrix::Identity(2), a) == a);
+}
+
+TEST(MatMulTest, TransAAgreesWithExplicitTranspose) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix b = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  EXPECT_TRUE(MatMulTransA(a, b) == MatMul(a.Transposed(), b));
+}
+
+TEST(MatMulTest, TransBAgreesWithExplicitTranspose) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}});
+  Matrix b = Matrix::FromRows({{1, 1, 1}, {2, 0, 2}});
+  EXPECT_TRUE(MatMulTransB(a, b) == MatMul(a, b.Transposed()));
+}
+
+TEST(HadamardTest, Elementwise) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{2, 2}, {0, -1}});
+  Matrix c = Hadamard(a, b);
+  EXPECT_EQ(c.at(0, 1), 4.0f);
+  EXPECT_EQ(c.at(1, 0), 0.0f);
+  EXPECT_EQ(c.at(1, 1), -4.0f);
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  Matrix x = Matrix::FromRows({{-1, 0, 2}});
+  Matrix y = Relu(x);
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_EQ(y.at(0, 2), 2.0f);
+}
+
+TEST(ReluMaskTest, BinaryIndicator) {
+  Matrix x = Matrix::FromRows({{-1, 0, 2}});
+  Matrix m = ReluMask(x);
+  EXPECT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_EQ(m.at(0, 1), 0.0f);  // boundary: 0 is not > 0
+  EXPECT_EQ(m.at(0, 2), 1.0f);
+}
+
+TEST(SoftmaxTest, SumsToOneAndOrders) {
+  auto p = Softmax({1.0f, 2.0f, 3.0f});
+  float sum = p[0] + p[1] + p[2];
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  auto p = Softmax({1000.0f, 1000.0f});
+  EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(SoftmaxRowsTest, RowIndependence) {
+  Matrix logits = Matrix::FromRows({{0, 0}, {100, 0}});
+  Matrix p = SoftmaxRows(logits);
+  EXPECT_NEAR(p.at(0, 0), 0.5f, 1e-6f);
+  EXPECT_GT(p.at(1, 0), 0.99f);
+}
+
+TEST(MaxPoolTest, PicksColumnMaxAndArgmax) {
+  Matrix x = Matrix::FromRows({{1, 5}, {3, 2}});
+  std::vector<int> argmax;
+  Matrix pooled = MaxPoolRows(x, &argmax);
+  EXPECT_EQ(pooled.at(0, 0), 3.0f);
+  EXPECT_EQ(pooled.at(0, 1), 5.0f);
+  EXPECT_EQ(argmax, (std::vector<int>{1, 0}));
+}
+
+TEST(MaxPoolTest, EmptyInputPoolsToZeros) {
+  Matrix x(0, 3);
+  std::vector<int> argmax;
+  Matrix pooled = MaxPoolRows(x, &argmax);
+  EXPECT_EQ(pooled.rows(), 1);
+  EXPECT_EQ(pooled.at(0, 2), 0.0f);
+  EXPECT_EQ(argmax, (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(MeanPoolTest, ColumnAverages) {
+  Matrix x = Matrix::FromRows({{1, 2}, {3, 6}});
+  Matrix pooled = MeanPoolRows(x);
+  EXPECT_EQ(pooled.at(0, 0), 2.0f);
+  EXPECT_EQ(pooled.at(0, 1), 4.0f);
+}
+
+TEST(DistanceTest, SquaredAndNormalized) {
+  Matrix x = Matrix::FromRows({{0, 0, 0, 0}, {1, 1, 1, 1}});
+  EXPECT_DOUBLE_EQ(RowSquaredDistance(x, 0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(NormalizedRowDistance(x, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedRowDistance(x, 0, 0), 0.0);
+}
+
+TEST(ArgMaxTest, FirstOfTiesAndEmpty) {
+  EXPECT_EQ(ArgMax({1.0f, 3.0f, 3.0f}), 1);
+  EXPECT_EQ(ArgMax({}), 0);
+}
+
+}  // namespace
+}  // namespace gvex

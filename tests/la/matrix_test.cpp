@@ -1,0 +1,104 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace gvex {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructZeroInitialized) {
+  Matrix m(2, 3);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(m.at(r, c), 0.0f);
+  }
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 1.5f);
+  EXPECT_EQ(m.at(1, 1), 1.5f);
+}
+
+TEST(MatrixTest, FromRowsAndEquality) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.at(0, 1), 2.0f);
+  EXPECT_EQ(m.at(1, 0), 3.0f);
+  Matrix same = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(m == same);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.at(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, RowVecAndSetRow) {
+  Matrix m(2, 3);
+  m.SetRow(1, {7, 8, 9});
+  auto row = m.RowVec(1);
+  EXPECT_EQ(row, (std::vector<float>{7, 8, 9}));
+  EXPECT_EQ(m.RowVec(0), (std::vector<float>{0, 0, 0}));
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  Matrix sum = a + b;
+  EXPECT_EQ(sum.at(1, 1), 44.0f);
+  Matrix diff = b - a;
+  EXPECT_EQ(diff.at(0, 0), 9.0f);
+  Matrix scaled = a * 2.0f;
+  EXPECT_EQ(scaled.at(1, 0), 6.0f);
+}
+
+TEST(MatrixTest, InPlaceOperators) {
+  Matrix a = Matrix::FromRows({{1, 1}});
+  a += Matrix::FromRows({{2, 3}});
+  a *= 2.0f;
+  EXPECT_EQ(a.at(0, 0), 6.0f);
+  EXPECT_EQ(a.at(0, 1), 8.0f);
+  a -= Matrix::FromRows({{1, 1}});
+  EXPECT_EQ(a.at(0, 0), 5.0f);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_TRUE(t.Transposed() == m);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m = Matrix::FromRows({{3, -4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.L1Norm(), 7.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 3.0f);
+  m.Fill(0.0f);
+  EXPECT_EQ(m.L1Norm(), 0.0);
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(20, 20, 1.0f);
+  std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("Matrix 20x20"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,70 @@
+#include "la/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "la/matrix_ops.h"
+
+namespace gvex {
+namespace {
+
+TEST(SparseTest, EmptyMatrix) {
+  SparseMatrix s;
+  EXPECT_EQ(s.rows(), 0);
+  EXPECT_EQ(s.nnz(), 0u);
+}
+
+TEST(SparseTest, TripletsCoalesceDuplicates) {
+  SparseMatrix s(2, 2, {{0, 0, 1.0f}, {0, 0, 2.0f}, {1, 1, 5.0f}});
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_EQ(s.At(0, 0), 3.0f);
+  EXPECT_EQ(s.At(1, 1), 5.0f);
+  EXPECT_EQ(s.At(0, 1), 0.0f);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  SparseMatrix s(3, 3,
+                 {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, -1.0f}, {2, 2, 4.0f}});
+  Matrix x = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  Matrix y = s.Multiply(x);
+  Matrix expected = MatMul(s.ToDense(), x);
+  EXPECT_TRUE(y == expected);
+}
+
+TEST(SparseTest, MultiplyTransposedMatchesDense) {
+  SparseMatrix s(2, 3, {{0, 0, 1.0f}, {0, 2, 3.0f}, {1, 1, -2.0f}});
+  Matrix x = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix y = s.MultiplyTransposed(x);
+  Matrix expected = MatMul(s.ToDense().Transposed(), x);
+  EXPECT_TRUE(y == expected);
+}
+
+TEST(SparseTest, RowIterationSortedWithinRow) {
+  SparseMatrix s(1, 4, {{0, 3, 1.0f}, {0, 1, 2.0f}, {0, 2, 3.0f}});
+  int prev = -1;
+  for (int idx = s.row_begin(0); idx < s.row_end(0); ++idx) {
+    EXPECT_GT(s.col_at(idx), prev);
+    prev = s.col_at(idx);
+  }
+  EXPECT_EQ(s.row_end(0) - s.row_begin(0), 3);
+}
+
+TEST(SparseTest, IdentityMultiplyIsNoOp) {
+  std::vector<SparseMatrix::Triplet> trips;
+  for (int i = 0; i < 4; ++i) trips.push_back({i, i, 1.0f});
+  SparseMatrix id(4, 4, std::move(trips));
+  Matrix x = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  EXPECT_TRUE(id.Multiply(x) == x);
+  EXPECT_TRUE(id.MultiplyTransposed(x) == x);
+}
+
+TEST(SparseTest, RectangularShapes) {
+  SparseMatrix s(2, 5, {{0, 4, 1.0f}, {1, 0, 2.0f}});
+  Matrix x(5, 1, 1.0f);
+  Matrix y = s.Multiply(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.at(0, 0), 1.0f);
+  EXPECT_EQ(y.at(1, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace gvex

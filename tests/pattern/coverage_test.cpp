@@ -1,0 +1,97 @@
+#include "pattern/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gvex {
+namespace {
+
+Pattern EdgePattern(int t1, int t2) {
+  Graph g;
+  g.AddNode(t1);
+  g.AddNode(t2);
+  (void)g.AddEdge(0, 1);
+  return std::move(Pattern::Create(std::move(g))).value();
+}
+
+TEST(PatternTest, CreateRejectsEmptyAndDisconnected) {
+  Graph empty;
+  EXPECT_FALSE(Pattern::Create(std::move(empty)).ok());
+  Graph disc;
+  disc.AddNode(0);
+  disc.AddNode(0);
+  EXPECT_FALSE(Pattern::Create(std::move(disc)).ok());
+}
+
+TEST(PatternTest, SingleNodeAndIsomorphicTo) {
+  Pattern a = Pattern::SingleNode(3);
+  Pattern b = Pattern::SingleNode(3);
+  Pattern c = Pattern::SingleNode(4);
+  EXPECT_TRUE(a.IsomorphicTo(b));
+  EXPECT_FALSE(a.IsomorphicTo(c));
+  EXPECT_EQ(a.num_nodes(), 1);
+}
+
+TEST(CoverageTest, EdgePatternCoversStar) {
+  Graph g = testing::StarGraph(3);  // hub type 1, leaves type 0
+  CoverageMask mask = ComputeCoverage(EdgePattern(1, 0), g);
+  EXPECT_TRUE(mask.AllNodes());
+  EXPECT_EQ(mask.CountEdges(), 3);
+}
+
+TEST(CoverageTest, TypeRestrictedCoverage) {
+  Graph g = testing::TriangleWithTail();  // triangle type1, tail type0
+  CoverageMask mask = ComputeCoverage(EdgePattern(1, 1), g);
+  // Covers exactly the triangle nodes and triangle edges.
+  EXPECT_EQ(mask.CountNodes(), 3);
+  EXPECT_EQ(mask.CountEdges(), 3);
+  EXPECT_FALSE(mask.AllNodes());
+}
+
+TEST(CoverageTest, PatternSetUnion) {
+  Graph g = testing::TriangleWithTail();
+  std::vector<Pattern> patterns{EdgePattern(1, 1), EdgePattern(0, 0),
+                                EdgePattern(1, 0)};
+  CoverageMask mask = ComputeCoverage(patterns, g);
+  EXPECT_TRUE(mask.AllNodes());
+  EXPECT_EQ(mask.CountEdges(), g.num_edges());
+}
+
+TEST(CoverageTest, NoMatchesMeansNoCoverage) {
+  Graph g = testing::PathGraph(3, 0);
+  CoverageMask mask = ComputeCoverage(EdgePattern(5, 5), g);
+  EXPECT_EQ(mask.CountNodes(), 0);
+  EXPECT_EQ(mask.CountEdges(), 0);
+}
+
+TEST(CoverageTest, MergeCoverageIsLogicalOr) {
+  CoverageMask a;
+  a.nodes = {true, false, false};
+  a.edges = {true, false};
+  CoverageMask b;
+  b.nodes = {false, true, false};
+  b.edges = {false, false};
+  MergeCoverage(b, &a);
+  EXPECT_EQ(a.CountNodes(), 2);
+  EXPECT_EQ(a.CountEdges(), 1);
+}
+
+TEST(CoverageTest, PatternsCoverAllNodesAcrossGraphs) {
+  Graph star = testing::StarGraph(2);
+  Graph path = testing::PathGraph(3, 0);
+  std::vector<const Graph*> graphs{&star, &path};
+  std::vector<Pattern> partial{EdgePattern(1, 0)};
+  EXPECT_FALSE(PatternsCoverAllNodes(partial, graphs));
+  std::vector<Pattern> full{EdgePattern(1, 0), EdgePattern(0, 0)};
+  EXPECT_TRUE(PatternsCoverAllNodes(full, graphs));
+}
+
+TEST(CoverageTest, EmptyGraphTriviallyCovered) {
+  Graph empty;
+  std::vector<const Graph*> graphs{&empty};
+  EXPECT_TRUE(PatternsCoverAllNodes({}, graphs));
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,94 @@
+// Shared fixtures for the test suite: canonical small graphs and a cached
+// trained classifier over a tiny molecule database.
+
+#ifndef GVEX_TESTS_TEST_UTIL_H_
+#define GVEX_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "data/mutagenicity.h"
+#include "gnn/gcn_model.h"
+#include "gnn/trainer.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/rng.h"
+
+namespace gvex {
+namespace testing {
+
+/// Path 0-1-...-n-1, all nodes of `type`, constant unit feature.
+inline Graph PathGraph(int n, int type = 0, int feature_dim = 1) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddNode(type);
+  for (int i = 0; i + 1 < n; ++i) (void)g.AddEdge(i, i + 1);
+  Matrix x(n, feature_dim, 1.0f);
+  (void)g.SetFeatures(std::move(x));
+  return g;
+}
+
+/// Triangle 0-1-2 with a tail 2-3-4. Types: triangle nodes 1, tail nodes 0.
+inline Graph TriangleWithTail() {
+  Graph g;
+  g.AddNode(1);
+  g.AddNode(1);
+  g.AddNode(1);
+  g.AddNode(0);
+  g.AddNode(0);
+  (void)g.AddEdge(0, 1);
+  (void)g.AddEdge(1, 2);
+  (void)g.AddEdge(0, 2);
+  (void)g.AddEdge(2, 3);
+  (void)g.AddEdge(3, 4);
+  (void)g.SetOneHotFeaturesFromTypes(2);
+  return g;
+}
+
+/// Star with `leaves` leaves; hub type 1, leaf type 0.
+inline Graph StarGraph(int leaves) {
+  Graph g;
+  NodeId hub = g.AddNode(1);
+  for (int i = 0; i < leaves; ++i) {
+    NodeId leaf = g.AddNode(0);
+    (void)g.AddEdge(hub, leaf);
+  }
+  (void)g.SetOneHotFeaturesFromTypes(2);
+  return g;
+}
+
+/// A tiny MUT-like database + a GCN trained on it to high train accuracy.
+/// Built once per process (training takes a moment).
+struct TrainedFixture {
+  GraphDatabase db;
+  GcnModel model;
+};
+
+inline const TrainedFixture& GetTrainedFixture() {
+  static TrainedFixture* fixture = [] {
+    auto* f = new TrainedFixture();
+    MutagenicityOptions mopt;
+    mopt.num_graphs = 40;
+    mopt.seed = 7;
+    f->db = GenerateMutagenicity(mopt);
+    GcnConfig cfg;
+    cfg.input_dim = f->db.graph(0).feature_dim();
+    cfg.hidden_dim = 16;
+    cfg.num_layers = 3;
+    cfg.num_classes = 2;
+    Rng rng(5);
+    f->model = GcnModel(cfg, &rng);
+    std::vector<int> all;
+    for (int i = 0; i < f->db.size(); ++i) all.push_back(i);
+    TrainConfig tc;
+    tc.epochs = 120;
+    tc.batch_size = 8;
+    (void)TrainGcn(&f->model, f->db, all, tc);
+    (void)AssignPredictedLabels(f->model, &f->db);
+    return f;
+  }();
+  return *fixture;
+}
+
+}  // namespace testing
+}  // namespace gvex
+
+#endif  // GVEX_TESTS_TEST_UTIL_H_

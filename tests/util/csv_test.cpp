@@ -1,0 +1,59 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gvex {
+namespace {
+
+TEST(TableTest, TextRenderingAlignsColumns) {
+  Table t({"method", "score"});
+  t.AddRow({"AG", "0.91"});
+  t.AddRow({"GNNExplainer", "0.55"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("| method       |"), std::string::npos);
+  EXPECT_NE(text.find("| AG           |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("1,,"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.AddRow({"va\"l,ue"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"va\"\"l,ue\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrips) {
+  Table t({"k", "v"});
+  t.AddRow({"alpha", "1"});
+  const std::string path = ::testing::TempDir() + "/gvex_csv_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "k,v\nalpha,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvBadPathFails) {
+  Table t({"k"});
+  EXPECT_TRUE(t.WriteCsv("/nonexistent_dir_xyz/file.csv").IsIOError());
+}
+
+TEST(FmtDoubleTest, Precision) {
+  EXPECT_EQ(FmtDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FmtDouble(-0.5, 4), "-0.5000");
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gvex {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextUintRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint(10), 10u);
+  }
+}
+
+TEST(RngTest, NextUintCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMeanIsNearZero) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWeightedPrefersHeavyWeights) {
+  Rng rng(23);
+  std::vector<double> w{0.01, 0.01, 10.0};
+  int heavy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.SampleWeighted(w) == 2) ++heavy;
+  }
+  EXPECT_GT(heavy, 900);
+}
+
+TEST(RngTest, SampleWeightedDegenerateAllZero) {
+  Rng rng(29);
+  std::vector<double> w{0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.SampleWeighted(w), 2u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  auto sample = rng.SampleWithoutReplacement(10, 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<int> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 6u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(37);
+  int yes = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.2)) ++yes;
+  }
+  EXPECT_NEAR(yes / 10000.0, 0.2, 0.03);
+}
+
+}  // namespace
+}  // namespace gvex

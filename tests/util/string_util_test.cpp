@@ -1,0 +1,59 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace gvex {
+namespace {
+
+TEST(SplitTest, SplitsOnDelimiterKeepingEmpties) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitTest, EmptyStringGivesOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceIsEmpty) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("graph 3 0", "graph"));
+  EXPECT_FALSE(StartsWith("gra", "graph"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,63 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gvex {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitResultsViaCapture) {
+  ThreadPool pool(3);
+  std::vector<int> results(50, 0);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&results, i] { results[static_cast<size_t>(i)] = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<int> hits(200, 0);
+  ThreadPool::ParallelFor(4, 200, [&hits](int i) {
+    hits[static_cast<size_t>(i)] += 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 200);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ThreadPool::ParallelFor(1, 5, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroIterationsNoOp) {
+  ThreadPool::ParallelFor(4, 0, [](int) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace gvex
