@@ -1,0 +1,87 @@
+#include "data/ba_motif.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gvex {
+namespace {
+
+TEST(BaMotifTest, GeneratesRequestedNumberOfGraphs) {
+  BaMotifOptions opt;
+  opt.num_graphs = 12;
+  GraphDatabase db = GenerateBaMotif(opt);
+  EXPECT_EQ(db.size(), 12);
+}
+
+TEST(BaMotifTest, BothMotifClassesArePresent) {
+  BaMotifOptions opt;
+  opt.num_graphs = 30;
+  GraphDatabase db = GenerateBaMotif(opt);
+  std::set<int> labels(db.true_labels().begin(), db.true_labels().end());
+  EXPECT_EQ(labels, (std::set<int>{0, 1}));
+}
+
+TEST(BaMotifTest, MotifsGrowGraphsBeyondTheBase) {
+  BaMotifOptions opt;
+  opt.num_graphs = 8;
+  opt.base_nodes = 20;
+  opt.motifs_per_graph = 2;
+  GraphDatabase db = GenerateBaMotif(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_GT(db.graph(i).num_nodes(), opt.base_nodes) << "graph " << i;
+    EXPECT_GT(db.graph(i).num_edges(), 0) << "graph " << i;
+  }
+}
+
+TEST(BaMotifTest, SameSeedIsDeterministic) {
+  BaMotifOptions opt;
+  opt.num_graphs = 10;
+  opt.seed = 42;
+  GraphDatabase a = GenerateBaMotif(opt);
+  GraphDatabase b = GenerateBaMotif(opt);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.true_labels(), b.true_labels());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i).num_nodes(), b.graph(i).num_nodes()) << "graph " << i;
+    ASSERT_EQ(a.graph(i).num_edges(), b.graph(i).num_edges()) << "graph " << i;
+    const auto& ea = a.graph(i).edges();
+    const auto& eb = b.graph(i).edges();
+    for (size_t k = 0; k < ea.size(); ++k) {
+      EXPECT_EQ(ea[k].u, eb[k].u) << "graph " << i << " edge " << k;
+      EXPECT_EQ(ea[k].v, eb[k].v) << "graph " << i << " edge " << k;
+    }
+  }
+}
+
+TEST(BaMotifTest, DifferentSeedsChangeTheDraw) {
+  BaMotifOptions opt;
+  opt.num_graphs = 20;
+  opt.seed = 1;
+  GraphDatabase a = GenerateBaMotif(opt);
+  opt.seed = 2;
+  GraphDatabase b = GenerateBaMotif(opt);
+  // Some edge endpoint must differ across seeds; identical wiring for all
+  // 20 graphs would mean the seed is ignored. (Edge *counts* are fixed by
+  // the BA construction, so compare the actual endpoints.)
+  bool any_difference = false;
+  for (int i = 0; i < a.size() && !any_difference; ++i) {
+    const auto& ea = a.graph(i).edges();
+    const auto& eb = b.graph(i).edges();
+    if (ea.size() != eb.size()) {
+      any_difference = true;
+      break;
+    }
+    for (size_t k = 0; k < ea.size(); ++k) {
+      if (ea[k].u != eb[k].u || ea[k].v != eb[k].v) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -145,7 +145,9 @@ TEST(MaskedOperatorTest, ZeroMaskKeepsOnlySelfLoops) {
   Matrix masked = BuildMaskedOperator(g, zeros).ToDense();
   for (int i = 0; i < 3; ++i) {
     for (int j = 0; j < 3; ++j) {
-      if (i != j) EXPECT_EQ(masked.at(i, j), 0.0f);
+      if (i != j) {
+        EXPECT_EQ(masked.at(i, j), 0.0f);
+      }
     }
   }
   EXPECT_GT(masked.at(0, 0), 0.0f);

@@ -64,7 +64,9 @@ TEST(InfluenceTest, I2RowsNormalizeToOne) {
     double total = 0.0;
     for (NodeId u = 0; u < g.num_nodes(); ++u) total += inf.I2(u, v);
     // Rows normalize to 1 unless the target embedding is totally dead.
-    if (total > 0.0) EXPECT_NEAR(total, 1.0, 1e-4);
+    if (total > 0.0) {
+      EXPECT_NEAR(total, 1.0, 1e-4);
+    }
   }
 }
 

@@ -87,5 +87,51 @@ TEST(ResultTest, AssignOrReturnMacro) {
   EXPECT_TRUE(AssignOrReturnCaller(true, &out).IsInvalidArgument());
 }
 
+Status TwoAssignsInOneFunction(bool fail_second, int* out) {
+  // Two expansions in one scope: the __LINE__-based temporary names must
+  // not collide.
+  GVEX_ASSIGN_OR_RETURN(int a, MakeValue(false));
+  GVEX_ASSIGN_OR_RETURN(int b, MakeValue(fail_second));
+  *out = a + b;
+  return Status::OK();
+}
+
+TEST(ResultTest, MultipleAssignOrReturnInOneScope) {
+  int out = 0;
+  EXPECT_TRUE(TwoAssignsInOneFunction(false, &out).ok());
+  EXPECT_EQ(out, 14);
+  EXPECT_TRUE(TwoAssignsInOneFunction(true, &out).IsInvalidArgument());
+}
+
+Result<std::string> Layer1(bool fail) {
+  if (fail) return Status::IOError("disk on fire");
+  return std::string("payload");
+}
+
+Result<int> Layer2(bool fail) {
+  GVEX_ASSIGN_OR_RETURN(std::string s, Layer1(fail));
+  return static_cast<int>(s.size());
+}
+
+Status Layer3(bool fail, int* out) {
+  GVEX_ASSIGN_OR_RETURN(*out, Layer2(fail));
+  return Status::OK();
+}
+
+TEST(ResultTest, ErrorDetailsSurviveMultiHopPropagation) {
+  int out = 0;
+  ASSERT_TRUE(Layer3(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  Status s = Layer3(true, &out);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnlyOnError) {
+  EXPECT_EQ(Result<int>(3).value_or(9), 3);
+  EXPECT_EQ(Result<int>(Status::OutOfRange("x")).value_or(9), 9);
+}
+
 }  // namespace
 }  // namespace gvex

@@ -40,6 +40,45 @@ TEST(ThreadPoolTest, TasksCanSubmitResultsViaCapture) {
   }
 }
 
+TEST(ThreadPoolTest, ReusableAcrossWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 25; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 25 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, WaitDrainsTasksSubmittedByRunningTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> children{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&pool, &children] {
+      pool.Submit([&children] { children.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  // Wait must observe transitively-enqueued work: every parent enqueues its
+  // child before its own in-flight count drops, so the queue is never
+  // observed empty with children outstanding.
+  EXPECT_EQ(children.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorRunsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): shutdown lets workers finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 40);
+}
+
 TEST(ParallelForTest, CoversAllIndices) {
   std::vector<int> hits(200, 0);
   ThreadPool::ParallelFor(4, 200, [&hits](int i) {
@@ -57,6 +96,30 @@ TEST(ParallelForTest, SingleThreadFallback) {
 
 TEST(ParallelForTest, ZeroIterationsNoOp) {
   ThreadPool::ParallelFor(4, 0, [](int) { FAIL(); });
+}
+
+TEST(ParallelForTest, ExactlyOnceUnderContention) {
+  // Oversubscribe the machine and make per-index work uneven so workers
+  // race on the queue; every index must still be visited exactly once.
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::ParallelFor(16, n, [&hits](int i) {
+    volatile int sink = 0;
+    for (int k = 0; k < (i % 37) * 50; ++k) sink += k;
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, MoreThreadsThanIterations) {
+  std::vector<int> hits(3, 0);
+  ThreadPool::ParallelFor(8, 3, [&hits](int i) {
+    hits[static_cast<size_t>(i)] += 1;
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
 }
 
 }  // namespace

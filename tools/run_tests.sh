@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify wrapper: configure, build, and run the full ctest suite.
+#
+# Usage:
+#   tools/run_tests.sh              # full suite
+#   tools/run_tests.sh -L smoke     # extra args are forwarded to ctest
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "${jobs}"
+cd "${build_dir}"
+exec ctest --output-on-failure -j "${jobs}" "$@"
