@@ -2,8 +2,14 @@
 // workload. The paper scales to 100k graphs (8h for GVEX, >24h for all
 // baselines); here the same sweep shape at bench-friendly sizes: AG/SG grow
 // linearly in |G| and stay 1-2 orders below the baselines.
+//
+// Besides the text table, the run merge-writes a "fig9d_scalability" section
+// into BENCH_parallel.json (override the path with GVEX_BENCH_OUT) so the
+// sweep timings are tracked alongside the fig9e worker-scaling baseline.
 
+#include <cctype>
 #include <cstdio>
+#include <thread>
 
 #include "common.h"
 
@@ -12,6 +18,11 @@ using namespace gvex;
 int main() {
   bench::PrintHeader("Fig 9(d): runtime vs #graphs on PCQ (seconds)");
   Table table({"#graphs", "AG", "SG", "GE", "GCF"});
+  bench::BenchReport report("fig9d_scalability");
+  // Recorded so check_bench.py can refuse to gate these wall-clock times
+  // against a baseline from different hardware.
+  report.Add("hardware_concurrency",
+             static_cast<double>(std::thread::hardware_concurrency()));
   for (int n : {100, 200, 400, 800}) {
     bench::Context ctx = bench::MakeContext(DatasetId::kPcqm, n, 32, 40);
     const int label = bench::PickLabel(ctx);
@@ -23,9 +34,22 @@ int main() {
       bench::MethodRun run =
           bench::RunMethod(method, ctx, label, 8, group_size);
       row.push_back(run.ok ? FmtDouble(run.seconds, 3) : "-");
+      if (run.ok) {
+        std::string key = method;
+        for (char& c : key) c = static_cast<char>(std::tolower(c));
+        report.Add(key + "_n" + std::to_string(n) + "_sec", run.seconds);
+      }
     }
     table.AddRow(std::move(row));
   }
   std::printf("%s", table.ToText().c_str());
+
+  const std::string out = bench::BenchReport::OutPath("BENCH_parallel.json");
+  Status st = report.WriteMerged(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -1,7 +1,12 @@
 #include "common.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <set>
+#include <sstream>
 
 #include "baselines/gcf_explainer.h"
 #include "baselines/gnn_explainer.h"
@@ -179,6 +184,200 @@ int PickLabel(const Context& ctx) {
 
 void PrintHeader(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
+}
+
+namespace {
+
+// Minimal recursive-descent reader for the exact JSON subset BenchReport
+// emits: an object of objects whose values are numbers. Sections are keyed
+// by bench name; metric order within a section is preserved.
+using Section = std::vector<std::pair<std::string, double>>;
+
+struct JsonReader {
+  const std::string& text;
+  size_t pos = 0;
+  bool failed = false;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    failed = true;
+    return false;
+  }
+
+  std::string ParseString() {
+    SkipWs();
+    std::string out;
+    if (pos >= text.size() || text[pos] != '"') {
+      failed = true;
+      return out;
+    }
+    ++pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;  // keep escaped
+      out.push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      failed = true;
+      return out;
+    }
+    ++pos;  // closing quote
+    return out;
+  }
+
+  double ParseNumber() {
+    SkipWs();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) {
+      failed = true;
+      return 0.0;
+    }
+    pos += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  Section ParseSection() {
+    Section section;
+    if (!Consume('{')) return section;
+    SkipWs();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return section;
+    }
+    for (;;) {
+      std::string key = ParseString();
+      if (failed || !Consume(':')) return section;
+      double v = ParseNumber();
+      if (failed) return section;
+      section.emplace_back(std::move(key), v);
+      SkipWs();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      Consume('}');
+      return section;
+    }
+  }
+
+  std::map<std::string, Section> ParseFile() {
+    std::map<std::string, Section> sections;
+    if (!Consume('{')) return sections;
+    SkipWs();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return sections;
+    }
+    for (;;) {
+      std::string name = ParseString();
+      if (failed || !Consume(':')) return sections;
+      sections[name] = ParseSection();
+      if (failed) return sections;
+      SkipWs();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      Consume('}');
+      return sections;
+    }
+  }
+};
+
+std::string EscapeJsonKey(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FmtJsonNumber(double v) {
+  // Round-trippable, trailing-zero-trimmed rendering for stable diffs.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchReport::Add(const std::string& key, double value) {
+  for (auto& kv : metrics_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+Status BenchReport::WriteMerged(const std::string& path) const {
+  std::map<std::string, Section> sections;
+  {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const std::string text = buf.str();
+      if (!text.empty()) {
+        JsonReader reader{text};
+        sections = reader.ParseFile();
+        if (reader.failed) {
+          return Status::IOError("unparsable bench baseline: " + path);
+        }
+      }
+    }
+  }
+  sections[name_] = metrics_;
+
+  std::ostringstream out;
+  out << "{\n";
+  bool first_section = true;
+  for (const auto& [name, metrics] : sections) {
+    if (!first_section) out << ",\n";
+    first_section = false;
+    out << "  \"" << EscapeJsonKey(name) << "\": {";
+    bool first_metric = true;
+    for (const auto& [key, value] : metrics) {
+      if (!first_metric) out << ",";
+      first_metric = false;
+      out << "\n    \"" << EscapeJsonKey(key) << "\": " << FmtJsonNumber(value);
+    }
+    out << (metrics.empty() ? "}" : "\n  }");
+  }
+  out << "\n}\n";
+
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.good()) {
+    return Status::IOError("cannot open bench output for writing: " + path);
+  }
+  file << out.str();
+  file.flush();
+  if (!file.good()) {
+    return Status::IOError("short write to bench output: " + path);
+  }
+  return Status::OK();
+}
+
+std::string BenchReport::OutPath(const std::string& default_path) {
+  const char* env = std::getenv("GVEX_BENCH_OUT");
+  return env != nullptr && env[0] != '\0' ? env : default_path;
 }
 
 }  // namespace bench

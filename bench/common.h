@@ -75,6 +75,38 @@ std::vector<int> CappedGroup(const GraphDatabase& db, int label, int cap);
 /// Prints a section header like "== Fig 5(a): RED ==".
 void PrintHeader(const std::string& title);
 
+/// Machine-readable bench output: accumulates named scalar metrics for one
+/// bench section and merge-writes them into a shared JSON baseline file
+/// (e.g. BENCH_parallel.json). The file format is a two-level JSON object —
+/// top-level keys are bench names, each mapping to a flat object of numeric
+/// metrics — which is what tools/check_bench.py consumes to gate perf
+/// regressions against the committed baseline.
+class BenchReport {
+ public:
+  /// `bench_name` becomes the section key, e.g. "fig9e_parallel".
+  explicit BenchReport(std::string bench_name);
+
+  /// Records one metric (insertion order is preserved in the output).
+  /// Re-adding a key overwrites its value in place.
+  void Add(const std::string& key, double value);
+
+  /// Merge-writes into `path`: sections of other benches already in the file
+  /// are preserved; this bench's section is replaced wholesale. Creates the
+  /// file when missing; fails with IOError on unparsable existing content.
+  /// The read-modify-write is not synchronized across processes — run bench
+  /// drivers that share a baseline file sequentially, or a concurrent
+  /// writer's section can be lost.
+  Status WriteMerged(const std::string& path) const;
+
+  /// Output path resolution: the GVEX_BENCH_OUT environment variable when
+  /// set, else `default_path`.
+  static std::string OutPath(const std::string& default_path);
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace bench
 }  // namespace gvex
 

@@ -1,6 +1,7 @@
 #include "explain/approx_gvex.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 
 #include "explain/psum.h"
@@ -135,12 +136,25 @@ Result<ExplanationSubgraph> ApproxGvex::ExplainGraph(const Graph& g,
 Result<ExplanationView> ApproxGvex::GenerateView(const GraphDatabase& db,
                                                  int label,
                                                  int* skipped) const {
-  return GenerateViewImpl(db, label, /*num_threads=*/1, skipped);
+  return GenerateViewImpl(db, label, /*pool=*/nullptr, skipped);
 }
+
+namespace {
+
+// Shard-local accumulator for the explanation phase: one worker fills it by
+// walking its contiguous slice of the label group in order. Because every
+// accumulator preserves group order internally and accumulators are merged
+// in shard-index order, the concatenation equals the sequential output.
+struct ExplainShardAcc {
+  std::vector<ExplanationSubgraph> subgraphs;
+  int skipped = 0;
+};
+
+}  // namespace
 
 Result<ExplanationView> ApproxGvex::GenerateViewImpl(const GraphDatabase& db,
                                                      int label,
-                                                     int num_threads,
+                                                     ThreadPool* pool,
                                                      int* skipped) const {
   std::vector<int> group = db.LabelGroup(label);
   if (group.empty()) {
@@ -148,42 +162,54 @@ Result<ExplanationView> ApproxGvex::GenerateViewImpl(const GraphDatabase& db,
   }
   ExplanationView view;
   view.label = label;
-  view.subgraphs.resize(group.size());
-  std::vector<bool> ok_flags(group.size(), false);
 
-  auto explain_one = [&](int gi) {
-    auto res = ExplainGraph(db.graph(group[static_cast<size_t>(gi)]),
-                            group[static_cast<size_t>(gi)], label);
-    if (res.ok()) {
-      view.subgraphs[static_cast<size_t>(gi)] = std::move(res).value();
-      ok_flags[static_cast<size_t>(gi)] = true;
+  // Explanation phase, sharded: batched shards (4x workers) let the pool
+  // load-balance graphs of uneven size while the shard layout stays a pure
+  // function of the group size.
+  const int group_size = static_cast<int>(group.size());
+  const int num_workers = pool != nullptr ? pool->num_threads() : 1;
+  const int num_shards = num_workers > 1 ? num_workers * 4 : 1;
+  std::vector<ExplainShardAcc> accs(
+      ThreadPool::MakeShards(num_shards, group_size).size());
+  auto explain_shard = [&](const Shard& shard) {
+    ExplainShardAcc& acc = accs[static_cast<size_t>(shard.index)];
+    for (int i = shard.begin; i < shard.end; ++i) {
+      const int gi = group[static_cast<size_t>(i)];
+      auto res = ExplainGraph(db.graph(gi), gi, label);
+      if (res.ok()) {
+        acc.subgraphs.push_back(std::move(res).value());
+      } else {
+        ++acc.skipped;
+      }
     }
   };
-  ThreadPool::ParallelFor(num_threads, static_cast<int>(group.size()),
-                          explain_one);
-
-  // Compact out skipped graphs.
-  int skip_count = 0;
-  std::vector<ExplanationSubgraph> kept;
-  for (size_t i = 0; i < view.subgraphs.size(); ++i) {
-    if (ok_flags[i]) {
-      kept.push_back(std::move(view.subgraphs[i]));
-    } else {
-      ++skip_count;
+  if (pool != nullptr && num_workers > 1) {
+    pool->RunSharded(num_shards, group_size, explain_shard);
+  } else {
+    for (const Shard& shard : ThreadPool::MakeShards(num_shards, group_size)) {
+      explain_shard(shard);
     }
   }
-  view.subgraphs = std::move(kept);
+
+  // Barrier passed: deterministic merge in shard-index order.
+  int skip_count = 0;
+  for (ExplainShardAcc& acc : accs) {
+    skip_count += acc.skipped;
+    for (ExplanationSubgraph& s : acc.subgraphs) {
+      view.subgraphs.push_back(std::move(s));
+    }
+  }
   if (skipped) *skipped = skip_count;
   if (view.subgraphs.empty()) {
     return Status::FailedPrecondition(
         StrFormat("no feasible explanation subgraph for label %d", label));
   }
 
-  // Summary phase.
+  // Summary phase; the pool also shards Psum's candidate coverage table.
   std::vector<const Graph*> subs;
   subs.reserve(view.subgraphs.size());
   for (const auto& s : view.subgraphs) subs.push_back(&s.subgraph);
-  auto psum = Psum(subs, config_);
+  auto psum = Psum(subs, config_, pool);
   if (!psum.ok()) return psum.status();
   view.patterns = std::move(psum.value().patterns);
 
@@ -195,10 +221,14 @@ Result<ExplanationView> ApproxGvex::GenerateViewImpl(const GraphDatabase& db,
 Result<std::vector<ExplanationView>> ApproxGvex::GenerateViews(
     const GraphDatabase& db, const std::vector<int>& labels,
     int num_threads) const {
+  // One pool for the whole call: workers are reused across every label's
+  // explanation and summary phases instead of being respawned per label.
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
   std::vector<ExplanationView> views;
   views.reserve(labels.size());
   for (int label : labels) {
-    auto v = GenerateViewImpl(db, label, num_threads, nullptr);
+    auto v = GenerateViewImpl(db, label, pool.get(), nullptr);
     if (!v.ok()) return v.status();
     views.push_back(std::move(v).value());
   }

@@ -8,6 +8,18 @@
 //
 // Summary phase — Psum covers the selected nodes with mined patterns
 // (line 18).
+//
+// Complexity: ExplainGraph is O(u_l · n log n) gain evaluations plus the
+// VpExtend verification calls for one graph of n nodes; GenerateView is the
+// sum over the label group plus one Psum. The approximation ratio of the
+// explanation tier is 1/2 (Theorem 4.2).
+//
+// Thread-safety: ApproxGvex is immutable after construction; all member
+// functions are const and safe to call concurrently from multiple threads
+// (the shared GnnClassifier is only read). The parallel path of
+// GenerateViews (§A.7) shards the label group across a worker pool with
+// shard-local accumulators merged deterministically at a barrier — its
+// output is bit-identical to the num_threads == 1 path.
 
 #ifndef GVEX_EXPLAIN_APPROX_GVEX_H_
 #define GVEX_EXPLAIN_APPROX_GVEX_H_
@@ -22,6 +34,8 @@
 #include "util/status.h"
 
 namespace gvex {
+
+class ThreadPool;
 
 /// The explain-and-summarize view generator.
 class ApproxGvex {
@@ -43,17 +57,21 @@ class ApproxGvex {
   Result<ExplanationView> GenerateView(const GraphDatabase& db, int label,
                                        int* skipped = nullptr) const;
 
-  /// Views for several labels; `num_threads` > 1 parallelizes per graph
-  /// within each label group (§A.7).
+  /// Views for several labels; `num_threads` > 1 parallelizes each label
+  /// group's explanation phase and its Psum coverage table over a single
+  /// worker pool shared across labels (§A.7). Graphs are partitioned into
+  /// batched shards with shard-local result accumulators merged in shard
+  /// order at a barrier, so the views are identical for every thread count.
   Result<std::vector<ExplanationView>> GenerateViews(
       const GraphDatabase& db, const std::vector<int>& labels,
       int num_threads = 1) const;
 
  private:
-  // Shared by GenerateView{,s}: explanation phase over a label group with
-  // optional parallelism, then summary phase.
+  // Shared by GenerateView{,s}: explanation phase over a label group,
+  // sharded across `pool` when non-null (else sequential), then summary
+  // phase.
   Result<ExplanationView> GenerateViewImpl(const GraphDatabase& db, int label,
-                                           int num_threads,
+                                           ThreadPool* pool,
                                            int* skipped) const;
 
   const GnnClassifier* model_;

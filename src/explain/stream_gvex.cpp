@@ -292,19 +292,27 @@ Result<ExplanationView> StreamGvex::GenerateView(const GraphDatabase& db,
   }
   std::vector<ExplanationSubgraph> subgraphs(group.size());
   std::vector<std::vector<Pattern>> pattern_sets(group.size());
-  std::vector<bool> ok_flags(group.size(), false);
+  // char, not bool: vector<bool> is bit-packed, so concurrent writes to
+  // neighboring slots from different workers would race on shared bytes.
+  std::vector<char> ok_flags(group.size(), 0);
 
-  auto run_one = [&](int gi) {
-    auto res = ExplainGraphStreaming(db.graph(group[static_cast<size_t>(gi)]),
-                                     group[static_cast<size_t>(gi)], label);
-    if (res.ok()) {
-      subgraphs[static_cast<size_t>(gi)] = std::move(res.value().subgraph);
-      pattern_sets[static_cast<size_t>(gi)] = std::move(res.value().patterns);
-      ok_flags[static_cast<size_t>(gi)] = true;
-    }
-  };
-  ThreadPool::ParallelFor(num_threads, static_cast<int>(group.size()),
-                          run_one);
+  // Batched shards (4x workers) over the label group; results land in
+  // slot-indexed vectors, so output is identical for every worker count.
+  ThreadPool::ParallelForShards(
+      num_threads, num_threads * 4, static_cast<int>(group.size()),
+      [&](const Shard& shard) {
+        for (int gi = shard.begin; gi < shard.end; ++gi) {
+          auto res =
+              ExplainGraphStreaming(db.graph(group[static_cast<size_t>(gi)]),
+                                    group[static_cast<size_t>(gi)], label);
+          if (res.ok()) {
+            subgraphs[static_cast<size_t>(gi)] = std::move(res.value().subgraph);
+            pattern_sets[static_cast<size_t>(gi)] =
+                std::move(res.value().patterns);
+            ok_flags[static_cast<size_t>(gi)] = 1;
+          }
+        }
+      });
 
   ExplanationView view;
   view.label = label;

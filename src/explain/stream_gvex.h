@@ -10,6 +10,17 @@
 // with influence columns materialized lazily as their source node arrives.
 // Anytime access: the view after any prefix of the stream is valid for the
 // seen fraction (Theorem 5.1).
+//
+// Complexity: each arriving node costs O(u_l) gain/loss evaluations for the
+// Procedure 4 swap plus the incremental Procedure 5 pattern maintenance on
+// the changed neighborhood — O(n · u_l) per graph over the whole stream,
+// with a 1/4 approximation guarantee (Theorem 5.1).
+//
+// Thread-safety: StreamGraphState is single-writer mutable state — confine
+// each instance to one thread. StreamGvex itself is immutable after
+// construction; its const methods may run concurrently, and GenerateView's
+// parallel path streams disjoint graphs on separate workers (one
+// StreamGraphState per graph, never shared).
 
 #ifndef GVEX_EXPLAIN_STREAM_GVEX_H_
 #define GVEX_EXPLAIN_STREAM_GVEX_H_

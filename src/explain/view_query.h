@@ -2,6 +2,16 @@
 // generated views that answers the kinds of questions the paper motivates,
 // e.g. "which toxicophores occur in mutagens?" and "which graphs contain
 // pattern P?".
+//
+// Complexity: AddView/Labels/PatternsForLabel are O(1)-ish map operations;
+// the pattern queries (GraphsWithPattern, LabelsOfPattern,
+// DatabaseGraphsWithPattern, DiscriminativePatterns) each run one subgraph-
+// isomorphism check per (pattern, graph) pair scanned, so they are linear in
+// the number of stored subgraphs/patterns times the match cost.
+//
+// Thread-safety: AddView mutates the store and must be externally
+// synchronized; once all views are registered, the const query methods are
+// safe to call concurrently (they only read the store and the database).
 
 #ifndef GVEX_EXPLAIN_VIEW_QUERY_H_
 #define GVEX_EXPLAIN_VIEW_QUERY_H_

@@ -54,6 +54,31 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+std::vector<Shard> ThreadPool::MakeShards(int num_shards, int n) {
+  std::vector<Shard> shards;
+  if (n <= 0 || num_shards <= 0) return shards;
+  const int count = num_shards < n ? num_shards : n;
+  shards.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    Shard shard;
+    shard.index = s;
+    // Spread the remainder over the leading shards: sizes differ by <= 1.
+    shard.begin = static_cast<int>(static_cast<int64_t>(s) * n / count);
+    shard.end = static_cast<int>(static_cast<int64_t>(s + 1) * n / count);
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+void ThreadPool::RunSharded(int num_shards, int n,
+                            const std::function<void(const Shard&)>& fn) {
+  const std::vector<Shard> shards = MakeShards(num_shards, n);
+  for (const Shard& shard : shards) {
+    Submit([&fn, shard] { fn(shard); });
+  }
+  Wait();
+}
+
 void ThreadPool::ParallelFor(int num_threads, int n,
                              const std::function<void(int)>& fn) {
   if (n <= 0) return;
@@ -66,6 +91,18 @@ void ThreadPool::ParallelFor(int num_threads, int n,
     pool.Submit([&fn, i] { fn(i); });
   }
   pool.Wait();
+}
+
+void ThreadPool::ParallelForShards(int num_threads, int num_shards, int n,
+                                   const std::function<void(const Shard&)>& fn) {
+  if (n <= 0) return;
+  if (num_shards <= 0) num_shards = num_threads > 1 ? num_threads : 1;
+  if (num_threads <= 1) {
+    for (const Shard& shard : MakeShards(num_shards, n)) fn(shard);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.RunSharded(num_shards, n, fn);
 }
 
 }  // namespace gvex

@@ -128,6 +128,43 @@ TEST(ApproxGvexTest, ParallelMatchesSerialStructure) {
               parallel.value()[0].explainability, 1e-9);
 }
 
+TEST(ApproxGvexTest, ShardedGenerateViewsIsDeterministicAcrossWorkerCounts) {
+  // The sharded parallel path must produce view sets identical to the
+  // sequential path for every worker count: same subgraphs (node sets, in
+  // the same group order), same pattern tier, bit-identical explainability.
+  const auto& fx = testing::GetTrainedFixture();
+  ApproxGvex algo(&fx.model, AlgoConfig());
+  auto reference = algo.GenerateViews(fx.db, {0, 1}, 1);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int workers : {2, 8}) {
+    auto run = algo.GenerateViews(fx.db, {0, 1}, workers);
+    ASSERT_TRUE(run.ok()) << "workers=" << workers;
+    ASSERT_EQ(run.value().size(), reference.value().size());
+    for (size_t v = 0; v < reference.value().size(); ++v) {
+      const ExplanationView& want = reference.value()[v];
+      const ExplanationView& got = run.value()[v];
+      EXPECT_EQ(got.label, want.label);
+      ASSERT_EQ(got.subgraphs.size(), want.subgraphs.size())
+          << "workers=" << workers << " label=" << want.label;
+      for (size_t s = 0; s < want.subgraphs.size(); ++s) {
+        EXPECT_EQ(got.subgraphs[s].graph_index, want.subgraphs[s].graph_index);
+        EXPECT_EQ(got.subgraphs[s].nodes, want.subgraphs[s].nodes)
+            << "workers=" << workers << " subgraph " << s;
+        EXPECT_EQ(got.subgraphs[s].explainability,
+                  want.subgraphs[s].explainability);
+      }
+      ASSERT_EQ(got.patterns.size(), want.patterns.size())
+          << "workers=" << workers << " label=" << want.label;
+      for (size_t p = 0; p < want.patterns.size(); ++p) {
+        EXPECT_EQ(got.patterns[p].canonical_code(),
+                  want.patterns[p].canonical_code())
+            << "workers=" << workers << " pattern " << p;
+      }
+      EXPECT_EQ(got.explainability, want.explainability);
+    }
+  }
+}
+
 TEST(ApproxGvexTest, UnknownLabelGroupIsNotFound) {
   const auto& fx = testing::GetTrainedFixture();
   ApproxGvex algo(&fx.model, AlgoConfig());

@@ -4,6 +4,7 @@
 
 #include "pattern/coverage.h"
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace gvex {
 namespace {
@@ -73,6 +74,29 @@ TEST(PsumTest, PatternsAreFewerThanNodes) {
   ASSERT_TRUE(r.ok());
   // Summarization: a path of one node type needs very few patterns.
   EXPECT_LE(r.value().patterns.size(), 2u);
+}
+
+TEST(PsumTest, PooledCoverageTableMatchesSequential) {
+  // The sharded coverage-table path must be bit-identical to the sequential
+  // one: same patterns in the same greedy order, same edge accounting.
+  std::vector<Graph> subs{testing::TriangleWithTail(), testing::StarGraph(4),
+                          testing::PathGraph(5, 1), testing::StarGraph(2)};
+  auto sequential = Psum(subs, PsumConfig());
+  ASSERT_TRUE(sequential.ok());
+  ThreadPool pool(4);
+  auto pooled = Psum(subs, PsumConfig(), &pool);
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_EQ(pooled.value().patterns.size(),
+            sequential.value().patterns.size());
+  for (size_t p = 0; p < sequential.value().patterns.size(); ++p) {
+    EXPECT_EQ(pooled.value().patterns[p].canonical_code(),
+              sequential.value().patterns[p].canonical_code())
+        << "pattern " << p;
+  }
+  EXPECT_EQ(pooled.value().covered_edges, sequential.value().covered_edges);
+  EXPECT_EQ(pooled.value().total_edges, sequential.value().total_edges);
+  EXPECT_EQ(pooled.value().full_node_coverage,
+            sequential.value().full_node_coverage);
 }
 
 TEST(PsumTest, EdgelessSubgraphCoveredBySingletons) {

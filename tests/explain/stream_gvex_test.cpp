@@ -104,6 +104,36 @@ TEST(StreamGvexTest, GenerateViewMatchesGroupSize) {
   EXPECT_FALSE(view.value().patterns.empty());
 }
 
+TEST(StreamGvexTest, GenerateViewIsDeterministicAcrossWorkerCounts) {
+  // The sharded slot-indexed scheme must make the view independent of the
+  // worker count (per-graph streams are deterministic and confined to one
+  // worker each).
+  const auto& fx = testing::GetTrainedFixture();
+  StreamGvex algo(&fx.model, StreamConfig());
+  auto reference = algo.GenerateView(fx.db, 1, 1);
+  ASSERT_TRUE(reference.ok());
+  for (int workers : {2, 8}) {
+    auto run = algo.GenerateView(fx.db, 1, workers);
+    ASSERT_TRUE(run.ok()) << "workers=" << workers;
+    ASSERT_EQ(run.value().subgraphs.size(),
+              reference.value().subgraphs.size());
+    for (size_t s = 0; s < reference.value().subgraphs.size(); ++s) {
+      EXPECT_EQ(run.value().subgraphs[s].graph_index,
+                reference.value().subgraphs[s].graph_index);
+      EXPECT_EQ(run.value().subgraphs[s].nodes,
+                reference.value().subgraphs[s].nodes)
+          << "workers=" << workers << " subgraph " << s;
+    }
+    ASSERT_EQ(run.value().patterns.size(), reference.value().patterns.size());
+    for (size_t p = 0; p < reference.value().patterns.size(); ++p) {
+      EXPECT_EQ(run.value().patterns[p].canonical_code(),
+                reference.value().patterns[p].canonical_code())
+          << "workers=" << workers << " pattern " << p;
+    }
+    EXPECT_EQ(run.value().explainability, reference.value().explainability);
+  }
+}
+
 TEST(StreamGvexTest, StreamedScoreIsWithinFactorOfBatch) {
   // The 1/4-approximation is relative to the optimum; against ApproxGVEX's
   // 1/2-approximate result the stream should land within a constant factor.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <vector>
@@ -120,6 +121,148 @@ TEST(ParallelForTest, MoreThreadsThanIterations) {
     hits[static_cast<size_t>(i)] += 1;
   });
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(MakeShardsTest, PartitionsRangeExactly) {
+  const auto shards = ThreadPool::MakeShards(4, 10);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards.front().begin, 0);
+  EXPECT_EQ(shards.back().end, 10);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].index, static_cast<int>(s));
+    EXPECT_GT(shards[s].size(), 0);
+    if (s > 0) {
+      EXPECT_EQ(shards[s].begin, shards[s - 1].end);
+    }
+  }
+}
+
+TEST(MakeShardsTest, SizesDifferByAtMostOne) {
+  for (int n : {1, 7, 16, 100, 101}) {
+    for (int k : {1, 2, 3, 8}) {
+      const auto shards = ThreadPool::MakeShards(k, n);
+      int smallest = n, largest = 0;
+      for (const Shard& s : shards) {
+        smallest = std::min(smallest, s.size());
+        largest = std::max(largest, s.size());
+      }
+      EXPECT_LE(largest - smallest, 1) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(MakeShardsTest, NeverMoreShardsThanIndices) {
+  const auto shards = ThreadPool::MakeShards(8, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  for (const Shard& s : shards) EXPECT_EQ(s.size(), 1);
+}
+
+TEST(MakeShardsTest, EmptyRangeYieldsNoShards) {
+  EXPECT_TRUE(ThreadPool::MakeShards(4, 0).empty());
+  EXPECT_TRUE(ThreadPool::MakeShards(0, 4).empty());
+}
+
+TEST(MakeShardsTest, LayoutIsDeterministic) {
+  const auto a = ThreadPool::MakeShards(5, 33);
+  const auto b = ThreadPool::MakeShards(5, 33);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].begin, b[s].begin);
+    EXPECT_EQ(a[s].end, b[s].end);
+  }
+}
+
+TEST(RunShardedTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  const int n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.RunSharded(16, n, [&hits](const Shard& shard) {
+    for (int i = shard.begin; i < shard.end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(RunShardedTest, ActsAsBarrier) {
+  // Every shard's work must be visible once RunSharded returns.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  pool.RunSharded(12, 120, [&done](const Shard& shard) {
+    volatile int sink = 0;
+    for (int k = 0; k < shard.size() * 100; ++k) sink += k;
+    done.fetch_add(shard.size());
+  });
+  EXPECT_EQ(done.load(), 120);
+}
+
+TEST(RunShardedTest, ShardIndexedAccumulatorsMergeDeterministically) {
+  // The sharded-accumulator idiom used by GenerateViews: each shard appends
+  // its indices to a shard-local vector; concatenation in shard order must
+  // equal the sequential order however shards were scheduled.
+  ThreadPool pool(4);
+  const int n = 97;
+  const auto layout = ThreadPool::MakeShards(8, n);
+  std::vector<std::vector<int>> accs(layout.size());
+  pool.RunSharded(8, n, [&accs](const Shard& shard) {
+    auto& acc = accs[static_cast<size_t>(shard.index)];
+    for (int i = shard.begin; i < shard.end; ++i) acc.push_back(i);
+  });
+  std::vector<int> merged;
+  for (const auto& acc : accs) {
+    merged.insert(merged.end(), acc.begin(), acc.end());
+  }
+  std::vector<int> expected(static_cast<size_t>(n));
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(RunShardedTest, PoolIsReusableAfterShardedRun) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.RunSharded(4, 40, [&count](const Shard& s) {
+    count.fetch_add(s.size());
+  });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 41);
+}
+
+TEST(ParallelForShardsTest, SingleThreadRunsInlineInShardOrder) {
+  std::vector<int> order;
+  ThreadPool::ParallelForShards(1, 3, 9, [&order](const Shard& shard) {
+    order.push_back(shard.index);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParallelForShardsTest, MultiThreadCoversRange) {
+  const int n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ThreadPool::ParallelForShards(4, 16, n, [&hits](const Shard& shard) {
+    for (int i = shard.begin; i < shard.end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForShardsTest, DefaultShardCountIsPerWorker) {
+  std::atomic<int> shard_count{0};
+  ThreadPool::ParallelForShards(3, 0, 30, [&shard_count](const Shard&) {
+    shard_count.fetch_add(1);
+  });
+  EXPECT_EQ(shard_count.load(), 3);
+}
+
+TEST(ParallelForShardsTest, ZeroIterationsNoOp) {
+  ThreadPool::ParallelForShards(4, 8, 0, [](const Shard&) { FAIL(); });
 }
 
 }  // namespace

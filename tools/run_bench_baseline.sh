@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Parallel-bench baseline runner: builds Release, runs bench_fig9e_parallel
+# into a scratch JSON, and gates it against the committed BENCH_parallel.json
+# with tools/check_bench.py.
+#
+# Usage:
+#   tools/run_bench_baseline.sh            # compare against the baseline
+#   tools/run_bench_baseline.sh --record   # re-measure and update the
+#                                          # committed BENCH_parallel.json
+#
+# Environment:
+#   BENCH_BUILD_DIR   build tree to use (default: <repo>/build-bench)
+#   BENCH_TOLERANCE   fractional slowdown allowed per timing (default 0.35)
+#   BENCH_MIN_SPEEDUP speedup floor for N-worker runs on >=N-core machines
+#                     (default 1.5)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BENCH_BUILD_DIR:-${repo_root}/build-bench}"
+baseline="${repo_root}/BENCH_parallel.json"
+tolerance="${BENCH_TOLERANCE:-0.35}"
+min_speedup="${BENCH_MIN_SPEEDUP:-1.5}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+record=0
+if [[ "${1:-}" == "--record" ]]; then
+  record=1
+  shift
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "${jobs}" --target bench_fig9e_parallel
+
+if [[ "${record}" == 1 ]]; then
+  # Re-measure straight into the committed baseline (merging, so sections
+  # recorded by other drivers survive).
+  GVEX_BENCH_OUT="${baseline}" "${build_dir}/bench/bench_fig9e_parallel"
+  echo "recorded new baseline into ${baseline}"
+  exit 0
+fi
+
+if [[ ! -f "${baseline}" ]]; then
+  echo "run_bench_baseline: no committed baseline at ${baseline};" >&2
+  echo "run 'tools/run_bench_baseline.sh --record' first." >&2
+  exit 1
+fi
+
+# BenchReport treats an empty existing file as having no sections, so the
+# bench can merge straight into mktemp's file.
+# No .json suffix: trailing characters after the X's are a GNU extension
+# that BSD/macOS mktemp rejects. BenchReport doesn't care about extensions.
+current="$(mktemp /tmp/gvex_bench.XXXXXX)"
+trap 'rm -f "${current}"' EXIT
+
+GVEX_BENCH_OUT="${current}" "${build_dir}/bench/bench_fig9e_parallel"
+
+python3 "${repo_root}/tools/check_bench.py" \
+  --baseline "${baseline}" \
+  --current "${current}" \
+  --tolerance "${tolerance}" \
+  --min-speedup "${min_speedup}" \
+  --section fig9e_parallel

@@ -2,15 +2,30 @@
 # Tier-1 verify wrapper: configure, build, and run the full ctest suite.
 #
 # Usage:
-#   tools/run_tests.sh              # full suite
-#   tools/run_tests.sh -L smoke     # extra args are forwarded to ctest
+#   tools/run_tests.sh               # full suite
+#   tools/run_tests.sh -L smoke      # extra args are forwarded to ctest
+#   tools/run_tests.sh --with-bench  # suite + parallel-bench baseline gate
+#                                    # (tools/run_bench_baseline.sh)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+with_bench=0
+ctest_args=()
+for arg in "$@"; do
+  if [[ "${arg}" == "--with-bench" ]]; then
+    with_bench=1
+  else
+    ctest_args+=("${arg}")
+  fi
+done
+
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "${jobs}"
-cd "${build_dir}"
-exec ctest --output-on-failure -j "${jobs}" "$@"
+(cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" ${ctest_args[@]+"${ctest_args[@]}"})
+
+if [[ "${with_bench}" == 1 ]]; then
+  "${repo_root}/tools/run_bench_baseline.sh"
+fi
