@@ -1,8 +1,14 @@
 // Figure 9(a,b,c): running time of every explainer on MUT and ENZ, plus the
 // all-datasets overview. Expected shape: AG and SG are 1-2 orders of
 // magnitude faster than the baselines, and only AG/SG complete on MAL.
+//
+// Besides the text table, the run merge-writes a "fig9_efficiency" section
+// ("<dataset>_<method>_sec" timings) into BENCH_efficiency.json via the
+// BenchReport machinery (override the path with GVEX_BENCH_OUT), so runs
+// can be diffed with tools/check_bench.py like the other perf drivers.
 
 #include <cstdio>
+#include <thread>
 
 #include "common.h"
 
@@ -26,6 +32,9 @@ int main() {
   std::vector<std::string> headers{"Dataset"};
   for (const auto& m : bench::AllMethods()) headers.push_back(m);
   Table table(headers);
+  bench::BenchReport report("fig9_efficiency");
+  report.Add("hardware_concurrency",
+             static_cast<double>(std::thread::hardware_concurrency()));
   for (const auto& setup : setups) {
     bench::Context ctx =
         bench::MakeContext(setup.id, setup.num_graphs, 32, setup.epochs);
@@ -39,9 +48,22 @@ int main() {
       bench::MethodRun run =
           bench::RunMethod(method, ctx, label, 10, setup.cap);
       row.push_back(run.ok ? FmtDouble(run.seconds, 3) : "-");
+      // Only successful runs are recorded — a failure must read as a
+      // missing key, never as a zero-second timing.
+      if (run.ok) {
+        report.Add(ctx.spec.abbrev + "_" + method + "_sec", run.seconds);
+      }
     }
     table.AddRow(std::move(row));
   }
   std::printf("%s", table.ToText().c_str());
+
+  const std::string out = bench::BenchReport::OutPath("BENCH_efficiency.json");
+  Status st = report.WriteMerged(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -1,70 +1,13 @@
-// The "queryable" property of explanation views (§1, Table 1): a store over
-// generated views that answers the kinds of questions the paper motivates,
-// e.g. "which toxicophores occur in mutagens?" and "which graphs contain
-// pattern P?".
-//
-// Complexity: AddView/Labels/PatternsForLabel are O(1)-ish map operations;
-// the pattern queries (GraphsWithPattern, LabelsOfPattern,
-// DatabaseGraphsWithPattern, DiscriminativePatterns) each run one subgraph-
-// isomorphism check per (pattern, graph) pair scanned, so they are linear in
-// the number of stored subgraphs/patterns times the match cost.
-//
-// Thread-safety: AddView mutates the store and must be externally
-// synchronized; once all views are registered, the const query methods are
-// safe to call concurrently (they only read the store and the database).
+// Compatibility shim: ViewStore moved to the serving subsystem
+// (serve/view_store.h), where it is a thin wrapper over the inverted
+// PatternIndex instead of a per-query isomorphism scan. This header keeps
+// the historical include path working; targets using ViewStore must link
+// gvex_serve. New code should include "serve/view_store.h" directly — or
+// better, use the concurrent "serve/view_service.h" front end.
 
 #ifndef GVEX_EXPLAIN_VIEW_QUERY_H_
 #define GVEX_EXPLAIN_VIEW_QUERY_H_
 
-#include <map>
-#include <vector>
-
-#include "explain/explanation.h"
-#include "graph/graph_database.h"
-#include "pattern/isomorphism.h"
-#include "pattern/pattern.h"
-
-namespace gvex {
-
-/// Indexes a set of explanation views for direct querying.
-class ViewStore {
- public:
-  /// `db` must outlive the store; views are copied in.
-  explicit ViewStore(const GraphDatabase* db);
-
-  /// Registers a view (one per label).
-  void AddView(ExplanationView view);
-
-  /// Labels that have a registered view.
-  std::vector<int> Labels() const;
-
-  /// "Which patterns explain label l?" — the higher tier of l's view.
-  const std::vector<Pattern>& PatternsForLabel(int label) const;
-
-  /// "Which graphs of label group l contain pattern P (in their explanation
-  /// subgraph)?" Returns database graph indices.
-  std::vector<int> GraphsWithPattern(int label, const Pattern& p) const;
-
-  /// "Which labels does pattern P explain?" — labels whose pattern tier
-  /// contains an isomorphic pattern.
-  std::vector<int> LabelsOfPattern(const Pattern& p) const;
-
-  /// "Which *original* graphs in the database contain P?" — full-data
-  /// pattern query, restricted to `label` (-1 = all graphs).
-  std::vector<int> DatabaseGraphsWithPattern(const Pattern& p,
-                                             int label = -1) const;
-
-  /// Discriminative patterns for `label`: patterns of l's view that match no
-  /// explanation subgraph of any other label (the P12-style structures of
-  /// Example 1.1).
-  std::vector<Pattern> DiscriminativePatterns(int label) const;
-
- private:
-  const GraphDatabase* db_;
-  std::map<int, ExplanationView> views_;
-  MatchOptions match_options_;
-};
-
-}  // namespace gvex
+#include "serve/view_store.h"
 
 #endif  // GVEX_EXPLAIN_VIEW_QUERY_H_

@@ -1,0 +1,211 @@
+#include "serve/pattern_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace gvex {
+
+namespace {
+
+const std::vector<Pattern> kEmptyPatterns;
+const std::map<int, ExplanationView> kEmptyViews;
+
+inline bool BitSet(const std::vector<uint64_t>& bits, size_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1u;
+}
+
+inline void SetBit(std::vector<uint64_t>* bits, size_t i) {
+  (*bits)[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+inline bool AllZero(const std::vector<uint64_t>& bits) {
+  for (uint64_t w : bits) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PatternIndex PatternIndex::Build(
+    std::shared_ptr<const std::map<int, ExplanationView>> views,
+    const GraphDatabase* db, const BuildOptions& options) {
+  PatternIndex index;
+  index.views_ = std::move(views);
+  index.db_ = db;
+  index.match_ = options.match;
+  index.database_indexed_ = options.index_database && db != nullptr;
+  if (index.views_ == nullptr) return index;
+
+  // Unique codes in deterministic first-seen order (labels ascending, tier
+  // order) with one representative pattern per code; tier_position / labels
+  // postings are filled in the same pass.
+  std::vector<const Pattern*> reps;
+  std::unordered_map<std::string, size_t> code_slot;
+  std::vector<PatternPostings> postings;
+  for (const auto& [label, view] : *index.views_) {
+    for (size_t pos = 0; pos < view.patterns.size(); ++pos) {
+      const Pattern& p = view.patterns[pos];
+      auto [it, inserted] =
+          code_slot.emplace(p.canonical_code(), reps.size());
+      if (inserted) {
+        reps.push_back(&p);
+        postings.emplace_back();
+      }
+      PatternPostings& post = postings[it->second];
+      if (post.tier_position.emplace(label, static_cast<int>(pos)).second) {
+        post.labels.push_back(label);  // labels ascend with the outer loop
+      }
+    }
+  }
+
+  // The expensive cross-product — one containment check per (code, subgraph)
+  // and, when database indexing is on, per (code, database graph) — sharded
+  // over the codes. Each shard writes only its own postings slots, so the
+  // result is identical for every worker count.
+  const int num_codes = static_cast<int>(reps.size());
+  const int threads = std::max(1, options.num_threads);
+  ThreadPool::ParallelForShards(
+      threads, threads * 4, num_codes, [&](const Shard& shard) {
+        for (int c = shard.begin; c < shard.end; ++c) {
+          const Pattern& p = *reps[static_cast<size_t>(c)];
+          PatternPostings& post = postings[static_cast<size_t>(c)];
+          for (const auto& [label, view] : *index.views_) {
+            std::vector<uint64_t> bits((view.subgraphs.size() + 63) / 64, 0);
+            for (size_t i = 0; i < view.subgraphs.size(); ++i) {
+              if (ContainsPattern(view.subgraphs[i].subgraph, p.graph(),
+                                  index.match_)) {
+                SetBit(&bits, i);
+              }
+            }
+            post.subgraph_bits.emplace(label, std::move(bits));
+          }
+          if (index.database_indexed_) {
+            for (int i = 0; i < db->size(); ++i) {
+              if (ContainsPattern(db->graph(i), p.graph(), index.match_)) {
+                post.db_graphs.push_back(i);
+              }
+            }
+          }
+        }
+      });
+
+  for (auto& [code, slot] : code_slot) {
+    index.postings_.emplace(code, std::move(postings[slot]));
+  }
+  return index;
+}
+
+PatternIndex PatternIndex::Build(const std::map<int, ExplanationView>& views,
+                                 const GraphDatabase* db,
+                                 const BuildOptions& options) {
+  return Build(std::make_shared<const std::map<int, ExplanationView>>(views),
+               db, options);
+}
+
+const std::map<int, ExplanationView>& PatternIndex::views() const {
+  return views_ == nullptr ? kEmptyViews : *views_;
+}
+
+std::vector<int> PatternIndex::Labels() const {
+  std::vector<int> out;
+  out.reserve(views().size());
+  for (const auto& [label, view] : views()) out.push_back(label);
+  return out;
+}
+
+const std::vector<Pattern>& PatternIndex::PatternsForLabel(int label) const {
+  auto it = views().find(label);
+  return it == views().end() ? kEmptyPatterns : it->second.patterns;
+}
+
+const PatternPostings* PatternIndex::Find(const std::string& code) const {
+  auto it = postings_.find(code);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::vector<int> PatternIndex::GraphsWithPattern(int label,
+                                                 const Pattern& p) const {
+  std::vector<int> out;
+  auto it = views().find(label);
+  if (it == views().end()) return out;
+  const std::vector<ExplanationSubgraph>& subgraphs = it->second.subgraphs;
+  if (const PatternPostings* post = Find(p.canonical_code())) {
+    auto bits = post->subgraph_bits.find(label);
+    if (bits != post->subgraph_bits.end()) {
+      for (size_t i = 0; i < subgraphs.size(); ++i) {
+        if (BitSet(bits->second, i)) out.push_back(subgraphs[i].graph_index);
+      }
+      return out;
+    }
+  }
+  // Non-exact pattern: fall back to the legacy containment scan.
+  for (const auto& s : subgraphs) {
+    if (ContainsPattern(s.subgraph, p.graph(), match_)) {
+      out.push_back(s.graph_index);
+    }
+  }
+  return out;
+}
+
+std::vector<int> PatternIndex::LabelsOfPattern(const Pattern& p) const {
+  // Tier membership is exact canonical-code equality (Pattern::IsomorphicTo),
+  // so an unknown code has no carriers — no fallback needed.
+  const PatternPostings* post = Find(p.canonical_code());
+  return post == nullptr ? std::vector<int>() : post->labels;
+}
+
+std::vector<int> PatternIndex::DatabaseGraphsWithPattern(const Pattern& p,
+                                                         int label) const {
+  std::vector<int> out;
+  if (db_ == nullptr) return out;
+  const PatternPostings* post =
+      database_indexed_ ? Find(p.canonical_code()) : nullptr;
+  if (post != nullptr) {
+    if (label < 0) return post->db_graphs;
+    for (int i : post->db_graphs) {
+      const int l = db_->has_predictions() ? db_->predicted_label(i)
+                                           : db_->true_label(i);
+      if (l == label) out.push_back(i);
+    }
+    return out;
+  }
+  for (int i = 0; i < db_->size(); ++i) {
+    if (label >= 0) {
+      const int l = db_->has_predictions() ? db_->predicted_label(i)
+                                           : db_->true_label(i);
+      if (l != label) continue;
+    }
+    if (ContainsPattern(db_->graph(i), p.graph(), match_)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<Pattern> PatternIndex::DiscriminativePatterns(int label) const {
+  std::vector<Pattern> out;
+  auto it = views().find(label);
+  if (it == views().end()) return out;
+  for (const Pattern& p : it->second.patterns) {
+    // Tier patterns are always indexed (the index is built from the same
+    // view snapshot it queries), so this lookup cannot miss.
+    const PatternPostings* post = Find(p.canonical_code());
+    bool found_elsewhere = false;
+    for (const auto& [other_label, other_view] : views()) {
+      if (other_label == label) continue;
+      (void)other_view;
+      auto bits = post->subgraph_bits.find(other_label);
+      if (bits != post->subgraph_bits.end() && !AllZero(bits->second)) {
+        found_elsewhere = true;
+        break;
+      }
+    }
+    if (!found_elsewhere) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace gvex

@@ -1,0 +1,200 @@
+#include "serve/serve_protocol.h"
+
+#include <utility>
+
+#include "explain/view_io.h"
+#include "graph/graph_io.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+namespace {
+
+// Collects lines from *pos up to and including the `terminator` line and
+// returns them joined; advances *pos past the terminator.
+Result<std::string> CollectBlock(const std::vector<std::string>& lines,
+                                 size_t* pos, const std::string& terminator) {
+  std::string block;
+  while (*pos < lines.size()) {
+    const std::string& line = lines[*pos];
+    block += line + "\n";
+    ++*pos;
+    if (Trim(line) == terminator) return block;
+  }
+  return Status::InvalidArgument("unterminated '" + terminator + "' block");
+}
+
+Result<Pattern> ParsePatternBlock(const std::vector<std::string>& lines,
+                                  size_t* pos) {
+  auto block = CollectBlock(lines, pos, "end");
+  if (!block.ok()) return block.status();
+  auto graphs = ParseGraphs(block.value());
+  if (!graphs.ok()) return graphs.status();
+  if (graphs.value().size() != 1) {
+    return Status::InvalidArgument("expected exactly one pattern graph");
+  }
+  return Pattern::Create(std::move(graphs.value()[0].graph));
+}
+
+Result<int> ParseLabelArg(const std::vector<std::string>& head) {
+  if (head.size() < 2) {
+    return Status::InvalidArgument("'" + head[0] + "' needs a label");
+  }
+  try {
+    size_t used = 0;
+    const int label = std::stoi(head[1], &used);
+    // Full consumption: "1x" is a typo, not label 1.
+    if (used == head[1].size()) return label;
+  } catch (const std::exception&) {
+  }
+  return Status::InvalidArgument("bad label '" + head[1] + "'");
+}
+
+std::string FormatIds(const std::vector<int>& ids) {
+  std::string out = StrFormat("ok %zu\n", ids.size());
+  if (!ids.empty()) {
+    out += "ids";
+    for (int id : ids) out += StrFormat(" %d", id);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatPatterns(const std::vector<Pattern>& patterns) {
+  std::string out = StrFormat("ok %zu\n", patterns.size());
+  for (const Pattern& p : patterns) {
+    out += "pattern\n";
+    out += SerializeGraph(p.graph());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
+                                       size_t* pos) {
+  while (*pos < lines.size() && Trim(lines[*pos]).empty()) ++*pos;
+  if (*pos >= lines.size()) return Status::NotFound("end of input");
+  const std::vector<std::string> head = SplitWhitespace(Trim(lines[*pos]));
+  ++*pos;
+  ServeRequest req;
+  const std::string& kw = head[0];
+  if (kw == "labels") {
+    req.kind = ServeRequest::Kind::kLabels;
+    return req;
+  }
+  if (kw == "stats") {
+    req.kind = ServeRequest::Kind::kStats;
+    return req;
+  }
+  if (kw == "quit") {
+    req.kind = ServeRequest::Kind::kQuit;
+    return req;
+  }
+  if (kw == "patterns" || kw == "discriminative") {
+    auto label = ParseLabelArg(head);
+    if (!label.ok()) return label.status();
+    req.kind = kw == "patterns" ? ServeRequest::Kind::kPatterns
+                                : ServeRequest::Kind::kDiscriminative;
+    req.label = label.value();
+    return req;
+  }
+  if (kw == "graphs" || kw == "dbgraphs") {
+    // Consume the payload block BEFORE reporting a bad label, so a
+    // malformed request never desynchronizes the stream (the block's graph
+    // lines must not be re-parsed as requests).
+    auto label = ParseLabelArg(head);
+    auto pattern = ParsePatternBlock(lines, pos);
+    if (!label.ok()) return label.status();
+    if (!pattern.ok()) return pattern.status();
+    req.kind = kw == "graphs" ? ServeRequest::Kind::kGraphs
+                              : ServeRequest::Kind::kDbGraphs;
+    req.label = label.value();
+    req.pattern = std::move(pattern).value();
+    return req;
+  }
+  if (kw == "labelsof") {
+    auto pattern = ParsePatternBlock(lines, pos);
+    if (!pattern.ok()) return pattern.status();
+    req.kind = ServeRequest::Kind::kLabelsOf;
+    req.pattern = std::move(pattern).value();
+    return req;
+  }
+  if (kw == "admit") {
+    auto block = CollectBlock(lines, pos, "endview");
+    if (!block.ok()) return block.status();
+    auto views = ParseViews(block.value());
+    if (!views.ok()) return views.status();
+    if (views.value().size() != 1) {
+      return Status::InvalidArgument("expected exactly one view to admit");
+    }
+    req.kind = ServeRequest::Kind::kAdmit;
+    req.view = std::move(views.value()[0]);
+    return req;
+  }
+  return Status::InvalidArgument("unknown request '" + kw + "'");
+}
+
+std::string HandleServeRequest(ViewService* service,
+                               const ServeRequest& req) {
+  switch (req.kind) {
+    case ServeRequest::Kind::kLabels:
+      return FormatIds(service->Labels());
+    case ServeRequest::Kind::kPatterns:
+      return FormatPatterns(service->PatternsForLabel(req.label));
+    case ServeRequest::Kind::kGraphs:
+      return FormatIds(service->GraphsWithPattern(req.label, req.pattern));
+    case ServeRequest::Kind::kLabelsOf:
+      return FormatIds(service->LabelsOfPattern(req.pattern));
+    case ServeRequest::Kind::kDbGraphs:
+      return FormatIds(
+          service->DatabaseGraphsWithPattern(req.pattern, req.label));
+    case ServeRequest::Kind::kDiscriminative:
+      return FormatPatterns(service->DiscriminativePatterns(req.label));
+    case ServeRequest::Kind::kAdmit: {
+      const int label = req.view.label;
+      auto epoch = service->AdmitView(req.view);
+      if (!epoch.ok()) return "err " + epoch.status().ToString() + "\n";
+      // The epoch THIS admission published — under concurrent sessions
+      // service->epoch() may already belong to someone else's admission.
+      return StrFormat("ok admitted %d epoch %llu\n", label,
+                       static_cast<unsigned long long>(epoch.value()));
+    }
+    case ServeRequest::Kind::kStats: {
+      const ViewServiceStats s = service->stats();
+      return StrFormat(
+          "ok stats epoch %llu labels %d codes %d cache_hits %llu "
+          "cache_misses %llu\n",
+          static_cast<unsigned long long>(s.epoch), s.num_labels,
+          s.num_codes, static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.cache_misses));
+    }
+    case ServeRequest::Kind::kQuit:
+      return "ok bye\n";
+  }
+  return "err unreachable\n";
+}
+
+std::string ServeText(ViewService* service, const std::string& text,
+                      bool* quit) {
+  if (quit) *quit = false;
+  std::string out;
+  const std::vector<std::string> lines = Split(text, '\n');
+  size_t pos = 0;
+  while (true) {
+    auto req = ParseServeRequest(lines, &pos);
+    if (!req.ok()) {
+      if (req.status().code() == StatusCode::kNotFound) break;
+      out += "err " + req.status().message() + "\n";
+      continue;
+    }
+    out += HandleServeRequest(service, req.value());
+    if (req.value().kind == ServeRequest::Kind::kQuit) {
+      if (quit) *quit = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gvex

@@ -1,0 +1,81 @@
+// Line-oriented request/response protocol for the view-serving subsystem —
+// what gvex_serve speaks on stdin/stdout. Payloads reuse the existing text
+// formats: patterns are graph blocks (graph_io.h, terminated by "end") and
+// admitted views are view blocks (view_io.h, terminated by "endview").
+//
+// Requests (one keyword line, optionally followed by a payload block):
+//   labels                         -> ok <n> / ids <l...>
+//   patterns <label>               -> ok <n> / n x ("pattern" + graph block)
+//   graphs <label>                 -> ok <n> / ids <graph indices>
+//     <graph block>                   (graphs of the label group whose
+//                                      explanation subgraph contains P)
+//   labelsof                       -> ok <n> / ids <labels>
+//     <graph block>
+//   dbgraphs <label|-1>            -> ok <n> / ids <database graph indices>
+//     <graph block>
+//   discriminative <label>         -> ok <n> / n x ("pattern" + graph block)
+//   admit                          -> ok admitted <label> epoch <e>
+//     <view block>                    (live admission: published as a new
+//                                      snapshot without blocking readers)
+//   stats                          -> ok stats epoch <e> labels <n> codes <c>
+//                                       cache_hits <h> cache_misses <m>
+//   quit                           -> ok bye
+//
+// Malformed input answers "err <message>" and parsing resumes at the next
+// keyword line. Blank lines between requests are ignored.
+//
+// Thread-safety: the parser is pure; HandleRequest only calls the
+// (concurrency-safe) ViewService API, so multiple protocol sessions may
+// share one service.
+
+#ifndef GVEX_SERVE_SERVE_PROTOCOL_H_
+#define GVEX_SERVE_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "pattern/pattern.h"
+#include "serve/view_service.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// One parsed protocol request.
+struct ServeRequest {
+  enum class Kind {
+    kLabels,
+    kPatterns,
+    kGraphs,
+    kLabelsOf,
+    kDbGraphs,
+    kDiscriminative,
+    kAdmit,
+    kStats,
+    kQuit,
+  };
+  Kind kind = Kind::kLabels;
+  int label = -1;
+  Pattern pattern;       ///< For kGraphs / kLabelsOf / kDbGraphs.
+  ExplanationView view;  ///< For kAdmit.
+};
+
+/// Parses one request starting at lines[*pos] (blank lines skipped) and
+/// advances *pos past it — past the payload block too, so a malformed
+/// request does not desynchronize the stream. Returns NotFound at end of
+/// input, InvalidArgument on malformed requests.
+Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
+                                       size_t* pos);
+
+/// Executes one request; returns the newline-terminated response text.
+std::string HandleServeRequest(ViewService* service, const ServeRequest& req);
+
+/// Parses and executes every request in `text`, concatenating responses.
+/// `quit` (optional) is set when a quit request was seen — callers running
+/// a read loop should stop feeding input then.
+std::string ServeText(ViewService* service, const std::string& text,
+                      bool* quit = nullptr);
+
+}  // namespace gvex
+
+#endif  // GVEX_SERVE_SERVE_PROTOCOL_H_

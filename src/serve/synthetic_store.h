@@ -1,0 +1,160 @@
+// Deterministic synthetic (database, view set) generators for the serving
+// subsystem's tests and benchmarks — NOT part of the serving API. One
+// shared implementation keeps the store the oracle-parity tests pin and
+// the store the serving benchmark times structurally identical: random
+// connected graphs, explanation subgraphs as random connected subsets,
+// tier patterns extracted from those subgraphs. Header-only; fixture-free
+// (no model training), so suites built on it stay smoke-fast.
+
+#ifndef GVEX_SERVE_SYNTHETIC_STORE_H_
+#define GVEX_SERVE_SYNTHETIC_STORE_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "graph/graph_database.h"
+#include "graph/subgraph.h"
+#include "pattern/pattern.h"
+#include "util/rng.h"
+
+namespace gvex {
+namespace synthetic {
+
+/// Random connected graph: spanning tree plus a few extra edges; node types
+/// drawn from [0, num_types).
+inline Graph RandomConnectedGraph(Rng* rng, int min_nodes, int max_nodes,
+                                  int num_types) {
+  const int n = static_cast<int>(rng->NextInt(min_nodes, max_nodes));
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddNode(static_cast<int>(rng->NextInt(0, num_types - 1)));
+  }
+  for (NodeId v = 1; v < n; ++v) {
+    (void)g.AddEdge(v, static_cast<NodeId>(rng->NextUint(
+                           static_cast<uint64_t>(v))));
+  }
+  const int extra = n / 3;
+  for (int i = 0; i < extra; ++i) {
+    const NodeId u =
+        static_cast<NodeId>(rng->NextUint(static_cast<uint64_t>(n)));
+    const NodeId v =
+        static_cast<NodeId>(rng->NextUint(static_cast<uint64_t>(n)));
+    if (u != v) (void)g.AddEdge(u, v);  // duplicates rejected, fine
+  }
+  return g;
+}
+
+/// Connected node subset of `g`: BFS from a random start, first `k` visited.
+inline std::vector<NodeId> RandomConnectedSubset(const Graph& g, Rng* rng,
+                                                 int k) {
+  std::vector<NodeId> order;
+  std::vector<bool> seen(static_cast<size_t>(g.num_nodes()), false);
+  std::vector<NodeId> frontier{static_cast<NodeId>(
+      rng->NextUint(static_cast<uint64_t>(g.num_nodes())))};
+  seen[static_cast<size_t>(frontier[0])] = true;
+  while (!frontier.empty() && static_cast<int>(order.size()) < k) {
+    const NodeId v = frontier.front();
+    frontier.erase(frontier.begin());
+    order.push_back(v);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (!seen[static_cast<size_t>(nb.node)]) {
+        seen[static_cast<size_t>(nb.node)] = true;
+        frontier.push_back(nb.node);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+/// Random small pattern extracted from `g` (min..max nodes, connected —
+/// BFS subsets are connected by construction, so Create cannot fail).
+inline Pattern RandomPatternFrom(const Graph& g, Rng* rng, int min_nodes,
+                                 int max_nodes) {
+  const int k = static_cast<int>(rng->NextInt(min_nodes, max_nodes));
+  auto nodes = RandomConnectedSubset(g, rng, k);
+  auto sub = ExtractInducedSubgraph(g, nodes);
+  return std::move(Pattern::Create(std::move(sub).value().graph)).value();
+}
+
+/// Shape knobs for MakeSyntheticStore.
+struct SyntheticStoreOptions {
+  int num_labels = 3;
+  int graphs_per_label = 6;
+  int patterns_per_label = 8;
+  int min_nodes = 8;          ///< per database graph
+  int max_nodes = 14;
+  int num_types = 3;
+  int pattern_min_nodes = 1;  ///< per tier pattern
+  int pattern_max_nodes = 4;
+  /// Explanation subgraphs take ceil-ish subgraph_num/subgraph_den of each
+  /// graph's nodes (+1 so they are never empty).
+  int subgraph_num = 1;
+  int subgraph_den = 2;
+};
+
+/// A synthetic database with one randomized view per label.
+struct SyntheticStore {
+  GraphDatabase db;
+  std::vector<ExplanationView> views;
+};
+
+/// Builds `num_labels` label groups of random graphs; each label's view has
+/// one explanation subgraph per graph (a random connected subset) and up to
+/// `patterns_per_label` distinct tier patterns extracted from those
+/// subgraphs. Same seed + options => identical store.
+inline SyntheticStore MakeSyntheticStore(
+    uint64_t seed, const SyntheticStoreOptions& opt = {}) {
+  Rng rng(seed);
+  SyntheticStore store;
+  for (int label = 0; label < opt.num_labels; ++label) {
+    ExplanationView view;
+    view.label = label;
+    for (int i = 0; i < opt.graphs_per_label; ++i) {
+      Graph g = RandomConnectedGraph(&rng, opt.min_nodes, opt.max_nodes,
+                                     opt.num_types);
+      const int gi = store.db.Add(g, label);
+      ExplanationSubgraph sub;
+      sub.graph_index = gi;
+      sub.nodes = RandomConnectedSubset(
+          g, &rng, g.num_nodes() * opt.subgraph_num / opt.subgraph_den + 1);
+      sub.subgraph =
+          std::move(ExtractInducedSubgraph(g, sub.nodes)).value().graph;
+      sub.explainability = rng.NextDouble();
+      view.subgraphs.push_back(std::move(sub));
+      view.explainability += view.subgraphs.back().explainability;
+    }
+    std::set<std::string> codes;
+    int attempts = 0;
+    while (static_cast<int>(view.patterns.size()) < opt.patterns_per_label &&
+           attempts < opt.patterns_per_label * 40) {
+      ++attempts;
+      const auto& src =
+          view.subgraphs[rng.NextUint(view.subgraphs.size())].subgraph;
+      if (src.num_nodes() == 0) continue;
+      Pattern p = RandomPatternFrom(src, &rng, opt.pattern_min_nodes,
+                                    opt.pattern_max_nodes);
+      if (codes.insert(p.canonical_code()).second) {
+        view.patterns.push_back(std::move(p));
+      }
+    }
+    store.views.push_back(std::move(view));
+  }
+  return store;
+}
+
+/// Convenience overload: default shape with `num_labels` labels.
+inline SyntheticStore MakeSyntheticStore(uint64_t seed, int num_labels) {
+  SyntheticStoreOptions opt;
+  opt.num_labels = num_labels;
+  return MakeSyntheticStore(seed, opt);
+}
+
+}  // namespace synthetic
+}  // namespace gvex
+
+#endif  // GVEX_SERVE_SYNTHETIC_STORE_H_

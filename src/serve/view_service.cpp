@@ -1,0 +1,250 @@
+#include "serve/view_service.h"
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace gvex {
+
+namespace {
+
+// The initial (epoch-0) views map, shared by every service instance.
+std::shared_ptr<const std::map<int, ExplanationView>> EmptyViews() {
+  static const auto empty =
+      std::make_shared<const std::map<int, ExplanationView>>();
+  return empty;
+}
+
+// True for kinds whose answers are worth caching: the ones that historically
+// cost an isomorphism scan. kLabels / kPatternsForLabel are O(1) reads of
+// the snapshot — a cache would only add lock traffic.
+bool Cacheable(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kGraphsWithPattern:
+    case QueryKind::kLabelsOfPattern:
+    case QueryKind::kDatabaseGraphsWithPattern:
+    case QueryKind::kDiscriminativePatterns:
+      return true;
+    case QueryKind::kLabels:
+    case QueryKind::kPatternsForLabel:
+      return false;
+  }
+  return false;
+}
+
+std::string CacheKey(uint64_t epoch, const ViewQuery& q) {
+  std::string key = StrFormat("%llu|%d|%d|",
+                              static_cast<unsigned long long>(epoch),
+                              static_cast<int>(q.kind), q.label);
+  key += q.pattern.canonical_code();
+  return key;
+}
+
+}  // namespace
+
+ViewService::ViewService(const GraphDatabase* db, ViewServiceOptions options)
+    : db_(db), options_(options) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = 0;
+  snap->views = EmptyViews();
+  snap->index = PatternIndex::Build(snap->views, db_, options_.index);
+  snapshot_ = std::shared_ptr<const Snapshot>(std::move(snap));
+  const int shards = std::max(1, options_.cache_shards);
+  cache_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    cache_.push_back(std::make_unique<CacheShard>());
+  }
+  if (options_.batch_workers > 0) {
+    batch_pool_ = std::make_unique<ThreadPool>(options_.batch_workers);
+  }
+}
+
+std::shared_ptr<const ViewService::Snapshot> ViewService::Load() const {
+  return std::atomic_load(&snapshot_);
+}
+
+void ViewService::Publish(std::shared_ptr<const Snapshot> snap) {
+  std::atomic_store(&snapshot_, std::move(snap));
+}
+
+Result<uint64_t> ViewService::AdmitView(ExplanationView view) {
+  std::vector<ExplanationView> one;
+  one.push_back(std::move(view));
+  return AdmitViews(std::move(one));
+}
+
+Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
+  if (views.empty()) {
+    return Status::InvalidArgument("no views to admit");
+  }
+  for (const ExplanationView& v : views) {
+    if (v.label < 0) {
+      return Status::InvalidArgument("cannot admit a view without a label");
+    }
+  }
+  // Writers serialize here; readers are untouched. Everything below — the
+  // views-map copy and the index rebuild — happens on the NEXT snapshot,
+  // off to the side of the published one.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> cur = Load();
+  auto next_views =
+      std::make_shared<std::map<int, ExplanationView>>(*cur->views);
+  for (ExplanationView& v : views) {
+    (*next_views)[v.label] = std::move(v);
+  }
+  auto next = std::make_shared<Snapshot>();
+  const uint64_t published = cur->epoch + 1;
+  next->epoch = published;
+  next->views = std::move(next_views);
+  next->index = PatternIndex::Build(next->views, db_, options_.index);
+  Publish(std::move(next));
+  return published;
+}
+
+uint64_t ViewService::epoch() const { return Load()->epoch; }
+
+ViewQueryResult ViewService::Execute(const Snapshot& snap,
+                                     const ViewQuery& q) const {
+  ViewQueryResult out;
+  out.epoch = snap.epoch;
+  switch (q.kind) {
+    case QueryKind::kLabels:
+      out.ids = snap.index.Labels();
+      break;
+    case QueryKind::kPatternsForLabel:
+      out.patterns = snap.index.PatternsForLabel(q.label);
+      break;
+    case QueryKind::kGraphsWithPattern:
+      out.ids = snap.index.GraphsWithPattern(q.label, q.pattern);
+      break;
+    case QueryKind::kLabelsOfPattern:
+      out.ids = snap.index.LabelsOfPattern(q.pattern);
+      break;
+    case QueryKind::kDatabaseGraphsWithPattern:
+      out.ids = snap.index.DatabaseGraphsWithPattern(q.pattern, q.label);
+      break;
+    case QueryKind::kDiscriminativePatterns:
+      out.patterns = snap.index.DiscriminativePatterns(q.label);
+      break;
+  }
+  return out;
+}
+
+ViewQueryResult ViewService::ExecuteCached(const Snapshot& snap,
+                                           const ViewQuery& q) const {
+  if (options_.cache_capacity == 0 || !Cacheable(q.kind)) {
+    return Execute(snap, q);
+  }
+  const std::string key = CacheKey(snap.epoch, q);
+  CacheShard& shard =
+      *cache_[std::hash<std::string>()(key) % cache_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      // Refresh LRU position.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->result;
+    }
+    ++shard.misses;
+  }
+  // Compute outside the lock — a slow query must not serialize the shard.
+  ViewQueryResult result = Execute(snap, q);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      shard.lru.push_front(CacheShard::Entry{key, result});
+      shard.map[key] = shard.lru.begin();
+      while (shard.map.size() > options_.cache_capacity) {
+        shard.map.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> ViewService::Labels() const {
+  return Load()->index.Labels();
+}
+
+std::vector<Pattern> ViewService::PatternsForLabel(int label) const {
+  return Load()->index.PatternsForLabel(label);
+}
+
+std::vector<int> ViewService::GraphsWithPattern(int label,
+                                                const Pattern& p) const {
+  ViewQuery q;
+  q.kind = QueryKind::kGraphsWithPattern;
+  q.label = label;
+  q.pattern = p;
+  return ExecuteCached(*Load(), q).ids;
+}
+
+std::vector<int> ViewService::LabelsOfPattern(const Pattern& p) const {
+  ViewQuery q;
+  q.kind = QueryKind::kLabelsOfPattern;
+  q.pattern = p;
+  return ExecuteCached(*Load(), q).ids;
+}
+
+std::vector<int> ViewService::DatabaseGraphsWithPattern(const Pattern& p,
+                                                        int label) const {
+  ViewQuery q;
+  q.kind = QueryKind::kDatabaseGraphsWithPattern;
+  q.label = label;
+  q.pattern = p;
+  return ExecuteCached(*Load(), q).ids;
+}
+
+std::vector<Pattern> ViewService::DiscriminativePatterns(int label) const {
+  ViewQuery q;
+  q.kind = QueryKind::kDiscriminativePatterns;
+  q.label = label;
+  return ExecuteCached(*Load(), q).patterns;
+}
+
+std::vector<ViewQueryResult> ViewService::ExecuteBatch(
+    const std::vector<ViewQuery>& queries, int num_threads) const {
+  // One snapshot for the whole batch: every answer shares an epoch, and the
+  // batch is immune to concurrent admissions.
+  std::shared_ptr<const Snapshot> snap = Load();
+  std::vector<ViewQueryResult> results(queries.size());
+  const int n = static_cast<int>(queries.size());
+  const auto run_shard = [&](const Shard& shard) {
+    for (int i = shard.begin; i < shard.end; ++i) {
+      results[static_cast<size_t>(i)] =
+          ExecuteCached(*snap, queries[static_cast<size_t>(i)]);
+    }
+  };
+  // Results are slot-indexed, so the output is identical whichever pool
+  // (persistent or transient) runs the shards, and for any worker count.
+  if (batch_pool_ != nullptr) {
+    batch_pool_->RunSharded(batch_pool_->num_threads() * 4, n, run_shard);
+  } else {
+    const int threads = std::max(1, num_threads);
+    ThreadPool::ParallelForShards(threads, threads * 4, n, run_shard);
+  }
+  return results;
+}
+
+ViewServiceStats ViewService::stats() const {
+  ViewServiceStats out;
+  std::shared_ptr<const Snapshot> snap = Load();
+  out.epoch = snap->epoch;
+  out.num_labels = static_cast<int>(snap->views->size());
+  out.num_codes = snap->index.num_codes();
+  for (const auto& shard : cache_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.cache_hits += shard->hits;
+    out.cache_misses += shard->misses;
+  }
+  return out;
+}
+
+}  // namespace gvex

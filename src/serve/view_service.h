@@ -1,0 +1,189 @@
+// ViewService: the concurrent, indexed view-serving front end. Wraps a
+// PatternIndex in an epoch/RCU-style snapshot so explanation views can be
+// admitted live (e.g. published mid-stream from StreamGvex) without ever
+// blocking readers, adds a sharded LRU result cache, and executes query
+// batches across the shared ThreadPool.
+//
+// Snapshot discipline: the service holds one `shared_ptr<const Snapshot>`
+// (views + index + epoch). Readers atomically load the pointer once per
+// query — or once per BATCH, so a batch sees a single consistent epoch —
+// and keep the snapshot alive for the duration via shared ownership.
+// Writers (AdmitView) serialize on a writer mutex, build the NEXT snapshot
+// entirely off to the side (including the index rebuild, the expensive
+// part), then atomically publish it. A reader therefore observes either
+// the previous complete epoch or the new complete epoch, never a torn
+// intermediate state; old epochs are reclaimed when their last reader
+// drops the shared_ptr (that is the RCU grace period).
+//
+// Result cache: an LRU keyed by (epoch, query kind, label, canonical
+// code), striped into `cache_shards` independently locked shards to keep
+// reader contention low. Epochs in the key make invalidation free —
+// entries from superseded epochs simply age out.
+//
+// Thread-safety: ALL public methods are safe to call concurrently from any
+// number of threads, including AdmitView racing queries. AdmitView calls
+// are serialized internally (admissions are ordered); queries never block
+// on admissions and vice versa.
+
+#ifndef GVEX_SERVE_VIEW_SERVICE_H_
+#define GVEX_SERVE_VIEW_SERVICE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "graph/graph_database.h"
+#include "pattern/pattern.h"
+#include "serve/pattern_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gvex {
+
+/// Service behavior knobs.
+struct ViewServiceOptions {
+  /// Index build options applied on every admission (match semantics,
+  /// database indexing, build workers).
+  PatternIndex::BuildOptions index;
+  /// LRU entries per cache shard (0 disables the result cache).
+  size_t cache_capacity = 256;
+  /// Independently locked cache stripes.
+  int cache_shards = 8;
+  /// Workers of a PERSISTENT batch-execution pool created at construction.
+  /// 0 (default) spins up a transient pool per ExecuteBatch call instead —
+  /// fine for occasional large batches, wasteful for many small ones.
+  /// Answers are identical either way. Note: the pool's completion barrier
+  /// is pool-global, so concurrent ExecuteBatch callers sharing the
+  /// persistent pool may wait out each other's shards (throughput
+  /// coupling, not a correctness issue).
+  int batch_workers = 0;
+};
+
+/// The query kinds the service answers (mirrors the legacy ViewStore API).
+enum class QueryKind {
+  kLabels,                    // no arguments
+  kPatternsForLabel,          // label
+  kGraphsWithPattern,         // label + pattern
+  kLabelsOfPattern,           // pattern
+  kDatabaseGraphsWithPattern, // pattern + optional label (-1 = all)
+  kDiscriminativePatterns,    // label
+};
+
+/// One query of a batch.
+struct ViewQuery {
+  QueryKind kind = QueryKind::kLabels;
+  int label = -1;
+  /// Meaningful only for the pattern-valued kinds.
+  Pattern pattern;
+};
+
+/// One query's answer. Exactly one of `ids` / `patterns` is populated,
+/// matching the kind; `epoch` is the snapshot the answer was computed on.
+struct ViewQueryResult {
+  std::vector<int> ids;
+  std::vector<Pattern> patterns;
+  uint64_t epoch = 0;
+};
+
+/// Cache counters (monotonic since construction).
+struct ViewServiceStats {
+  uint64_t epoch = 0;      ///< Admissions published so far.
+  int num_labels = 0;      ///< Labels in the current snapshot.
+  int num_codes = 0;       ///< Indexed canonical codes in the snapshot.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// Concurrent, snapshot-swapped, cached front end over a PatternIndex.
+class ViewService {
+ public:
+  /// `db` may be null (no database queries) and must outlive the service.
+  explicit ViewService(const GraphDatabase* db,
+                       ViewServiceOptions options = {});
+  ~ViewService() = default;
+
+  ViewService(const ViewService&) = delete;
+  ViewService& operator=(const ViewService&) = delete;
+
+  /// Publishes `view` (replacing any previous view for its label) as a new
+  /// epoch. The index rebuild happens off to the side; readers keep
+  /// serving the previous epoch until the atomic pointer swap. Returns the
+  /// epoch THIS admission published (under concurrent admitters, epoch()
+  /// may already be past it by the time the caller looks).
+  Result<uint64_t> AdmitView(ExplanationView view);
+
+  /// Publishes several views as ONE new epoch (one index rebuild).
+  Result<uint64_t> AdmitViews(std::vector<ExplanationView> views);
+
+  // --- Single queries (each runs on one atomically loaded snapshot and is
+  // bit-identical to the legacy ViewStore scan; see the oracle test). ---
+  std::vector<int> Labels() const;
+  std::vector<Pattern> PatternsForLabel(int label) const;
+  std::vector<int> GraphsWithPattern(int label, const Pattern& p) const;
+  std::vector<int> LabelsOfPattern(const Pattern& p) const;
+  std::vector<int> DatabaseGraphsWithPattern(const Pattern& p,
+                                             int label = -1) const;
+  std::vector<Pattern> DiscriminativePatterns(int label) const;
+
+  /// Executes a batch across workers: the persistent pool when
+  /// `batch_workers` > 0 (num_threads is then ignored), else a transient
+  /// pool of `num_threads`. The whole batch runs against ONE snapshot, so
+  /// every result carries the same epoch; results land in request order
+  /// regardless of worker count.
+  std::vector<ViewQueryResult> ExecuteBatch(
+      const std::vector<ViewQuery>& queries, int num_threads = 1) const;
+
+  /// Epoch of the currently published snapshot (0 = empty initial epoch).
+  uint64_t epoch() const;
+
+  ViewServiceStats stats() const;
+
+ private:
+  struct Snapshot {
+    uint64_t epoch = 0;
+    std::shared_ptr<const std::map<int, ExplanationView>> views;
+    PatternIndex index;
+  };
+
+  /// One LRU stripe: list front = most recent; map values point into it.
+  struct CacheShard {
+    struct Entry {
+      std::string key;
+      ViewQueryResult result;
+    };
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  std::shared_ptr<const Snapshot> Load() const;
+  void Publish(std::shared_ptr<const Snapshot> snap);
+  ViewQueryResult Execute(const Snapshot& snap, const ViewQuery& q) const;
+  /// Cache-through execution: looks up (epoch, query) and fills on miss.
+  ViewQueryResult ExecuteCached(const Snapshot& snap,
+                                const ViewQuery& q) const;
+
+  const GraphDatabase* db_;
+  ViewServiceOptions options_;
+
+  /// Current snapshot; accessed with std::atomic_load / std::atomic_store.
+  std::shared_ptr<const Snapshot> snapshot_;
+  /// Serializes writers (admissions).
+  std::mutex writer_mu_;
+
+  mutable std::vector<std::unique_ptr<CacheShard>> cache_;
+  /// Persistent batch pool (null when options_.batch_workers == 0).
+  std::unique_ptr<ThreadPool> batch_pool_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_SERVE_VIEW_SERVICE_H_

@@ -1,6 +1,7 @@
-#include "explain/view_query.h"
+#include "serve/view_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace gvex {
 
@@ -8,13 +9,34 @@ namespace {
 const std::vector<Pattern> kEmptyPatterns;
 }  // namespace
 
-ViewStore::ViewStore(const GraphDatabase* db) : db_(db) {
+ViewStore::ViewStore(const GraphDatabase* db, ViewStoreOptions options)
+    : db_(db), options_(options) {
   match_options_.semantics = MatchSemantics::kInduced;
 }
 
 void ViewStore::AddView(ExplanationView view) {
   views_[view.label] = std::move(view);
+  index_dirty_ = true;
 }
+
+const PatternIndex& ViewStore::EnsureIndex() const {
+  // Lazy rebuild: N registrations followed by the first query cost one
+  // build, not N. AddView is externally synchronized (class contract), so
+  // the mutex only has to order the rebuild against concurrent queries.
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (index_dirty_) {
+    PatternIndex::BuildOptions build;
+    build.match = match_options_;
+    build.num_threads = options_.build_threads;
+    // Even a view-less index must know the database so non-exact
+    // DatabaseGraphsWithPattern queries can fall back to the legacy scan.
+    index_ = PatternIndex::Build(views_, db_, build);
+    index_dirty_ = false;
+  }
+  return index_;
+}
+
+const PatternIndex& ViewStore::index() const { return EnsureIndex(); }
 
 std::vector<int> ViewStore::Labels() const {
   std::vector<int> out;
@@ -30,6 +52,7 @@ const std::vector<Pattern>& ViewStore::PatternsForLabel(int label) const {
 
 std::vector<int> ViewStore::GraphsWithPattern(int label,
                                               const Pattern& p) const {
+  if (options_.use_index) return EnsureIndex().GraphsWithPattern(label, p);
   std::vector<int> out;
   auto it = views_.find(label);
   if (it == views_.end()) return out;
@@ -42,6 +65,7 @@ std::vector<int> ViewStore::GraphsWithPattern(int label,
 }
 
 std::vector<int> ViewStore::LabelsOfPattern(const Pattern& p) const {
+  if (options_.use_index) return EnsureIndex().LabelsOfPattern(p);
   std::vector<int> out;
   for (const auto& [label, view] : views_) {
     for (const Pattern& q : view.patterns) {
@@ -56,6 +80,9 @@ std::vector<int> ViewStore::LabelsOfPattern(const Pattern& p) const {
 
 std::vector<int> ViewStore::DatabaseGraphsWithPattern(const Pattern& p,
                                                       int label) const {
+  if (options_.use_index) {
+    return EnsureIndex().DatabaseGraphsWithPattern(p, label);
+  }
   std::vector<int> out;
   if (db_ == nullptr) return out;
   for (int i = 0; i < db_->size(); ++i) {
@@ -72,6 +99,7 @@ std::vector<int> ViewStore::DatabaseGraphsWithPattern(const Pattern& p,
 }
 
 std::vector<Pattern> ViewStore::DiscriminativePatterns(int label) const {
+  if (options_.use_index) return EnsureIndex().DiscriminativePatterns(label);
   std::vector<Pattern> out;
   auto it = views_.find(label);
   if (it == views_.end()) return out;

@@ -1,0 +1,104 @@
+#include "data/reddit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/connectivity.h"
+#include "graph/graph_io.h"
+
+namespace gvex {
+namespace {
+
+RedditOptions SmallOptions(uint64_t seed = 202) {
+  RedditOptions opt;
+  opt.num_graphs = 20;
+  opt.min_users = 20;
+  opt.max_users = 40;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(RedditTest, DeterministicUnderSeed) {
+  GraphDatabase a = GenerateReddit(SmallOptions());
+  GraphDatabase b = GenerateReddit(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.true_label(i), b.true_label(i));
+    EXPECT_EQ(SerializeGraph(a.graph(i)), SerializeGraph(b.graph(i)));
+  }
+}
+
+TEST(RedditTest, DifferentSeedsProduceDifferentThreads) {
+  GraphDatabase a = GenerateReddit(SmallOptions(1));
+  GraphDatabase b = GenerateReddit(SmallOptions(2));
+  ASSERT_EQ(a.size(), b.size());
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (SerializeGraph(a.graph(i)) != SerializeGraph(b.graph(i))) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RedditTest, LabelsAlternateDiscussionAndQa) {
+  GraphDatabase db = GenerateReddit(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.true_label(i), i % 2);
+  }
+}
+
+TEST(RedditTest, ThreadsAreConnectedAndSized) {
+  const RedditOptions opt = SmallOptions();
+  GraphDatabase db = GenerateReddit(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_TRUE(IsConnected(g)) << "thread " << i;
+    // Background chatter fills up to the target user count; motif seeding
+    // can overshoot, so only the lower bound is exact.
+    EXPECT_GE(g.num_nodes(), opt.min_users) << "thread " << i;
+    EXPECT_TRUE(g.has_features()) << "thread " << i;
+    EXPECT_GT(g.feature_dim(), 0);
+  }
+}
+
+// The class-separating motifs of Fig. 11: discussion threads (label 0) are
+// star-dominated; Q&A threads (label 1) carry a biclique core — at least
+// two "experts" answering 6+ common "questioners".
+TEST(RedditTest, QaThreadsCarryBicliqueCore) {
+  GraphDatabase db = GenerateReddit(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    if (db.true_label(i) != 1) continue;
+    bool found = false;
+    for (NodeId u = 0; u < g.num_nodes() && !found; ++u) {
+      if (g.degree(u) < 6) continue;
+      for (NodeId v = u + 1; v < g.num_nodes() && !found; ++v) {
+        if (g.degree(v) < 6) continue;
+        int common = 0;
+        for (const Neighbor& nu : g.neighbors(u)) {
+          for (const Neighbor& nv : g.neighbors(v)) {
+            if (nu.node == nv.node) ++common;
+          }
+        }
+        if (common >= 6) found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "Q&A thread " << i << " lacks a biclique core";
+  }
+}
+
+TEST(RedditTest, DiscussionThreadsCarryHighDegreeHubs) {
+  GraphDatabase db = GenerateReddit(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    if (db.true_label(i) != 0) continue;
+    const Graph& g = db.graph(i);
+    int max_degree = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      max_degree = std::max(max_degree, g.degree(v));
+    }
+    EXPECT_GE(max_degree, 6) << "discussion thread " << i << " has no hub";
+  }
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,176 @@
+#include "serve/pattern_index.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/synthetic_store.h"
+#include "serve/view_service.h"
+#include "serve/view_store.h"
+
+namespace gvex {
+namespace {
+
+std::vector<std::string> Codes(const std::vector<Pattern>& patterns) {
+  std::vector<std::string> out;
+  out.reserve(patterns.size());
+  for (const Pattern& p : patterns) out.push_back(p.canonical_code());
+  return out;
+}
+
+// The oracle: a legacy scan-mode store and an indexed store built over the
+// same randomized view set must answer every query bit-identically.
+class OracleParityTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    store_ = synthetic::MakeSyntheticStore(GetParam());
+    ViewStoreOptions legacy_opts;
+    legacy_opts.use_index = false;
+    legacy_ = std::make_unique<ViewStore>(&store_.db, legacy_opts);
+    ViewStoreOptions indexed_opts;
+    indexed_opts.use_index = true;
+    // Exercise the sharded build on some seeds; results must not depend on
+    // the worker count.
+    indexed_opts.build_threads = GetParam() % 2 == 0 ? 4 : 1;
+    indexed_ = std::make_unique<ViewStore>(&store_.db, indexed_opts);
+    for (const ExplanationView& v : store_.views) {
+      legacy_->AddView(v);
+      indexed_->AddView(v);
+    }
+    // Query workload: every tier pattern, plus patterns the index has never
+    // seen (exercises the isomorphism fallback), plus single-node probes.
+    Rng rng(GetParam() + 1000);
+    for (const ExplanationView& v : store_.views) {
+      for (const Pattern& p : v.patterns) queries_.push_back(p);
+    }
+    for (int i = 0; i < 10; ++i) {
+      Graph g = synthetic::RandomConnectedGraph(&rng, 2, 5, 3);
+      auto p = Pattern::Create(std::move(g));
+      ASSERT_TRUE(p.ok());
+      queries_.push_back(std::move(p).value());
+    }
+    for (int t = 0; t < 4; ++t) queries_.push_back(Pattern::SingleNode(t));
+  }
+
+  synthetic::SyntheticStore store_;
+  std::unique_ptr<ViewStore> legacy_;
+  std::unique_ptr<ViewStore> indexed_;
+  std::vector<Pattern> queries_;
+};
+
+TEST_P(OracleParityTest, LabelsAndTiersMatch) {
+  EXPECT_EQ(legacy_->Labels(), indexed_->Labels());
+  for (int label : legacy_->Labels()) {
+    EXPECT_EQ(Codes(legacy_->PatternsForLabel(label)),
+              Codes(indexed_->PatternsForLabel(label)));
+  }
+}
+
+TEST_P(OracleParityTest, EveryQueryMatchesLegacyScan) {
+  const std::vector<int> labels = legacy_->Labels();
+  for (const Pattern& p : queries_) {
+    EXPECT_EQ(legacy_->LabelsOfPattern(p), indexed_->LabelsOfPattern(p))
+        << p.ToString();
+    EXPECT_EQ(legacy_->DatabaseGraphsWithPattern(p),
+              indexed_->DatabaseGraphsWithPattern(p))
+        << p.ToString();
+    for (int label : labels) {
+      EXPECT_EQ(legacy_->GraphsWithPattern(label, p),
+                indexed_->GraphsWithPattern(label, p))
+          << "label " << label << " " << p.ToString();
+      EXPECT_EQ(legacy_->DatabaseGraphsWithPattern(p, label),
+                indexed_->DatabaseGraphsWithPattern(p, label))
+          << "label " << label << " " << p.ToString();
+    }
+  }
+  for (int label : labels) {
+    EXPECT_EQ(Codes(legacy_->DiscriminativePatterns(label)),
+              Codes(indexed_->DiscriminativePatterns(label)))
+        << "label " << label;
+  }
+}
+
+TEST_P(OracleParityTest, ViewServiceMatchesLegacyScan) {
+  ViewService service(&store_.db);
+  for (const ExplanationView& v : store_.views) {
+    ASSERT_TRUE(service.AdmitView(v).ok());
+  }
+  EXPECT_EQ(legacy_->Labels(), service.Labels());
+  for (const Pattern& p : queries_) {
+    EXPECT_EQ(legacy_->LabelsOfPattern(p), service.LabelsOfPattern(p));
+    for (int label : legacy_->Labels()) {
+      EXPECT_EQ(legacy_->GraphsWithPattern(label, p),
+                service.GraphsWithPattern(label, p));
+      EXPECT_EQ(legacy_->DatabaseGraphsWithPattern(p, label),
+                service.DatabaseGraphsWithPattern(p, label));
+    }
+  }
+  for (int label : legacy_->Labels()) {
+    EXPECT_EQ(Codes(legacy_->DiscriminativePatterns(label)),
+              Codes(service.DiscriminativePatterns(label)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedViewSets, OracleParityTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(PatternIndexTest, EmptyIndexBehaves) {
+  PatternIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.Labels().empty());
+  EXPECT_TRUE(index.LabelsOfPattern(Pattern::SingleNode(0)).empty());
+  EXPECT_TRUE(index.DatabaseGraphsWithPattern(Pattern::SingleNode(0)).empty());
+  EXPECT_TRUE(index.DiscriminativePatterns(0).empty());
+  EXPECT_EQ(index.num_codes(), 0);
+}
+
+TEST(PatternIndexTest, PostingsExposeTierPositionsAndLabels) {
+  auto store = synthetic::MakeSyntheticStore(7, /*num_labels=*/2);
+  std::map<int, ExplanationView> views;
+  for (const auto& v : store.views) views[v.label] = v;
+  PatternIndex index = PatternIndex::Build(views, &store.db);
+  for (const auto& [label, view] : views) {
+    for (size_t pos = 0; pos < view.patterns.size(); ++pos) {
+      const PatternPostings* post =
+          index.Find(view.patterns[pos].canonical_code());
+      ASSERT_NE(post, nullptr);
+      auto it = post->tier_position.find(label);
+      ASSERT_NE(it, post->tier_position.end());
+      EXPECT_EQ(it->second, static_cast<int>(pos));
+      EXPECT_TRUE(std::find(post->labels.begin(), post->labels.end(),
+                            label) != post->labels.end());
+      // Coverage bitsets exist for EVERY label, not just carriers.
+      EXPECT_EQ(post->subgraph_bits.size(), views.size());
+    }
+  }
+}
+
+TEST(PatternIndexTest, BuildIsDeterministicAcrossWorkerCounts) {
+  auto store = synthetic::MakeSyntheticStore(11);
+  std::map<int, ExplanationView> views;
+  for (const auto& v : store.views) views[v.label] = v;
+  PatternIndex::BuildOptions one;
+  one.num_threads = 1;
+  PatternIndex a = PatternIndex::Build(views, &store.db, one);
+  for (int workers : {2, 8}) {
+    PatternIndex::BuildOptions opt;
+    opt.num_threads = workers;
+    PatternIndex b = PatternIndex::Build(views, &store.db, opt);
+    ASSERT_EQ(a.num_codes(), b.num_codes());
+    for (const auto& [label, view] : views) {
+      for (const Pattern& p : view.patterns) {
+        const PatternPostings* pa = a.Find(p.canonical_code());
+        const PatternPostings* pb = b.Find(p.canonical_code());
+        ASSERT_NE(pa, nullptr);
+        ASSERT_NE(pb, nullptr);
+        EXPECT_EQ(pa->labels, pb->labels);
+        EXPECT_EQ(pa->db_graphs, pb->db_graphs);
+        EXPECT_EQ(pa->subgraph_bits, pb->subgraph_bits);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gvex

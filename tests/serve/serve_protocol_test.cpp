@@ -1,0 +1,136 @@
+#include "serve/serve_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explain/view_io.h"
+#include "graph/graph_io.h"
+#include "serve/synthetic_store.h"
+#include "util/string_util.h"
+
+namespace gvex {
+namespace {
+
+std::string PatternBlock(const Pattern& p) {
+  return SerializeGraph(p.graph());
+}
+
+class ServeProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = synthetic::MakeSyntheticStore(21, /*num_labels=*/2);
+    service_ = std::make_unique<ViewService>(&store_.db);
+    ASSERT_TRUE(service_->AdmitViews(store_.views).ok());
+  }
+
+  synthetic::SyntheticStore store_;
+  std::unique_ptr<ViewService> service_;
+};
+
+TEST_F(ServeProtocolTest, LabelsQuery) {
+  const std::string out = ServeText(service_.get(), "labels\n");
+  EXPECT_EQ(out, "ok 2\nids 0 1\n");
+}
+
+TEST_F(ServeProtocolTest, PatternsQueryRoundTrips) {
+  const std::string out = ServeText(service_.get(), "patterns 0\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0],
+            StrFormat("ok %zu", store_.views[0].patterns.size()));
+  // Each returned pattern block parses back to the tier pattern.
+  size_t pattern_count = 0;
+  for (const auto& line : lines) {
+    if (line == "pattern") ++pattern_count;
+  }
+  EXPECT_EQ(pattern_count, store_.views[0].patterns.size());
+}
+
+TEST_F(ServeProtocolTest, GraphsQueryMatchesServiceAnswer) {
+  const Pattern& probe = store_.views[1].patterns[0];
+  const std::string request = "graphs 1\n" + PatternBlock(probe);
+  const std::string out = ServeText(service_.get(), request);
+  const auto expected = service_->GraphsWithPattern(1, probe);
+  std::string want = StrFormat("ok %zu\n", expected.size());
+  if (!expected.empty()) {
+    want += "ids";
+    for (int id : expected) want += StrFormat(" %d", id);
+    want += "\n";
+  }
+  EXPECT_EQ(out, want);
+}
+
+TEST_F(ServeProtocolTest, LabelsOfAndDbGraphsQueries) {
+  const Pattern& probe = store_.views[0].patterns[0];
+  std::string out = ServeText(service_.get(), "labelsof\n" + PatternBlock(probe));
+  EXPECT_TRUE(StartsWith(out, "ok "));
+  out = ServeText(service_.get(), "dbgraphs -1\n" + PatternBlock(probe));
+  const auto expected = service_->DatabaseGraphsWithPattern(probe, -1);
+  EXPECT_TRUE(StartsWith(out, StrFormat("ok %zu", expected.size())));
+}
+
+TEST_F(ServeProtocolTest, AdmitPublishesView) {
+  const uint64_t before = service_->epoch();
+  ExplanationView view = store_.views[0];
+  view.label = 5;
+  const std::string out =
+      ServeText(service_.get(), "admit\n" + SerializeView(view));
+  EXPECT_EQ(out, StrFormat("ok admitted 5 epoch %llu\n",
+                           static_cast<unsigned long long>(before + 1)));
+  EXPECT_EQ(service_->Labels(), (std::vector<int>{0, 1, 5}));
+}
+
+TEST_F(ServeProtocolTest, StatsAndQuit) {
+  bool quit = false;
+  const std::string out =
+      ServeText(service_.get(), "stats\nquit\nlabels\n", &quit);
+  EXPECT_TRUE(quit);
+  EXPECT_TRUE(StartsWith(out, "ok stats epoch 1 labels 2"));
+  // Nothing after quit is served.
+  EXPECT_NE(out.find("ok bye\n"), std::string::npos);
+  EXPECT_EQ(out.find("ids 0 1"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, MalformedRequestsRecover) {
+  // Unknown keyword, missing label, bad label, then a valid query — the
+  // stream recovers after each error.
+  const std::string out = ServeText(
+      service_.get(), "frobnicate\npatterns\npatterns x\nlabels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_TRUE(StartsWith(lines[1], "err "));
+  EXPECT_TRUE(StartsWith(lines[2], "err "));
+  EXPECT_EQ(lines[3], "ok 2");
+}
+
+TEST_F(ServeProtocolTest, BadLabelConsumesPayloadBlock) {
+  // A 'graphs' request with a bad label must still swallow its pattern
+  // block — the block's lines must never be re-parsed as requests.
+  const Pattern& probe = store_.views[0].patterns[0];
+  const std::string out = ServeText(
+      service_.get(), "graphs nope\n" + PatternBlock(probe) + "labels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_EQ(lines[1], "ok 2");  // the stream stayed in sync
+}
+
+TEST_F(ServeProtocolTest, UnterminatedBlockIsAnError) {
+  const std::string out =
+      ServeText(service_.get(), "labelsof\ngraph 1 0\nn 0 0\n");
+  EXPECT_TRUE(StartsWith(out, "err "));
+}
+
+TEST_F(ServeProtocolTest, AdmitRejectsUnlabeledView) {
+  ExplanationView view = store_.views[0];
+  view.label = -1;
+  const std::string out =
+      ServeText(service_.get(), "admit\n" + SerializeView(view));
+  EXPECT_TRUE(StartsWith(out, "err "));
+  EXPECT_EQ(service_->epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -30,6 +30,12 @@ Checks applied to every section present in BOTH files:
     about the sharded path. Low worker counts (speedup_2) are reported but
     not gated: a flat 1.5x floor would demand 75% parallel efficiency at
     N = 2, which ordinary pool overhead can miss without any regression.
+  * scan-speedup floor — every current key named "scan_speedup" (or
+    prefixed "scan_speedup_") must be >= --min-scan-speedup (default 10).
+    These keys are same-machine ratios (e.g. the serving bench's indexed
+    path vs the legacy linear scan on one workload), so the floor is
+    hardware-independent and enforced unconditionally — unlike the
+    worker-count speedups, no core-count precondition applies.
 
 Exit status 0 when all gates pass, 1 otherwise (2 for usage errors).
 """
@@ -84,6 +90,21 @@ def check_section(name, base, cur, args):
                     f"{name}.{key} regressed: {c:.3f}s > {limit:.3f}s "
                     f"({args.tolerance:.0%} over baseline {b:.3f}s)")
 
+    # Same-machine ratio floors: scan_speedup* keys compare two paths run
+    # on the same hardware in the same process, so they gate everywhere —
+    # no baseline value and no core-count precondition needed.
+    for key in sorted(cur):
+        if key != "scan_speedup" and not key.startswith("scan_speedup_"):
+            continue
+        c = cur[key]
+        status = "ok" if c >= args.min_scan_speedup else "FAIL"
+        print(f"  {name}.{key}: current {c:.2f}x "
+              f"(floor {args.min_scan_speedup:.2f}x) {status}")
+        if c < args.min_scan_speedup:
+            failures.append(
+                f"{name}.{key} below floor: {c:.2f}x < "
+                f"{args.min_scan_speedup:.2f}x")
+
     # The speedup floor is an absolute property of the current run (does
     # the sharded path scale on THIS machine?), so it covers every current
     # speedup key, not just those shared with the baseline.
@@ -131,6 +152,9 @@ def main():
     parser.add_argument("--min-speedup-workers", type=int, default=4,
                         help="apply the speedup floor only to speedup_N "
                              "keys with N >= this (default 4)")
+    parser.add_argument("--min-scan-speedup", type=float, default=10.0,
+                        help="hardware-independent floor for scan_speedup* "
+                             "ratio keys (default 10)")
     parser.add_argument("--min-seconds", type=float, default=0.02,
                         help="timings below this are too noisy to gate "
                              "(default 0.02)")

@@ -10,10 +10,9 @@
 //   gvex_cli explain  --graphs graphs.txt --model model.txt --label 1
 //                     [--algo ag|sg] [--ul 10] [--theta 0.08] [--r 0.25]
 //                     [--out views.txt]
-//   gvex_cli query    --views views.txt [--label 1]
+//   gvex_cli query    --views views.txt [--label 1] [--graphs graphs.txt]
 
 #include <cstdio>
-#include <map>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -26,37 +25,13 @@
 #include "gnn/model_io.h"
 #include "gnn/trainer.h"
 #include "graph/graph_io.h"
+#include "serve/view_store.h"
+#include "tool_args.h"
 #include "util/string_util.h"
 
 using namespace gvex;
 
 namespace {
-
-// Minimal --key value argument parser.
-class Args {
- public:
-  Args(int argc, char** argv, int start) {
-    for (int i = start; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (StartsWith(key, "--")) values_[key.substr(2)] = argv[i + 1];
-    }
-  }
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  int GetInt(const std::string& key, int fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoi(it->second);
-  }
-  float GetFloat(const std::string& key, float fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stof(it->second);
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
 
 int Fail(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n", msg.c_str());
@@ -176,13 +151,39 @@ int CmdExplain(const Args& args) {
 int CmdQuery(const Args& args) {
   auto views = LoadViews(args.Get("views", "views.txt"));
   if (!views.ok()) return Fail(views.status().ToString());
+
+  // Optional database: enables full-data pattern queries through the index.
+  GraphDatabase db;
+  bool have_db = false;
+  if (args.Has("graphs")) {
+    auto loaded = LoadDatabase(args.Get("graphs", "graphs.txt"));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    db = std::move(loaded).value();
+    have_db = true;
+  }
+
+  // All queries route through the indexed store (serve/view_store.h); the
+  // views themselves are only used for the human-readable summaries.
+  ViewStore store(have_db ? &db : nullptr);
+  for (const auto& view : views.value()) store.AddView(view);
+
   const int want = args.GetInt("label", -1);
   for (const auto& view : views.value()) {
     if (want >= 0 && view.label != want) continue;
     std::printf("%s\n", view.Summary().c_str());
-    for (size_t i = 0; i < view.patterns.size(); ++i) {
-      std::printf("  pattern %zu: %s\n", i,
-                  view.patterns[i].ToString().c_str());
+    const auto& patterns = store.PatternsForLabel(view.label);
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      std::printf("  pattern %zu: %s", i, patterns[i].ToString().c_str());
+      if (have_db) {
+        std::printf("  [in %zu db graphs]",
+                    store.DatabaseGraphsWithPattern(patterns[i]).size());
+      }
+      std::printf("\n");
+    }
+    const auto disc = store.DiscriminativePatterns(view.label);
+    for (size_t i = 0; i < disc.size(); ++i) {
+      std::printf("  discriminative %zu: %s\n", i,
+                  disc[i].ToString().c_str());
     }
   }
   return 0;
@@ -198,6 +199,10 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   Args args(argc, argv, 2);
+  if (!args.ok()) {
+    return Fail(args.error() +
+                "\nusage: gvex_cli <command> [--key value ...]");
+  }
   if (cmd == "datasets") return CmdDatasets();
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args);

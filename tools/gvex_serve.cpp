@@ -1,0 +1,138 @@
+// gvex_serve — serve explanation views over the line-oriented protocol of
+// serve/serve_protocol.h. Loads a view file (and optionally the graph
+// database it explains), builds a ViewService, then answers requests from
+// stdin (or a request file) on stdout until EOF or `quit`.
+//
+// Usage:
+//   gvex_serve --views views.txt [--graphs graphs.txt] [--threads 4]
+//              [--cache 256] [--requests requests.txt] [--stats 1]
+//
+// The service front end is concurrent (snapshot-swapped with live `admit`
+// support); this tool drives it from a single protocol session, which is
+// the shape the bench and tests script against. Payload formats are the
+// existing text formats: graph blocks (graph_io.h) and view blocks
+// (view_io.h).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "explain/view_io.h"
+#include "graph/graph_io.h"
+#include "serve/serve_protocol.h"
+#include "serve/view_service.h"
+#include "tool_args.h"
+#include "util/string_util.h"
+
+using namespace gvex;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gvex_serve --views views.txt [--graphs graphs.txt]\n"
+               "                  [--threads N] [--cache N] "
+               "[--requests file] [--stats 1]\n");
+  return 1;
+}
+
+// True when `keyword` opens a request that carries a payload block;
+// `terminator` receives the block's closing line.
+bool BlockTerminator(const std::string& keyword, std::string* terminator) {
+  if (keyword == "graphs" || keyword == "dbgraphs" ||
+      keyword == "labelsof") {
+    *terminator = "end";
+    return true;
+  }
+  if (keyword == "admit") {
+    *terminator = "endview";
+    return true;
+  }
+  return false;
+}
+
+// Request/response loop: reads ONE request (keyword line + payload block if
+// any) at a time and flushes its response immediately, so interactive and
+// co-process clients never deadlock waiting for EOF.
+void ServeStream(ViewService* service, std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    std::string chunk = line + "\n";
+    const auto head = SplitWhitespace(Trim(line));
+    std::string terminator;
+    if (!head.empty() && BlockTerminator(head[0], &terminator)) {
+      std::string payload;
+      while (std::getline(in, payload)) {
+        chunk += payload + "\n";
+        if (Trim(payload) == terminator) break;
+      }
+    }
+    bool quit = false;
+    std::fputs(ServeText(service, chunk, &quit).c_str(), stdout);
+    std::fflush(stdout);
+    if (quit) break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv, 1);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return Usage();
+  }
+  if (!args.Has("views")) return Usage();
+
+  GraphDatabase db;
+  bool have_db = false;
+  if (args.Has("graphs")) {
+    auto graphs = LoadGraphs(args.Get("graphs", ""));
+    if (!graphs.ok()) return Fail(graphs.status().ToString());
+    for (auto& lg : graphs.value()) db.Add(std::move(lg.graph), lg.label);
+    have_db = true;
+  }
+
+  ViewServiceOptions options;
+  options.index.num_threads = args.GetInt("threads", 1);
+  options.cache_capacity = static_cast<size_t>(args.GetInt("cache", 256));
+  ViewService service(have_db ? &db : nullptr, options);
+
+  auto views = LoadViews(args.Get("views", "views.txt"));
+  if (!views.ok()) return Fail(views.status().ToString());
+  if (!views.value().empty()) {
+    auto admitted = service.AdmitViews(std::move(views).value());
+    if (!admitted.ok()) return Fail(admitted.status().ToString());
+  }
+  std::fprintf(stderr, "serving %d label(s), %llu epoch(s); reading %s\n",
+               static_cast<int>(service.Labels().size()),
+               static_cast<unsigned long long>(service.epoch()),
+               args.Has("requests") ? args.Get("requests", "").c_str()
+                                    : "stdin");
+
+  if (args.Has("requests")) {
+    std::ifstream f(args.Get("requests", ""));
+    if (!f.good()) return Fail("cannot open " + args.Get("requests", ""));
+    ServeStream(&service, f);
+  } else {
+    ServeStream(&service, std::cin);
+  }
+
+  if (args.GetInt("stats", 0) != 0) {
+    const ViewServiceStats s = service.stats();
+    std::fprintf(stderr,
+                 "stats: epoch %llu labels %d codes %d cache_hits %llu "
+                 "cache_misses %llu\n",
+                 static_cast<unsigned long long>(s.epoch), s.num_labels,
+                 s.num_codes, static_cast<unsigned long long>(s.cache_hits),
+                 static_cast<unsigned long long>(s.cache_misses));
+  }
+  return 0;
+}

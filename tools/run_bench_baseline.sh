@@ -1,25 +1,29 @@
 #!/usr/bin/env bash
-# Parallel-bench baseline runner: builds Release, runs bench_fig9e_parallel
-# into a scratch JSON, and gates it against the committed BENCH_parallel.json
-# with tools/check_bench.py.
+# Bench baseline runner: builds Release, runs the gated perf drivers
+# (bench_fig9e_parallel and bench_serving_throughput) into scratch JSONs,
+# and gates them against the committed BENCH_parallel.json /
+# BENCH_serving.json with tools/check_bench.py.
 #
 # Usage:
-#   tools/run_bench_baseline.sh            # compare against the baseline
+#   tools/run_bench_baseline.sh            # compare against the baselines
 #   tools/run_bench_baseline.sh --record   # re-measure and update the
-#                                          # committed BENCH_parallel.json
+#                                          # committed BENCH_*.json files
 #
 # Environment:
-#   BENCH_BUILD_DIR   build tree to use (default: <repo>/build-bench)
-#   BENCH_TOLERANCE   fractional slowdown allowed per timing (default 0.35)
-#   BENCH_MIN_SPEEDUP speedup floor for N-worker runs on >=N-core machines
-#                     (default 1.5)
+#   BENCH_BUILD_DIR        build tree to use (default: <repo>/build-bench)
+#   BENCH_TOLERANCE        fractional slowdown allowed per timing
+#                          (default 0.35)
+#   BENCH_MIN_SPEEDUP      speedup floor for N-worker runs on >=N-core
+#                          machines (default 1.5)
+#   BENCH_MIN_SCAN_SPEEDUP hardware-independent floor for the serving
+#                          bench's indexed-vs-scan ratio (default 10)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BENCH_BUILD_DIR:-${repo_root}/build-bench}"
-baseline="${repo_root}/BENCH_parallel.json"
 tolerance="${BENCH_TOLERANCE:-0.35}"
 min_speedup="${BENCH_MIN_SPEEDUP:-1.5}"
+min_scan_speedup="${BENCH_MIN_SCAN_SPEEDUP:-10}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 record=0
@@ -29,34 +33,46 @@ if [[ "${1:-}" == "--record" ]]; then
 fi
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "${jobs}" --target bench_fig9e_parallel
+cmake --build "${build_dir}" -j "${jobs}" \
+  --target bench_fig9e_parallel bench_serving_throughput
 
-if [[ "${record}" == 1 ]]; then
-  # Re-measure straight into the committed baseline (merging, so sections
-  # recorded by other drivers survive).
-  GVEX_BENCH_OUT="${baseline}" "${build_dir}/bench/bench_fig9e_parallel"
-  echo "recorded new baseline into ${baseline}"
-  exit 0
-fi
+# Scratch files are cleaned up on EXIT (a RETURN trap would be skipped when
+# errexit aborts a failed gate mid-function).
+scratch_files=()
+cleanup() { rm -f "${scratch_files[@]+"${scratch_files[@]}"}"; }
+trap cleanup EXIT
 
-if [[ ! -f "${baseline}" ]]; then
-  echo "run_bench_baseline: no committed baseline at ${baseline};" >&2
-  echo "run 'tools/run_bench_baseline.sh --record' first." >&2
-  exit 1
-fi
+# gate <driver> <baseline file> <section>: runs the driver into a scratch
+# JSON and checks it, or (with --record) re-measures straight into the
+# committed baseline (merging, so sections from other drivers survive).
+gate() {
+  local driver="$1" baseline="$2" section="$3"
+  if [[ "${record}" == 1 ]]; then
+    GVEX_BENCH_OUT="${baseline}" "${build_dir}/bench/${driver}"
+    echo "recorded ${section} baseline into ${baseline}"
+    return 0
+  fi
+  if [[ ! -f "${baseline}" ]]; then
+    echo "run_bench_baseline: no committed baseline at ${baseline};" >&2
+    echo "run 'tools/run_bench_baseline.sh --record' first." >&2
+    return 1
+  fi
+  # BenchReport treats an empty existing file as having no sections, so the
+  # bench can merge straight into mktemp's file.
+  # No .json suffix: trailing characters after the X's are a GNU extension
+  # that BSD/macOS mktemp rejects. BenchReport doesn't care about extensions.
+  local current
+  current="$(mktemp /tmp/gvex_bench.XXXXXX)"
+  scratch_files+=("${current}")
+  GVEX_BENCH_OUT="${current}" "${build_dir}/bench/${driver}"
+  python3 "${repo_root}/tools/check_bench.py" \
+    --baseline "${baseline}" \
+    --current "${current}" \
+    --tolerance "${tolerance}" \
+    --min-speedup "${min_speedup}" \
+    --min-scan-speedup "${min_scan_speedup}" \
+    --section "${section}"
+}
 
-# BenchReport treats an empty existing file as having no sections, so the
-# bench can merge straight into mktemp's file.
-# No .json suffix: trailing characters after the X's are a GNU extension
-# that BSD/macOS mktemp rejects. BenchReport doesn't care about extensions.
-current="$(mktemp /tmp/gvex_bench.XXXXXX)"
-trap 'rm -f "${current}"' EXIT
-
-GVEX_BENCH_OUT="${current}" "${build_dir}/bench/bench_fig9e_parallel"
-
-python3 "${repo_root}/tools/check_bench.py" \
-  --baseline "${baseline}" \
-  --current "${current}" \
-  --tolerance "${tolerance}" \
-  --min-speedup "${min_speedup}" \
-  --section fig9e_parallel
+gate bench_fig9e_parallel "${repo_root}/BENCH_parallel.json" fig9e_parallel
+gate bench_serving_throughput "${repo_root}/BENCH_serving.json" serving

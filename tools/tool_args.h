@@ -1,0 +1,84 @@
+// Minimal --key value argument parser shared by the command-line tools.
+// Strict about shape: every token must be a --flag followed by a value.
+// A trailing flag with no value (odd argc) or a stray positional token is
+// reported through error() instead of being silently dropped — callers
+// print a usage error and exit. Numeric accessors exit with a usage error
+// on non-numeric values (this is a CLI-only helper; exiting is the
+// friendly failure mode, not a crash from an escaped std::stoi throw).
+
+#ifndef GVEX_TOOLS_TOOL_ARGS_H_
+#define GVEX_TOOLS_TOOL_ARGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i < argc; i += 2) {
+      const std::string key = argv[i];
+      if (!StartsWith(key, "--")) {
+        error_ = "expected a --flag, got '" + key + "'";
+        return;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag '" + key + "' is missing a value";
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+
+  /// Non-empty when the command line was malformed.
+  const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty(); }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t used = 0;
+      const int value = std::stoi(it->second, &used);
+      if (used == it->second.size()) return value;
+    } catch (const std::exception&) {
+    }
+    return BadNumber(key, it->second, "an integer");
+  }
+  float GetFloat(const std::string& key, float fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t used = 0;
+      const float value = std::stof(it->second, &used);
+      if (used == it->second.size()) return value;
+    } catch (const std::exception&) {
+    }
+    return BadNumber(key, it->second, "a number");
+  }
+
+ private:
+  static int BadNumber(const std::string& key, const std::string& value,
+                       const char* expected) {
+    std::fprintf(stderr, "error: flag '--%s' expects %s, got '%s'\n",
+                 key.c_str(), expected, value.c_str());
+    std::exit(1);
+  }
+
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_TOOLS_TOOL_ARGS_H_
