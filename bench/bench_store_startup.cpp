@@ -1,0 +1,192 @@
+// Store-startup benchmark: cold index build vs warm snapshot load. A
+// restarted server without the durable store pays the full PatternIndex
+// isomorphism cross-product before it can answer its first query; with a
+// compacted store directory, ViewService::Open decodes the snapshot's
+// postings instead. This driver measures both paths on the same
+// 1k-pattern synthetic store the serving benchmark uses, verifies the
+// warm-started service answers identically, and records the
+// hardware-independent ratio `warm_speedup` (same machine, same store,
+// cold time / warm time).
+//
+// The run merge-writes a "store_startup" section into BENCH_store.json
+// (override with GVEX_BENCH_OUT); tools/check_bench.py gates
+// `warm_speedup` against an absolute >=5x floor — the acceptance bar for
+// warm-start recovery — plus the usual `_sec` regression checks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "serve/synthetic_store.h"
+#include "serve/view_service.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "util/timer.h"
+
+using namespace gvex;
+
+namespace {
+
+constexpr int kRuns = 3;  // best-of-N for both paths
+
+// The serving benchmark's 1k-pattern store shape (bench_serving_throughput).
+synthetic::SyntheticStore MakeStore(uint64_t seed) {
+  synthetic::SyntheticStoreOptions opt;
+  opt.num_labels = 8;
+  opt.graphs_per_label = 16;
+  opt.patterns_per_label = 125;
+  opt.min_nodes = 10;
+  opt.max_nodes = 16;
+  opt.num_types = 4;
+  opt.pattern_min_nodes = 2;
+  opt.pattern_max_nodes = 6;
+  opt.subgraph_num = 3;
+  opt.subgraph_den = 4;
+  return synthetic::MakeSyntheticStore(seed, opt);
+}
+
+// Answers must match between the cold and warm services — a fast load of
+// the wrong index is worthless.
+bool SameAnswers(const ViewService& a, const ViewService& b,
+                 const std::vector<ExplanationView>& views) {
+  if (a.Labels() != b.Labels()) return false;
+  for (const ExplanationView& v : views) {
+    for (size_t i = 0; i < v.patterns.size(); i += 7) {
+      const Pattern& p = v.patterns[i];
+      if (a.GraphsWithPattern(v.label, p) != b.GraphsWithPattern(v.label, p) ||
+          a.LabelsOfPattern(p) != b.LabelsOfPattern(p) ||
+          a.DatabaseGraphsWithPattern(p) != b.DatabaseGraphsWithPattern(p)) {
+        return false;
+      }
+    }
+    if (a.DiscriminativePatterns(v.label).size() !=
+        b.DiscriminativePatterns(v.label).size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Store startup: cold index build vs warm snapshot load (1k patterns)");
+  synthetic::SyntheticStore store = MakeStore(42);
+  int total_patterns = 0;
+  for (const auto& v : store.views) {
+    total_patterns += static_cast<int>(v.patterns.size());
+  }
+
+  ViewServiceOptions options;
+  options.cache_capacity = 0;  // measure the index paths, not the LRU
+  options.index.num_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  // --- Cold path: admit + full index build, best of kRuns. ---
+  double cold_sec = 0.0;
+  std::unique_ptr<ViewService> cold;
+  for (int run = 0; run < kRuns; ++run) {
+    auto service = std::make_unique<ViewService>(&store.db, options);
+    Timer t;
+    if (!service->AdmitViews(store.views).ok()) {
+      std::fprintf(stderr, "cold admission failed\n");
+      return 1;
+    }
+    const double sec = t.ElapsedSec();
+    if (run == 0 || sec < cold_sec) cold_sec = sec;
+    cold = std::move(service);
+  }
+
+  // --- Prepare the store directory: admit, compact (snapshot, empty WAL).
+  char dir_template[] = "/tmp/gvex_store_bench.XXXXXX";
+  char* dir_cstr = mkdtemp(dir_template);
+  if (dir_cstr == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = dir_cstr;
+  {
+    auto durable = ViewService::Open(dir, &store.db, options);
+    if (!durable.ok() ||
+        !durable.value()->AdmitViews(store.views).ok() ||
+        !durable.value()->Compact().ok()) {
+      std::fprintf(stderr, "store preparation failed\n");
+      return 1;
+    }
+  }
+  double snapshot_bytes = 0.0;
+  {
+    auto epochs = ListSnapshotEpochs(dir);
+    if (epochs.ok() && !epochs.value().empty()) {
+      const std::string path =
+          dir + "/" + SnapshotFileName(epochs.value().back());
+      if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+        std::fseek(f, 0, SEEK_END);
+        snapshot_bytes = static_cast<double>(std::ftell(f));
+        std::fclose(f);
+      }
+    }
+  }
+
+  // --- Warm path: Open decodes the snapshot postings, best of kRuns. ---
+  double warm_sec = 0.0;
+  std::unique_ptr<ViewService> warm;
+  for (int run = 0; run < kRuns; ++run) {
+    Timer t;
+    auto service = ViewService::Open(dir, &store.db, options);
+    const double sec = t.ElapsedSec();
+    if (!service.ok()) {
+      std::fprintf(stderr, "warm open failed: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    if (run == 0 || sec < warm_sec) warm_sec = sec;
+    warm = std::move(service).value();
+  }
+
+  if (!SameAnswers(*cold, *warm, store.views)) {
+    std::fprintf(stderr,
+                 "FATAL: warm-started answers diverge from the cold build\n");
+    return 1;
+  }
+
+  // Scratch-store cleanup (ignore failures — /tmp is disposable).
+  (void)std::remove((dir + "/" + WalFileName()).c_str());
+  if (auto epochs = ListSnapshotEpochs(dir); epochs.ok()) {
+    for (uint64_t e : epochs.value()) {
+      (void)std::remove((dir + "/" + SnapshotFileName(e)).c_str());
+    }
+  }
+  (void)std::remove(dir.c_str());
+
+  const double speedup = cold_sec / std::max(warm_sec, 1e-9);
+  Table table({"Path", "Seconds"});
+  table.AddRow({"cold build (admit + index)", FmtDouble(cold_sec, 4)});
+  table.AddRow({"warm open (snapshot load)", FmtDouble(warm_sec, 4)});
+  std::printf("%s", table.ToText().c_str());
+  std::printf("\n%d patterns / %zu labels; snapshot %.0f bytes; "
+              "warm speedup %.1fx\n",
+              total_patterns, store.views.size(), snapshot_bytes, speedup);
+
+  bench::BenchReport report("store_startup");
+  report.Add("hardware_concurrency",
+             static_cast<double>(std::thread::hardware_concurrency()));
+  report.Add("num_patterns", total_patterns);
+  report.Add("cold_build_sec", cold_sec);
+  report.Add("warm_open_sec", warm_sec);
+  report.Add("warm_speedup", speedup);
+  report.Add("snapshot_bytes", snapshot_bytes);
+  const std::string out = bench::BenchReport::OutPath("BENCH_store.json");
+  Status st = report.WriteMerged(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

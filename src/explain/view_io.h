@@ -24,6 +24,26 @@ Status SaveViews(const std::string& path,
                  const std::vector<ExplanationView>& views);
 Result<std::vector<ExplanationView>> LoadViews(const std::string& path);
 
+// --- Binary counterparts -------------------------------------------------
+// The CRC-framed binary codec of the durable store (store/codec.h):
+// versioned header, checksummed records, bit-identical double round trips.
+// Declared here next to the text entry points; implemented by the store
+// module — link gvex_store (gvex_serve pulls it in transitively) to use
+// them. Binary view files start with the 4-byte magic "GVXS", so loaders
+// can sniff the format.
+
+/// Serializes views into one self-contained binary file image.
+std::string SerializeViewsBinary(const std::vector<ExplanationView>& views);
+
+/// Parses a SerializeViewsBinary image. Corrupt or truncated input returns
+/// an error — never a partial view list.
+Result<std::vector<ExplanationView>> ParseViewsBinary(const std::string& bytes);
+
+/// File round-trip helpers for the binary format.
+Status SaveViewsBinary(const std::string& path,
+                       const std::vector<ExplanationView>& views);
+Result<std::vector<ExplanationView>> LoadViewsBinary(const std::string& path);
+
 }  // namespace gvex
 
 #endif  // GVEX_EXPLAIN_VIEW_IO_H_

@@ -105,6 +105,49 @@ PatternIndex PatternIndex::Build(const std::map<int, ExplanationView>& views,
                db, options);
 }
 
+std::vector<StoredPostings> PatternIndex::ExportPostings() const {
+  std::vector<StoredPostings> out;
+  out.reserve(postings_.size());
+  for (const auto& [code, post] : postings_) {
+    StoredPostings stored;
+    stored.code = code;
+    stored.labels = post.labels;
+    stored.tier_position = post.tier_position;
+    stored.subgraph_bits = post.subgraph_bits;
+    stored.db_graphs = post.db_graphs;
+    out.push_back(std::move(stored));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoredPostings& a, const StoredPostings& b) {
+              return a.code < b.code;
+            });
+  return out;
+}
+
+PatternIndex PatternIndex::FromStored(
+    std::shared_ptr<const std::map<int, ExplanationView>> views,
+    const GraphDatabase* db, const MatchOptions& match, bool database_indexed,
+    const std::vector<StoredPostings>& postings) {
+  PatternIndex index;
+  index.views_ = std::move(views);
+  index.db_ = db;
+  index.match_ = match;
+  // Snapshots may predate the database the service now runs against; a
+  // missing database disables the precomputed db_graphs path exactly like
+  // a scratch build with db == nullptr.
+  index.database_indexed_ = database_indexed && db != nullptr;
+  index.postings_.reserve(postings.size());
+  for (const StoredPostings& stored : postings) {
+    PatternPostings post;
+    post.labels = stored.labels;
+    post.tier_position = stored.tier_position;
+    post.subgraph_bits = stored.subgraph_bits;
+    post.db_graphs = stored.db_graphs;
+    index.postings_.emplace(stored.code, std::move(post));
+  }
+  return index;
+}
+
 const std::map<int, ExplanationView>& PatternIndex::views() const {
   return views_ == nullptr ? kEmptyViews : *views_;
 }

@@ -37,6 +37,7 @@
 #include "graph/graph_database.h"
 #include "pattern/isomorphism.h"
 #include "pattern/pattern.h"
+#include "store/snapshot.h"
 
 namespace gvex {
 
@@ -84,6 +85,23 @@ class PatternIndex {
   static PatternIndex Build(const std::map<int, ExplanationView>& views,
                             const GraphDatabase* db,
                             const BuildOptions& options = {});
+
+  // --- Snapshot persistence (store/snapshot.h) ---
+
+  /// Exports every posting in ascending code order (deterministic snapshot
+  /// bytes for identical state).
+  std::vector<StoredPostings> ExportPostings() const;
+
+  /// Reassembles an index from exported postings WITHOUT any isomorphism
+  /// work — the warm-start path of ViewService::Open. The caller must
+  /// supply the views/database the postings were computed over; `match`
+  /// and `database_indexed` come from the snapshot so fallback queries
+  /// behave exactly like the index that was saved. Answers are
+  /// bit-identical to the original (pinned by the snapshot parity test).
+  static PatternIndex FromStored(
+      std::shared_ptr<const std::map<int, ExplanationView>> views,
+      const GraphDatabase* db, const MatchOptions& match,
+      bool database_indexed, const std::vector<StoredPostings>& postings);
 
   // --- Queries. Each is bit-identical to the legacy ViewStore scan (see
   // serve/view_store.h and the oracle parity test). ---

@@ -87,6 +87,22 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
     req.kind = ServeRequest::Kind::kStats;
     return req;
   }
+  if (kw == "save") {
+    req.kind = ServeRequest::Kind::kSave;
+    return req;
+  }
+  if (kw == "compact") {
+    req.kind = ServeRequest::Kind::kCompact;
+    return req;
+  }
+  if (kw == "open") {
+    if (head.size() < 2) {
+      return Status::InvalidArgument("'open' needs a store directory");
+    }
+    req.kind = ServeRequest::Kind::kOpen;
+    req.dir = head[1];
+    return req;
+  }
   if (kw == "quit") {
     req.kind = ServeRequest::Kind::kQuit;
     return req;
@@ -135,6 +151,21 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
   return Status::InvalidArgument("unknown request '" + kw + "'");
 }
 
+std::string HandleServeRequest(ServeSession* session,
+                               const ServeRequest& req) {
+  if (req.kind == ServeRequest::Kind::kOpen) {
+    auto opened = ViewService::Open(req.dir, session->db, session->options);
+    if (!opened.ok()) return "err " + opened.status().ToString() + "\n";
+    session->owned = std::move(opened).value();
+    session->service = session->owned.get();
+    return StrFormat("ok open %s epoch %llu labels %zu\n", req.dir.c_str(),
+                     static_cast<unsigned long long>(
+                         session->service->epoch()),
+                     session->service->Labels().size());
+  }
+  return HandleServeRequest(session->service, req);
+}
+
 std::string HandleServeRequest(ViewService* service,
                                const ServeRequest& req) {
   switch (req.kind) {
@@ -164,18 +195,34 @@ std::string HandleServeRequest(ViewService* service,
       const ViewServiceStats s = service->stats();
       return StrFormat(
           "ok stats epoch %llu labels %d codes %d cache_hits %llu "
-          "cache_misses %llu\n",
+          "cache_misses %llu hit_rate %.4f\n",
           static_cast<unsigned long long>(s.epoch), s.num_labels,
           s.num_codes, static_cast<unsigned long long>(s.cache_hits),
-          static_cast<unsigned long long>(s.cache_misses));
+          static_cast<unsigned long long>(s.cache_misses), s.hit_rate());
     }
+    case ServeRequest::Kind::kSave: {
+      auto epoch = service->Save();
+      if (!epoch.ok()) return "err " + epoch.status().ToString() + "\n";
+      return StrFormat("ok saved epoch %llu\n",
+                       static_cast<unsigned long long>(epoch.value()));
+    }
+    case ServeRequest::Kind::kCompact: {
+      auto epoch = service->Compact();
+      if (!epoch.ok()) return "err " + epoch.status().ToString() + "\n";
+      return StrFormat("ok compacted epoch %llu\n",
+                       static_cast<unsigned long long>(epoch.value()));
+    }
+    case ServeRequest::Kind::kOpen:
+      // `open` swaps which service a session talks to — only the session
+      // overload can honor it.
+      return "err open requires a protocol session (ServeSession)\n";
     case ServeRequest::Kind::kQuit:
       return "ok bye\n";
   }
   return "err unreachable\n";
 }
 
-std::string ServeText(ViewService* service, const std::string& text,
+std::string ServeText(ServeSession* session, const std::string& text,
                       bool* quit) {
   if (quit) *quit = false;
   std::string out;
@@ -188,13 +235,20 @@ std::string ServeText(ViewService* service, const std::string& text,
       out += "err " + req.status().message() + "\n";
       continue;
     }
-    out += HandleServeRequest(service, req.value());
+    out += HandleServeRequest(session, req.value());
     if (req.value().kind == ServeRequest::Kind::kQuit) {
       if (quit) *quit = true;
       break;
     }
   }
   return out;
+}
+
+std::string ServeText(ViewService* service, const std::string& text,
+                      bool* quit) {
+  ServeSession session;
+  session.service = service;
+  return ServeText(&session, text, quit);
 }
 
 }  // namespace gvex

@@ -19,6 +19,17 @@
 //                                      snapshot without blocking readers)
 //   stats                          -> ok stats epoch <e> labels <n> codes <c>
 //                                       cache_hits <h> cache_misses <m>
+//                                       hit_rate <r>
+//                                      (r = hits / (hits + misses), 0 when
+//                                       the cache has seen no lookups)
+//   open <dir>                     -> ok open <dir> epoch <e> labels <n>
+//                                      (switches the SESSION onto a durable
+//                                       ViewService::Open(dir) service;
+//                                       session-owned — needs ServeSession)
+//   save                           -> ok saved epoch <e>
+//   compact                        -> ok compacted epoch <e>
+//                                      (save/compact answer "err ..." on a
+//                                       service without a store directory)
 //   quit                           -> ok bye
 //
 // Malformed input answers "err <message>" and parsing resumes at the next
@@ -26,11 +37,13 @@
 //
 // Thread-safety: the parser is pure; HandleRequest only calls the
 // (concurrency-safe) ViewService API, so multiple protocol sessions may
-// share one service.
+// share one service. A ServeSession, by contrast, is single-session state
+// (the `open` verb swaps which service it talks to).
 
 #ifndef GVEX_SERVE_SERVE_PROTOCOL_H_
 #define GVEX_SERVE_SERVE_PROTOCOL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,12 +65,29 @@ struct ServeRequest {
     kDiscriminative,
     kAdmit,
     kStats,
+    kOpen,
+    kSave,
+    kCompact,
     kQuit,
   };
   Kind kind = Kind::kLabels;
   int label = -1;
   Pattern pattern;       ///< For kGraphs / kLabelsOf / kDbGraphs.
   ExplanationView view;  ///< For kAdmit.
+  std::string dir;       ///< For kOpen.
+};
+
+/// Per-connection protocol state. `service` is the current target; the
+/// `open` verb creates a durable service over a store directory (with the
+/// session's database and options) and swaps the session onto it, keeping
+/// ownership in `owned`. Sessions wrapping an externally owned service
+/// just leave `owned` null.
+struct ServeSession {
+  ViewService* service = nullptr;
+  std::unique_ptr<ViewService> owned;
+  /// Database/options handed to services the `open` verb creates.
+  const GraphDatabase* db = nullptr;
+  ViewServiceOptions options;
 };
 
 /// Parses one request starting at lines[*pos] (blank lines skipped) and
@@ -67,12 +97,23 @@ struct ServeRequest {
 Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
                                        size_t* pos);
 
-/// Executes one request; returns the newline-terminated response text.
+/// Executes one request against a session; returns the newline-terminated
+/// response text. The `open` verb mutates the session.
+std::string HandleServeRequest(ServeSession* session, const ServeRequest& req);
+
+/// Convenience overload for a bare service (no session state): `open`
+/// answers an error, everything else behaves identically.
 std::string HandleServeRequest(ViewService* service, const ServeRequest& req);
 
 /// Parses and executes every request in `text`, concatenating responses.
 /// `quit` (optional) is set when a quit request was seen — callers running
 /// a read loop should stop feeding input then.
+std::string ServeText(ServeSession* session, const std::string& text,
+                      bool* quit = nullptr);
+
+/// Bare-service overload: a temporary session lives for this call only, so
+/// an `open` in `text` affects later requests of the SAME call and is then
+/// dropped. Long-lived callers (gvex_serve) hold a ServeSession instead.
 std::string ServeText(ViewService* service, const std::string& text,
                       bool* quit = nullptr);
 

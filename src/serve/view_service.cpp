@@ -45,6 +45,13 @@ std::string CacheKey(uint64_t epoch, const ViewQuery& q) {
 
 }  // namespace
 
+ViewService::~ViewService() {
+  if (store_ != nullptr) {
+    std::lock_guard<std::mutex> lock(store_->compact_mu);
+    if (store_->compactor.joinable()) store_->compactor.join();
+  }
+}
+
 ViewService::ViewService(const GraphDatabase* db, ViewServiceOptions options)
     : db_(db), options_(options) {
   auto snap = std::make_shared<Snapshot>();
@@ -85,22 +92,37 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
       return Status::InvalidArgument("cannot admit a view without a label");
     }
   }
-  // Writers serialize here; readers are untouched. Everything below — the
-  // views-map copy and the index rebuild — happens on the NEXT snapshot,
-  // off to the side of the published one.
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  std::shared_ptr<const Snapshot> cur = Load();
-  auto next_views =
-      std::make_shared<std::map<int, ExplanationView>>(*cur->views);
-  for (ExplanationView& v : views) {
-    (*next_views)[v.label] = std::move(v);
+  uint64_t published = 0;
+  uint64_t wal_bytes = 0;
+  {
+    // Writers serialize here; readers are untouched. Everything below —
+    // the WAL append, the views-map copy, and the index rebuild — happens
+    // on the NEXT snapshot, off to the side of the published one.
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    std::shared_ptr<const Snapshot> cur = Load();
+    published = cur->epoch + 1;
+    if (store_ != nullptr) {
+      // Log-before-publish: if the append fails, nothing was admitted —
+      // the caller sees the error and the published state is unchanged.
+      WalRecord record;
+      record.epoch = published;
+      record.views = views;  // copy; `views` still moves into the snapshot
+      GVEX_RETURN_NOT_OK(store_->wal.Append(record));
+    }
+    auto next_views =
+        std::make_shared<std::map<int, ExplanationView>>(*cur->views);
+    for (ExplanationView& v : views) {
+      (*next_views)[v.label] = std::move(v);
+    }
+    auto next = std::make_shared<Snapshot>();
+    next->epoch = published;
+    next->views = std::move(next_views);
+    next->index = PatternIndex::Build(next->views, db_, options_.index);
+    Publish(std::move(next));
+    wal_bytes = store_ != nullptr ? store_->wal.file_bytes() : 0;
   }
-  auto next = std::make_shared<Snapshot>();
-  const uint64_t published = cur->epoch + 1;
-  next->epoch = published;
-  next->views = std::move(next_views);
-  next->index = PatternIndex::Build(next->views, db_, options_.index);
-  Publish(std::move(next));
+  // Outside the writer lock: compaction takes the lock itself.
+  MaybeScheduleCompact(wal_bytes);
   return published;
 }
 
@@ -231,6 +253,172 @@ std::vector<ViewQueryResult> ViewService::ExecuteBatch(
     ThreadPool::ParallelForShards(threads, threads * 4, n, run_shard);
   }
   return results;
+}
+
+// --- Durable storage -----------------------------------------------------
+
+const std::string& ViewService::store_dir() const {
+  static const std::string empty;
+  return store_ != nullptr ? store_->dir : empty;
+}
+
+Result<std::unique_ptr<ViewService>> ViewService::Open(
+    const std::string& dir, const GraphDatabase* db,
+    ViewServiceOptions options) {
+  GVEX_RETURN_NOT_OK(EnsureDir(dir));
+
+  // Newest snapshot that validates wins; older ones are fallbacks against
+  // a corrupted latest file (atomic writes make that unlikely, torn disks
+  // happen anyway).
+  GVEX_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ListSnapshotEpochs(dir));
+  SnapshotData snapshot;
+  bool have_snapshot = false;
+  std::string last_error;
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    auto loaded = LoadSnapshot(dir + "/" + SnapshotFileName(*it));
+    if (loaded.ok()) {
+      snapshot = std::move(loaded).value();
+      have_snapshot = true;
+      break;
+    }
+    last_error = loaded.status().ToString();
+  }
+  if (!have_snapshot && !epochs.empty()) {
+    return Status::IOError(
+        StrFormat("no snapshot in %s validates (last error: %s)",
+                  dir.c_str(), last_error.c_str()));
+  }
+
+  // WAL replay: admissions newer than the snapshot, longest valid prefix.
+  const std::string wal_path = dir + "/" + WalFileName();
+  WalReplay replay;
+  auto replayed = ReplayWal(wal_path);
+  if (replayed.ok()) {
+    replay = std::move(replayed).value();
+  } else if (!replayed.status().IsNotFound()) {
+    return replayed.status();
+  }
+
+  auto service =
+      std::unique_ptr<ViewService>(new ViewService(db, options));
+
+  uint64_t epoch = snapshot.epoch;
+  auto views =
+      std::make_shared<std::map<int, ExplanationView>>(std::move(snapshot.views));
+  bool replayed_any = false;
+  for (WalRecord& record : replay.records) {
+    if (record.epoch <= epoch) continue;  // already folded into the snapshot
+    for (ExplanationView& v : record.views) {
+      (*views)[v.label] = std::move(v);
+    }
+    epoch = record.epoch;
+    replayed_any = true;
+  }
+
+  // Fail-stop on provable data loss: a snapshot FILE for a newer epoch
+  // exists (that state was once acknowledged) but neither a valid
+  // snapshot nor the WAL can reach it — e.g. the newest snapshot is
+  // corrupt and Compact already reset the WAL. Serving the older state
+  // silently would drop acknowledged admissions; make the operator decide
+  // (delete the corrupt file to accept the rollback).
+  if (!epochs.empty() && epoch < epochs.back()) {
+    return Status::IOError(StrFormat(
+        "recovery reaches epoch %llu but %s/%s exists and does not load — "
+        "acknowledged state would be lost; delete the corrupt snapshot to "
+        "accept rolling back",
+        static_cast<unsigned long long>(epoch), dir.c_str(),
+        SnapshotFileName(epochs.back()).c_str()));
+  }
+
+  if (epoch > 0) {
+    auto next = std::make_shared<Snapshot>();
+    next->epoch = epoch;
+    next->views = std::move(views);
+    if (replayed_any) {
+      // WAL admissions changed the view set — one scratch index build
+      // over the recovered state.
+      next->index = PatternIndex::Build(next->views, db, options.index);
+    } else {
+      // Pure-snapshot warm start: decode the postings, skip the
+      // isomorphism cross-product entirely.
+      next->index =
+          PatternIndex::FromStored(next->views, db, snapshot.match,
+                                   snapshot.database_indexed,
+                                   snapshot.postings);
+    }
+    service->Publish(std::move(next));
+  }
+
+  auto store = std::make_unique<DurableStore>();
+  store->dir = dir;
+  store->wal.set_sync_every(options.store.wal_sync_every);
+  // Dropping a torn tail here is safe: those bytes never published (the
+  // WAL is written before the snapshot swap, so at worst the tail is an
+  // admission whose caller never saw success).
+  GVEX_RETURN_NOT_OK(store->wal.Open(wal_path, replay.valid_bytes));
+  service->store_ = std::move(store);
+  return service;
+}
+
+Status ViewService::SaveLocked(const Snapshot& snap) {
+  SnapshotData data;
+  data.epoch = snap.epoch;
+  data.match = snap.index.match_options();
+  data.database_indexed = snap.index.database_indexed();
+  data.views = *snap.views;
+  data.postings = snap.index.ExportPostings();
+  return SaveSnapshot(store_->dir + "/" + SnapshotFileName(snap.epoch), data);
+}
+
+Result<uint64_t> ViewService::Save() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Save() requires a durable service (ViewService::Open)");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> snap = Load();
+  GVEX_RETURN_NOT_OK(SaveLocked(*snap));
+  return snap->epoch;
+}
+
+Result<uint64_t> ViewService::Compact() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Compact() requires a durable service (ViewService::Open)");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> snap = Load();
+  GVEX_RETURN_NOT_OK(SaveLocked(*snap));
+  // Every WAL record's epoch is <= the snapshot we just wrote (appends
+  // serialize on writer_mu_), so the log is fully covered.
+  GVEX_RETURN_NOT_OK(store_->wal.Reset());
+  if (options_.store.prune_snapshots) {
+    auto pruned = PruneSnapshots(store_->dir, snap->epoch);
+    if (!pruned.ok()) return pruned.status();
+  }
+  return snap->epoch;
+}
+
+void ViewService::MaybeScheduleCompact(uint64_t wal_bytes) {
+  if (store_ == nullptr || options_.store.compact_wal_bytes == 0 ||
+      wal_bytes < options_.store.compact_wal_bytes) {
+    return;
+  }
+  bool expected = false;
+  if (!store_->compacting.compare_exchange_strong(expected, true)) {
+    return;  // one compaction at a time
+  }
+  // compact_mu serializes handle join/assignment: another admitter that
+  // wins the CAS the instant the worker clears the flag must wait here
+  // until this move-assignment completed.
+  std::lock_guard<std::mutex> lock(store_->compact_mu);
+  // The previous run's thread has finished its work (the flag was clear)
+  // but may still need joining before the handle is reused.
+  if (store_->compactor.joinable()) store_->compactor.join();
+  store_->compactor = std::thread([this] {
+    (void)Compact();  // best-effort; the WAL keeps everything recoverable
+    store_->compacting.store(false);
+  });
 }
 
 ViewServiceStats ViewService::stats() const {

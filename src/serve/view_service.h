@@ -24,10 +24,21 @@
 // number of threads, including AdmitView racing queries. AdmitView calls
 // are serialized internally (admissions are ordered); queries never block
 // on admissions and vice versa.
+//
+// Durability (src/store/): a service constructed via Open(dir) is DURABLE.
+// Every admission is appended to a write-ahead log (store/wal.h) before its
+// snapshot is published; Save() writes the whole current epoch as an
+// epoch-tagged binary snapshot (store/snapshot.h, including the index
+// postings, so reopening decodes the index instead of re-running the
+// isomorphism cross-product); Compact() folds the WAL into a fresh
+// snapshot. Open(dir) warm-starts from the newest valid snapshot plus WAL
+// replay and tolerates torn WAL tails — see the kill-and-restart parity
+// test in tests/serve/view_service_recovery_test.cpp.
 
 #ifndef GVEX_SERVE_VIEW_SERVICE_H_
 #define GVEX_SERVE_VIEW_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -37,14 +48,33 @@
 #include <unordered_map>
 #include <vector>
 
+#include <thread>
+
 #include "explain/explanation.h"
 #include "graph/graph_database.h"
 #include "pattern/pattern.h"
 #include "serve/pattern_index.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace gvex {
+
+/// Durability knobs (only consulted by services created via Open).
+struct DurableStoreOptions {
+  /// fsync the WAL every N admissions (1 = every admission; larger values
+  /// batch fsyncs — a power failure may lose up to N-1 tail admissions, a
+  /// process crash loses nothing that was admitted).
+  int wal_sync_every = 1;
+  /// When > 0, an admission that grows the WAL past this many bytes
+  /// triggers a BACKGROUND Compact() (non-overlapping; readers and writers
+  /// keep going — compaction only takes the writer lock for the duration
+  /// of the snapshot write). 0 disables automatic compaction.
+  uint64_t compact_wal_bytes = 0;
+  /// Compact() removes snapshot files older than the one it just wrote.
+  bool prune_snapshots = true;
+};
 
 /// Service behavior knobs.
 struct ViewServiceOptions {
@@ -63,6 +93,8 @@ struct ViewServiceOptions {
   /// persistent pool may wait out each other's shards (throughput
   /// coupling, not a correctness issue).
   int batch_workers = 0;
+  /// Durability knobs for Open-created services.
+  DurableStoreOptions store;
 };
 
 /// The query kinds the service answers (mirrors the legacy ViewStore API).
@@ -98,6 +130,14 @@ struct ViewServiceStats {
   int num_codes = 0;       ///< Indexed canonical codes in the snapshot.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+
+  /// hits / (hits + misses); 0 when the cache has seen no lookups.
+  double hit_rate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 /// Concurrent, snapshot-swapped, cached front end over a PatternIndex.
@@ -106,10 +146,42 @@ class ViewService {
   /// `db` may be null (no database queries) and must outlive the service.
   explicit ViewService(const GraphDatabase* db,
                        ViewServiceOptions options = {});
-  ~ViewService() = default;
+  /// Joins any in-flight background compaction.
+  ~ViewService();
 
   ViewService(const ViewService&) = delete;
   ViewService& operator=(const ViewService&) = delete;
+
+  // --- Durable storage (src/store/) ---
+
+  /// Opens (or creates) a DURABLE service rooted at directory `dir`:
+  /// warm-starts from the newest snapshot that validates (decoding the
+  /// index postings — no isomorphism rebuild), replays WAL admissions
+  /// newer than it (one index rebuild when any exist), truncates a torn
+  /// WAL tail, and attaches the WAL so every subsequent admission is
+  /// logged before it publishes. An empty directory opens as an empty
+  /// epoch-0 service. `db` must be the database the stored views explain
+  /// (null for services without database queries).
+  static Result<std::unique_ptr<ViewService>> Open(
+      const std::string& dir, const GraphDatabase* db,
+      ViewServiceOptions options = {});
+
+  /// True when this service was created by Open (Save/Compact available).
+  bool durable() const { return store_ != nullptr; }
+  /// The store directory ("" when not durable).
+  const std::string& store_dir() const;
+
+  /// Writes the current epoch as `snapshot-<epoch>.gvxs` in the store
+  /// directory (atomic tmp+rename; the WAL is kept, so admissions racing
+  /// the save stay recoverable). Returns the epoch saved.
+  /// FailedPrecondition when the service is not durable.
+  Result<uint64_t> Save();
+
+  /// Save() + reset the WAL (every logged admission is now covered by the
+  /// snapshot) + prune older snapshot files (when enabled). Returns the
+  /// epoch compacted into. Safe to call concurrently with admissions and
+  /// queries.
+  Result<uint64_t> Compact();
 
   /// Publishes `view` (replacing any previous view for its label) as a new
   /// epoch. The index rebuild happens off to the side; readers keep
@@ -164,24 +236,44 @@ class ViewService {
     uint64_t misses = 0;
   };
 
+  /// Durable-store state, present only for Open-created services. The WAL
+  /// writer is guarded by writer_mu_ (appends happen inside admissions).
+  /// The compactor HANDLE is guarded by compact_mu (the worker may clear
+  /// `compacting` before the scheduler's move-assignment into `compactor`
+  /// completes, so flag-only coordination would race on the handle).
+  struct DurableStore {
+    std::string dir;
+    WalWriter wal;
+    std::atomic<bool> compacting{false};
+    std::mutex compact_mu;
+    std::thread compactor;
+  };
+
   std::shared_ptr<const Snapshot> Load() const;
   void Publish(std::shared_ptr<const Snapshot> snap);
   ViewQueryResult Execute(const Snapshot& snap, const ViewQuery& q) const;
   /// Cache-through execution: looks up (epoch, query) and fills on miss.
   ViewQueryResult ExecuteCached(const Snapshot& snap,
                                 const ViewQuery& q) const;
+  /// Snapshot write for `snap`; requires writer_mu_ held and durable().
+  Status SaveLocked(const Snapshot& snap);
+  /// Kicks off a background Compact when the WAL outgrew its threshold
+  /// (`wal_bytes` is read under the writer lock by the caller).
+  void MaybeScheduleCompact(uint64_t wal_bytes);
 
   const GraphDatabase* db_;
   ViewServiceOptions options_;
 
   /// Current snapshot; accessed with std::atomic_load / std::atomic_store.
   std::shared_ptr<const Snapshot> snapshot_;
-  /// Serializes writers (admissions).
+  /// Serializes writers (admissions, snapshot writes, WAL appends).
   std::mutex writer_mu_;
 
   mutable std::vector<std::unique_ptr<CacheShard>> cache_;
   /// Persistent batch pool (null when options_.batch_workers == 0).
   std::unique_ptr<ThreadPool> batch_pool_;
+  /// Null for purely in-memory services.
+  std::unique_ptr<DurableStore> store_;
 };
 
 }  // namespace gvex

@@ -1,0 +1,134 @@
+// Binary codec for the durable view store: little-endian varint framing
+// with CRC32-protected records, used by the snapshot and WAL file formats
+// (store/snapshot.h, store/wal.h) and by the binary view-file entry points
+// declared in explain/view_io.h.
+//
+// Layout conventions shared by every store file:
+//   * 12-byte file header: magic "GVXS" (fixed32), format version (fixed32),
+//     file kind (fixed32). Readers reject unknown magic/version/kind before
+//     touching any payload.
+//   * After the header, a sequence of framed records:
+//       [varint payload length][payload bytes][fixed32 CRC32 of payload]
+//     so every byte of payload is checksummed and a flipped bit anywhere —
+//     length, payload, or checksum — fails the frame, never a silent
+//     misparse.
+//   * Integers are LEB128 varints (signed values zigzag-encoded, so -1 is
+//     one byte); floats/doubles are raw IEEE-754 bits in little-endian
+//     fixed width, making round trips bit-identical.
+//
+// Error model: encoders cannot fail; decoders return Status and NEVER
+// throw, crash, or partially populate their output on malformed input
+// (fuzz-tested over truncations and single-byte flips in
+// tests/store/codec_test.cpp).
+//
+// Thread-safety: all functions are pure; ByteReader instances are not
+// shared across threads.
+
+#ifndef GVEX_STORE_CODEC_H_
+#define GVEX_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "explain/explanation.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "util/status.h"
+
+namespace gvex {
+
+// --- File header ---------------------------------------------------------
+
+/// "GVXS" as a little-endian fixed32.
+constexpr uint32_t kStoreMagic = 0x53585647u;
+/// Bumped on any incompatible layout change; readers reject newer files.
+constexpr uint32_t kStoreFormatVersion = 1;
+
+/// What a store file contains (third header word).
+enum class StoreFileKind : uint32_t {
+  kSnapshot = 1,  ///< one whole ViewService epoch (store/snapshot.h)
+  kWal = 2,       ///< append-only admission log (store/wal.h)
+  kViews = 3,     ///< a bare view list (SaveViewsBinary / LoadViewsBinary)
+};
+
+/// Total bytes of the fixed file header (magic + version + kind).
+constexpr size_t kStoreHeaderBytes = 12;
+
+/// CRC32 (IEEE 802.3 polynomial) over `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+uint32_t Crc32(const std::string& s);
+
+// --- Append primitives ---------------------------------------------------
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Zigzag-encoded signed varint (small magnitudes stay small, -1 included).
+void PutZigzag64(std::string* dst, int64_t v);
+/// Raw IEEE bits — round trips are bit-identical, unlike any text format.
+void PutDoubleBits(std::string* dst, double v);
+void PutFloatBits(std::string* dst, float v);
+void PutLengthPrefixed(std::string* dst, const std::string& s);
+
+/// Appends the 12-byte file header.
+void PutStoreHeader(std::string* dst, StoreFileKind kind);
+
+/// Appends one framed record: [varint len][payload][fixed32 crc].
+void PutFramedRecord(std::string* dst, const std::string& payload);
+
+// --- Decoding ------------------------------------------------------------
+
+/// Forward-only cursor over an immutable byte buffer. Every Get* either
+/// succeeds and advances, or fails (typically InvalidArgument on truncated
+/// input) and leaves the output untouched.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size)
+      : p_(reinterpret_cast<const uint8_t*>(data)),
+        end_(reinterpret_cast<const uint8_t*>(data) + size) {}
+  explicit ByteReader(const std::string& s) : ByteReader(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetZigzag64(int64_t* v);
+  Status GetDoubleBits(double* v);
+  Status GetFloatBits(float* v);
+  Status GetLengthPrefixed(std::string* s);
+
+  /// Varint bounded to [0, limit] — rejects hostile counts before any
+  /// allocation sized by them.
+  Status GetCount(uint64_t limit, uint64_t* v);
+
+  /// Validates magic + version and checks the kind matches.
+  Status GetStoreHeader(StoreFileKind expected);
+
+  /// Pulls the next framed record. NotFound at a clean end of buffer;
+  /// InvalidArgument on truncation or CRC mismatch.
+  Status GetFramedRecord(std::string* payload);
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+// --- Structure codecs ----------------------------------------------------
+// Each Encode appends to `dst`; each Decode reads exactly what Encode wrote
+// and rejects structurally invalid data (bad node ids, broken edges,
+// disconnected patterns) via the same Status paths as the text parsers.
+
+void EncodeGraph(const Graph& g, std::string* dst);
+Status DecodeGraph(ByteReader* in, Graph* g);
+
+void EncodePattern(const Pattern& p, std::string* dst);
+Status DecodePattern(ByteReader* in, Pattern* p);
+
+void EncodeView(const ExplanationView& v, std::string* dst);
+Status DecodeView(ByteReader* in, ExplanationView* v);
+
+}  // namespace gvex
+
+#endif  // GVEX_STORE_CODEC_H_

@@ -1,0 +1,327 @@
+#include "store/snapshot.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+namespace {
+
+constexpr uint8_t kMetaTag = 1;
+constexpr uint8_t kViewTag = 2;
+constexpr uint8_t kPostingTag = 3;
+constexpr uint8_t kFooterTag = 4;
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".gvxs";
+
+void EncodeMatchOptions(const MatchOptions& m, std::string* dst) {
+  PutVarint64(dst, static_cast<uint64_t>(m.semantics));
+  PutZigzag64(dst, m.max_matches);
+  PutZigzag64(dst, m.max_steps);
+}
+
+Status DecodeMatchOptions(ByteReader* in, MatchOptions* m) {
+  uint64_t semantics = 0;
+  GVEX_RETURN_NOT_OK(in->GetVarint64(&semantics));
+  if (semantics > static_cast<uint64_t>(MatchSemantics::kNonInduced)) {
+    return Status::InvalidArgument("unknown match semantics");
+  }
+  int64_t max_matches = 0, max_steps = 0;
+  GVEX_RETURN_NOT_OK(in->GetZigzag64(&max_matches));
+  GVEX_RETURN_NOT_OK(in->GetZigzag64(&max_steps));
+  m->semantics = static_cast<MatchSemantics>(semantics);
+  m->max_matches = static_cast<int>(max_matches);
+  m->max_steps = max_steps;
+  return Status::OK();
+}
+
+void EncodePosting(const StoredPostings& p, std::string* dst) {
+  PutLengthPrefixed(dst, p.code);
+  PutVarint64(dst, p.labels.size());
+  for (int l : p.labels) PutZigzag64(dst, l);
+  PutVarint64(dst, p.tier_position.size());
+  for (const auto& [label, pos] : p.tier_position) {
+    PutZigzag64(dst, label);
+    PutZigzag64(dst, pos);
+  }
+  PutVarint64(dst, p.subgraph_bits.size());
+  for (const auto& [label, bits] : p.subgraph_bits) {
+    PutZigzag64(dst, label);
+    PutVarint64(dst, bits.size());
+    for (uint64_t w : bits) PutFixed64(dst, w);
+  }
+  PutVarint64(dst, p.db_graphs.size());
+  for (int g : p.db_graphs) PutZigzag64(dst, g);
+}
+
+Status DecodePosting(ByteReader* in, StoredPostings* p) {
+  StoredPostings out;
+  GVEX_RETURN_NOT_OK(in->GetLengthPrefixed(&out.code));
+  uint64_t n = 0;
+  GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &n));
+  out.labels.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t l = 0;
+    GVEX_RETURN_NOT_OK(in->GetZigzag64(&l));
+    out.labels.push_back(static_cast<int>(l));
+  }
+  GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &n));
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t label = 0, pos = 0;
+    GVEX_RETURN_NOT_OK(in->GetZigzag64(&label));
+    GVEX_RETURN_NOT_OK(in->GetZigzag64(&pos));
+    out.tier_position.emplace(static_cast<int>(label),
+                              static_cast<int>(pos));
+  }
+  GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &n));
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t label = 0;
+    GVEX_RETURN_NOT_OK(in->GetZigzag64(&label));
+    uint64_t words = 0;
+    GVEX_RETURN_NOT_OK(in->GetCount(in->remaining() / 8, &words));
+    std::vector<uint64_t> bits(static_cast<size_t>(words));
+    for (uint64_t w = 0; w < words; ++w) {
+      GVEX_RETURN_NOT_OK(in->GetFixed64(&bits[static_cast<size_t>(w)]));
+    }
+    out.subgraph_bits.emplace(static_cast<int>(label), std::move(bits));
+  }
+  GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &n));
+  out.db_graphs.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t g = 0;
+    GVEX_RETURN_NOT_OK(in->GetZigzag64(&g));
+    out.db_graphs.push_back(static_cast<int>(g));
+  }
+  *p = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t epoch) {
+  return StrFormat("%s%020llu%s", kSnapshotPrefix,
+                   static_cast<unsigned long long>(epoch), kSnapshotSuffix);
+}
+
+Result<uint64_t> ParseSnapshotFileName(const std::string& name) {
+  const std::string prefix = kSnapshotPrefix;
+  const std::string suffix = kSnapshotSuffix;
+  if (name.size() <= prefix.size() + suffix.size() ||
+      !StartsWith(name, prefix) ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return Status::NotFound("not a snapshot file name: " + name);
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  uint64_t epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::NotFound("not a snapshot file name: " + name);
+    }
+    epoch = epoch * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return epoch;
+}
+
+std::string SerializeSnapshot(const SnapshotData& data) {
+  std::string out;
+  PutStoreHeader(&out, StoreFileKind::kSnapshot);
+
+  std::string meta(1, static_cast<char>(kMetaTag));
+  PutVarint64(&meta, data.epoch);
+  EncodeMatchOptions(data.match, &meta);
+  PutVarint64(&meta, data.database_indexed ? 1 : 0);
+  PutVarint64(&meta, data.views.size());
+  PutVarint64(&meta, data.postings.size());
+  PutFramedRecord(&out, meta);
+
+  for (const auto& [label, view] : data.views) {
+    (void)label;  // the view record carries its own label
+    std::string payload(1, static_cast<char>(kViewTag));
+    EncodeView(view, &payload);
+    PutFramedRecord(&out, payload);
+  }
+  for (const StoredPostings& p : data.postings) {
+    std::string payload(1, static_cast<char>(kPostingTag));
+    EncodePosting(p, &payload);
+    PutFramedRecord(&out, payload);
+  }
+
+  std::string footer(1, static_cast<char>(kFooterTag));
+  PutVarint64(&footer, data.views.size());
+  PutVarint64(&footer, data.postings.size());
+  PutFramedRecord(&out, footer);
+  return out;
+}
+
+Result<SnapshotData> ParseSnapshot(const std::string& bytes) {
+  ByteReader in(bytes);
+  GVEX_RETURN_NOT_OK(in.GetStoreHeader(StoreFileKind::kSnapshot));
+
+  std::string payload;
+  GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kMetaTag) {
+    return Status::InvalidArgument("snapshot missing meta record");
+  }
+  SnapshotData data;
+  uint64_t db_indexed = 0, num_views = 0, num_postings = 0;
+  {
+    ByteReader meta(payload.data() + 1, payload.size() - 1);
+    GVEX_RETURN_NOT_OK(meta.GetVarint64(&data.epoch));
+    GVEX_RETURN_NOT_OK(DecodeMatchOptions(&meta, &data.match));
+    GVEX_RETURN_NOT_OK(meta.GetVarint64(&db_indexed));
+    if (db_indexed > 1) {
+      return Status::InvalidArgument("bad database_indexed flag");
+    }
+    GVEX_RETURN_NOT_OK(meta.GetCount(bytes.size(), &num_views));
+    GVEX_RETURN_NOT_OK(meta.GetCount(bytes.size(), &num_postings));
+    if (!meta.done()) {
+      return Status::InvalidArgument("trailing bytes in snapshot meta");
+    }
+  }
+  data.database_indexed = db_indexed != 0;
+
+  for (uint64_t i = 0; i < num_views; ++i) {
+    GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+    if (payload.empty() || static_cast<uint8_t>(payload[0]) != kViewTag) {
+      return Status::InvalidArgument("expected a snapshot view record");
+    }
+    ByteReader rec(payload.data() + 1, payload.size() - 1);
+    ExplanationView view;
+    GVEX_RETURN_NOT_OK(DecodeView(&rec, &view));
+    if (!rec.done()) {
+      return Status::InvalidArgument("trailing bytes in view record");
+    }
+    const int label = view.label;
+    if (!data.views.emplace(label, std::move(view)).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate view for label %d", label));
+    }
+  }
+  for (uint64_t i = 0; i < num_postings; ++i) {
+    GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+    if (payload.empty() || static_cast<uint8_t>(payload[0]) != kPostingTag) {
+      return Status::InvalidArgument("expected a snapshot posting record");
+    }
+    ByteReader rec(payload.data() + 1, payload.size() - 1);
+    StoredPostings posting;
+    GVEX_RETURN_NOT_OK(DecodePosting(&rec, &posting));
+    if (!rec.done()) {
+      return Status::InvalidArgument("trailing bytes in posting record");
+    }
+    data.postings.push_back(std::move(posting));
+  }
+
+  GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kFooterTag) {
+    return Status::InvalidArgument("snapshot missing footer record");
+  }
+  {
+    ByteReader rec(payload.data() + 1, payload.size() - 1);
+    uint64_t views_again = 0, postings_again = 0;
+    GVEX_RETURN_NOT_OK(rec.GetVarint64(&views_again));
+    GVEX_RETURN_NOT_OK(rec.GetVarint64(&postings_again));
+    if (views_again != num_views || postings_again != num_postings ||
+        !rec.done()) {
+      return Status::InvalidArgument("snapshot footer mismatch");
+    }
+  }
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes after snapshot footer");
+  }
+  return data;
+}
+
+Status SaveSnapshot(const std::string& path, const SnapshotData& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good()) return Status::IOError("cannot open " + tmp);
+    const std::string bytes = SerializeSnapshot(data);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f.good()) return Status::IOError("write failed for " + tmp);
+  }
+  // fsync before rename: the rename must never publish an unflushed image
+  // (Compact resets the WAL on the strength of this file, so a skipped or
+  // failed fsync here could lose acknowledged admissions on power loss).
+  FILE* f = std::fopen(tmp.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot reopen %s for fsync: %s",
+                                     tmp.c_str(), std::strerror(errno)));
+  }
+  const bool synced = ::fsync(::fileno(f)) == 0;
+  const int sync_errno = errno;
+  std::fclose(f);
+  if (!synced) {
+    (void)std::remove(tmp.c_str());
+    return Status::IOError(StrFormat("fsync failed for %s: %s", tmp.c_str(),
+                                     std::strerror(sync_errno)));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(StrFormat("rename %s -> %s failed: %s",
+                                     tmp.c_str(), path.c_str(),
+                                     std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<SnapshotData> LoadSnapshot(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ParseSnapshot(ss.str());
+}
+
+Result<std::vector<uint64_t>> ListSnapshotEpochs(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError(StrFormat("cannot list %s: %s", dir.c_str(),
+                                     std::strerror(errno)));
+  }
+  std::vector<uint64_t> epochs;
+  while (struct dirent* entry = ::readdir(d)) {
+    auto epoch = ParseSnapshotFileName(entry->d_name);
+    if (epoch.ok()) epochs.push_back(epoch.value());
+  }
+  ::closedir(d);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IOError(StrFormat("cannot create directory %s: %s",
+                                   dir.c_str(), std::strerror(errno)));
+}
+
+Result<int> PruneSnapshots(const std::string& dir, uint64_t keep_epoch) {
+  auto epochs = ListSnapshotEpochs(dir);
+  if (!epochs.ok()) return epochs.status();
+  int removed = 0;
+  for (uint64_t epoch : epochs.value()) {
+    if (epoch >= keep_epoch) continue;
+    const std::string path = dir + "/" + SnapshotFileName(epoch);
+    if (std::remove(path.c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace gvex

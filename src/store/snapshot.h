@@ -1,0 +1,92 @@
+// Whole-epoch snapshots of the serving state. A snapshot file captures one
+// published ViewService epoch — the views, the index-build configuration,
+// and every PatternIndex posting — so a restarted process can rebuild the
+// exact in-memory index by DECODING instead of re-running the isomorphism
+// cross-product (the expensive part of PatternIndex::Build). Snapshot files
+// are epoch-tagged (`snapshot-<epoch>.gvxs`); recovery loads the newest one
+// that validates and replays the admission WAL (store/wal.h) on top.
+//
+// File layout (store/codec.h conventions — every record CRC-framed):
+//   header(kSnapshot)
+//   meta record:     epoch, match options, database_indexed, counts
+//   view records:    one per label view
+//   posting records: one per canonical code (labels, tier positions,
+//                    per-label coverage bitsets, database postings)
+//   footer record:   record counts again (truncation at a record boundary
+//                    is detected, not silently accepted)
+//
+// Writes are atomic: the image is written to `<path>.tmp`, fsynced, and
+// renamed into place, so a crash mid-save never corrupts an existing
+// snapshot. Loads validate everything before returning — a corrupt file
+// yields an error, never a partial SnapshotData.
+//
+// Thread-safety: free functions; callers serialize writes per path (the
+// ViewService holds its writer mutex across Save/Compact).
+
+#ifndef GVEX_STORE_SNAPSHOT_H_
+#define GVEX_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "pattern/isomorphism.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// On-disk mirror of one PatternIndex posting (serve/pattern_index.h
+/// converts to and from this struct). Owning the mirror here decouples the
+/// file format from the in-memory index layout.
+struct StoredPostings {
+  std::string code;                ///< canonical pattern code (the key)
+  std::vector<int> labels;         ///< labels carrying the code, ascending
+  std::map<int, int> tier_position;
+  std::map<int, std::vector<uint64_t>> subgraph_bits;
+  std::vector<int> db_graphs;
+};
+
+/// Everything one snapshot file holds.
+struct SnapshotData {
+  uint64_t epoch = 0;
+  /// Match semantics the postings were computed with — a loaded index must
+  /// answer fallback (non-indexed) queries with the same options.
+  MatchOptions match;
+  bool database_indexed = false;
+  std::map<int, ExplanationView> views;
+  /// Sorted by code (deterministic file bytes for identical state).
+  std::vector<StoredPostings> postings;
+};
+
+/// "snapshot-<020 epoch>.gvxs" — zero-padded so lexicographic order is
+/// epoch order.
+std::string SnapshotFileName(uint64_t epoch);
+
+/// Parses an epoch out of a SnapshotFileName-shaped name (NotFound when the
+/// name is not a snapshot file).
+Result<uint64_t> ParseSnapshotFileName(const std::string& name);
+
+/// Serializes / writes a snapshot (write goes through tmp-file + rename).
+std::string SerializeSnapshot(const SnapshotData& data);
+Status SaveSnapshot(const std::string& path, const SnapshotData& data);
+
+/// Parses / reads and fully validates a snapshot.
+Result<SnapshotData> ParseSnapshot(const std::string& bytes);
+Result<SnapshotData> LoadSnapshot(const std::string& path);
+
+/// Epochs of every snapshot file in `dir`, ascending. Missing directory is
+/// an IOError; a directory without snapshots is an empty list.
+Result<std::vector<uint64_t>> ListSnapshotEpochs(const std::string& dir);
+
+/// Creates `dir` if it does not exist (one level).
+Status EnsureDir(const std::string& dir);
+
+/// Deletes snapshot files in `dir` with epoch < `keep_epoch` (compaction
+/// hygiene). Returns the number removed.
+Result<int> PruneSnapshots(const std::string& dir, uint64_t keep_epoch);
+
+}  // namespace gvex
+
+#endif  // GVEX_STORE_SNAPSHOT_H_

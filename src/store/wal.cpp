@@ -1,0 +1,242 @@
+#include "store/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+namespace {
+
+constexpr uint8_t kAdmitTag = 1;
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload(1, static_cast<char>(kAdmitTag));
+  PutVarint64(&payload, record.epoch);
+  PutVarint64(&payload, record.views.size());
+  for (const ExplanationView& v : record.views) EncodeView(v, &payload);
+  return payload;
+}
+
+Status DecodeWalRecord(const std::string& payload, WalRecord* record) {
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kAdmitTag) {
+    return Status::InvalidArgument("unknown WAL record tag");
+  }
+  ByteReader in(payload.data() + 1, payload.size() - 1);
+  WalRecord out;
+  GVEX_RETURN_NOT_OK(in.GetVarint64(&out.epoch));
+  uint64_t num_views = 0;
+  GVEX_RETURN_NOT_OK(in.GetCount(in.remaining(), &num_views));
+  out.views.reserve(static_cast<size_t>(num_views));
+  for (uint64_t i = 0; i < num_views; ++i) {
+    ExplanationView v;
+    GVEX_RETURN_NOT_OK(DecodeView(&in, &v));
+    out.views.push_back(std::move(v));
+  }
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes in WAL record");
+  }
+  *record = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalFileName() { return "wal.gvxw"; }
+
+Result<WalReplay> ReplayWal(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::NotFound("no WAL at " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string bytes = ss.str();
+
+  if (bytes.size() < kStoreHeaderBytes) {
+    // A crash between WAL creation and the header reaching disk leaves a
+    // sub-header file that provably holds no records. Treat it as an
+    // empty log with a torn tail (valid_bytes 0 makes the writer rewrite
+    // a fresh header) instead of bricking recovery.
+    WalReplay replay;
+    replay.valid_bytes = 0;
+    replay.torn_tail = true;
+    replay.tail_error = "file shorter than the store header";
+    return replay;
+  }
+  ByteReader in(bytes);
+  GVEX_RETURN_NOT_OK(in.GetStoreHeader(StoreFileKind::kWal));
+
+  WalReplay replay;
+  replay.valid_bytes = kStoreHeaderBytes;
+  while (!in.done()) {
+    std::string payload;
+    Status frame = in.GetFramedRecord(&payload);
+    if (!frame.ok()) {
+      // Truncated or checksum-broken tail: keep the valid prefix.
+      replay.torn_tail = true;
+      replay.tail_error = frame.message();
+      break;
+    }
+    WalRecord record;
+    Status parsed = DecodeWalRecord(payload, &record);
+    if (!parsed.ok()) {
+      // The frame was intact but the payload is not ours — treat like a
+      // torn tail: nothing after it can be trusted to be in order.
+      replay.torn_tail = true;
+      replay.tail_error = parsed.message();
+      break;
+    }
+    replay.records.push_back(std::move(record));
+    replay.valid_bytes = bytes.size() - in.remaining();
+  }
+  return replay;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::Open(const std::string& path, uint64_t truncate_to) {
+  Close();
+  failed_ = false;
+  unsynced_ = 0;
+  path_ = path;
+
+  struct stat st;
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  const uint64_t size = exists ? static_cast<uint64_t>(st.st_size) : 0;
+
+  if (!exists || size < kStoreHeaderBytes || truncate_to < kStoreHeaderBytes) {
+    // Fresh log (also the path for an unusably short file).
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+      return Status::IOError(StrFormat("cannot create WAL %s: %s",
+                                       path.c_str(), std::strerror(errno)));
+    }
+    std::string header;
+    PutStoreHeader(&header, StoreFileKind::kWal);
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+        header.size()) {
+      return Status::IOError("cannot write WAL header to " + path);
+    }
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+    bytes_ = header.size();
+    return Status::OK();
+  }
+
+  if (truncate_to < size) {
+    // Drop a torn tail before appending resumes.
+    if (::truncate(path.c_str(), static_cast<off_t>(truncate_to)) != 0) {
+      return Status::IOError(StrFormat("cannot truncate WAL %s: %s",
+                                       path.c_str(), std::strerror(errno)));
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError(StrFormat("cannot open WAL %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  bytes_ = truncate_to < size ? truncate_to : size;
+  return Status::OK();
+}
+
+void WalWriter::RestoreTo(uint64_t offset) {
+  // A failed write may have left a partial frame in the file (or in the
+  // stdio buffer, flushed who-knows-how-far). Discard everything past the
+  // last good offset so a later successful append is never stranded
+  // behind torn bytes that replay would stop at.
+  if (file_ != nullptr) {
+    std::fclose(file_);  // drops any buffered partial frame
+    file_ = nullptr;
+  }
+  if (::truncate(path_.c_str(), static_cast<off_t>(offset)) != 0) {
+    failed_ = true;
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    failed_ = true;
+    return;
+  }
+  bytes_ = offset;
+  unsynced_ = 0;
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "WAL writer failed and could not roll back; reopen it");
+  }
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  const uint64_t start = bytes_;
+  std::string framed;
+  PutFramedRecord(&framed, EncodeWalRecord(record));
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    RestoreTo(start);
+    return Status::IOError("WAL append failed for " + path_);
+  }
+  bytes_ += framed.size();
+  ++unsynced_;
+  if (unsynced_ >= sync_every_) {
+    Status synced = Sync();
+    if (!synced.ok()) RestoreTo(start);
+    return synced;
+  }
+  // Batched: push to the OS now (a process crash loses nothing), defer the
+  // fsync (a power failure may lose the batch).
+  if (std::fflush(file_) != 0) {
+    RestoreTo(start);
+    return Status::IOError("WAL flush failed for " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "WAL writer failed and could not roll back; reopen it");
+  }
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed for " + path_);
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError(StrFormat("WAL fsync failed for %s: %s",
+                                     path_.c_str(), std::strerror(errno)));
+  }
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  const std::string path = path_;
+  const int sync_every = sync_every_;
+  Close();
+  Status st = Open(path, 0);  // 0 forces the fresh-header path
+  set_sync_every(sync_every);
+  return st;
+}
+
+}  // namespace gvex

@@ -1,0 +1,127 @@
+#include "data/malnet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_io.h"
+
+namespace gvex {
+namespace {
+
+MalnetOptions SmallOptions(uint64_t seed = 404) {
+  MalnetOptions opt;
+  opt.num_graphs = 10;  // 2 per family
+  opt.min_functions = 40;
+  opt.max_functions = 80;
+  opt.seed = seed;
+  return opt;
+}
+
+// Node-type legend (see src/data/malnet.cpp): 0 = plain function,
+// 1 = dispatcher, 2 = worker, 3 = syscall shim.
+
+TEST(MalnetTest, DeterministicUnderSeed) {
+  GraphDatabase a = GenerateMalnet(SmallOptions());
+  GraphDatabase b = GenerateMalnet(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.true_label(i), b.true_label(i));
+    EXPECT_EQ(SerializeGraph(a.graph(i)), SerializeGraph(b.graph(i)));
+  }
+}
+
+TEST(MalnetTest, DifferentSeedsProduceDifferentGraphs) {
+  GraphDatabase a = GenerateMalnet(SmallOptions(1));
+  GraphDatabase b = GenerateMalnet(SmallOptions(2));
+  ASSERT_EQ(a.size(), b.size());
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (SerializeGraph(a.graph(i)) != SerializeGraph(b.graph(i))) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(MalnetTest, LabelsCycleThroughFamilies) {
+  const MalnetOptions opt = SmallOptions();
+  GraphDatabase db = GenerateMalnet(opt);
+  ASSERT_EQ(db.size(), opt.num_graphs);
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.true_label(i), i % opt.num_classes);
+  }
+  EXPECT_EQ(static_cast<int>(db.DistinctLabels().size()), opt.num_classes);
+}
+
+TEST(MalnetTest, CallGraphsAreDirectedSizedAndOneHot) {
+  const MalnetOptions opt = SmallOptions();
+  GraphDatabase db = GenerateMalnet(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_TRUE(g.directed()) << "graph " << i;
+    // The family motif is planted first (a dozen nodes at most), then
+    // background functions fill up to a target in [min, max].
+    EXPECT_GE(g.num_nodes(), opt.min_functions) << "graph " << i;
+    EXPECT_LE(g.num_nodes(), opt.max_functions) << "graph " << i;
+    ASSERT_TRUE(g.has_features());
+    ASSERT_EQ(g.feature_dim(), 4);  // one-hot over the 4 function roles
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g.features().at(v, g.node_type(v)), 1.0f);
+    }
+  }
+}
+
+// Family 0 plants a dispatcher fan-out: one type-1 node calling >= 8
+// type-2 workers.
+TEST(MalnetTest, Family0CarriesDispatcherFan) {
+  GraphDatabase db = GenerateMalnet(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    if (db.true_label(i) != 0) continue;
+    const Graph& g = db.graph(i);
+    bool found = false;
+    for (NodeId v = 0; v < g.num_nodes() && !found; ++v) {
+      if (g.node_type(v) != 1) continue;
+      int workers = 0;
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (g.node_type(nb.node) == 2) ++workers;
+      }
+      if (workers >= 8) found = true;
+    }
+    EXPECT_TRUE(found) << "family-0 graph " << i << " lacks its fan";
+  }
+}
+
+// Family 2 plants a 5-cycle of mutually recursive type-2 workers.
+TEST(MalnetTest, Family2CarriesWorkerRecursionRing) {
+  GraphDatabase db = GenerateMalnet(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    if (db.true_label(i) != 2) continue;
+    const Graph& g = db.graph(i);
+    int worker_to_worker_calls = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.node_type(v) != 2) continue;
+      for (const Neighbor& nb : g.neighbors(v)) {
+        if (g.node_type(nb.node) == 2) ++worker_to_worker_calls;
+      }
+    }
+    EXPECT_GE(worker_to_worker_calls, 5)
+        << "family-2 graph " << i << " lacks its recursion ring";
+  }
+}
+
+// Family 4 plants a shim farm: >= 4 plain-function -> syscall-shim calls.
+TEST(MalnetTest, Family4CarriesSyscallShimFarm) {
+  GraphDatabase db = GenerateMalnet(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    if (db.true_label(i) != 4) continue;
+    const Graph& g = db.graph(i);
+    int shim_calls = 0;
+    for (const Edge& e : g.edges()) {
+      if (g.node_type(e.u) == 0 && g.node_type(e.v) == 3) ++shim_calls;
+    }
+    EXPECT_GE(shim_calls, 4)
+        << "family-4 graph " << i << " lacks its shim farm";
+  }
+}
+
+}  // namespace
+}  // namespace gvex

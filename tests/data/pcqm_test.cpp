@@ -1,0 +1,131 @@
+#include "data/pcqm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/graph_io.h"
+
+namespace gvex {
+namespace {
+
+PcqmOptions SmallOptions(uint64_t seed = 505) {
+  PcqmOptions opt;
+  opt.num_graphs = 30;
+  opt.seed = seed;
+  return opt;
+}
+
+// Type legend (see src/data/pcqm.cpp): 0 = backbone carbon, 1 = oxygen
+// (class 0), 2 = nitrogen (class 1), 3/4/5 = halogens (class 2), 6..8 =
+// peripheral decoration.
+
+TEST(PcqmTest, DeterministicUnderSeed) {
+  GraphDatabase a = GeneratePcqm(SmallOptions());
+  GraphDatabase b = GeneratePcqm(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.true_label(i), b.true_label(i));
+    EXPECT_EQ(SerializeGraph(a.graph(i)), SerializeGraph(b.graph(i)));
+  }
+}
+
+TEST(PcqmTest, DifferentSeedsProduceDifferentMolecules) {
+  GraphDatabase a = GeneratePcqm(SmallOptions(1));
+  GraphDatabase b = GeneratePcqm(SmallOptions(2));
+  ASSERT_EQ(a.size(), b.size());
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (SerializeGraph(a.graph(i)) != SerializeGraph(b.graph(i))) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(PcqmTest, LabelsCycleThroughThreeClasses) {
+  GraphDatabase db = GeneratePcqm(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.true_label(i), i % 3);
+  }
+  EXPECT_EQ(db.DistinctLabels(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PcqmTest, MoleculesAreSmallNineFeatureGraphs) {
+  GraphDatabase db = GeneratePcqm(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_FALSE(g.directed());
+    // Backbone of 5-6 atoms + 1-3 class atoms + 1-3 peripherals.
+    EXPECT_GE(g.num_nodes(), 6) << "molecule " << i;
+    EXPECT_LE(g.num_nodes(), 12) << "molecule " << i;
+    ASSERT_TRUE(g.has_features());
+    ASSERT_EQ(g.feature_dim(), 9);  // Table 3's 9 node features
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g.features().at(v, g.node_type(v)), 1.0f);
+    }
+  }
+}
+
+// The class-determining decorations: class 0 attaches an oxygen to the
+// carbon backbone, class 1 a nitrogen pair, class 2 a halogen trio on one
+// anchor carbon.
+TEST(PcqmTest, ClassMotifsArePlanted) {
+  GraphDatabase db = GeneratePcqm(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    switch (db.true_label(i)) {
+      case 0: {
+        bool carbonyl = false;
+        for (const Edge& e : g.edges()) {
+          const int a = g.node_type(e.u), b = g.node_type(e.v);
+          if ((a == 0 && b == 1) || (a == 1 && b == 0)) carbonyl = true;
+        }
+        EXPECT_TRUE(carbonyl) << "class-0 molecule " << i << " lacks its O";
+        break;
+      }
+      case 1: {
+        bool nitrogen_pair = false;
+        for (const Edge& e : g.edges()) {
+          if (g.node_type(e.u) == 2 && g.node_type(e.v) == 2) {
+            nitrogen_pair = true;
+          }
+        }
+        EXPECT_TRUE(nitrogen_pair)
+            << "class-1 molecule " << i << " lacks its N-N pair";
+        break;
+      }
+      case 2: {
+        bool trio = false;
+        for (NodeId v = 0; v < g.num_nodes() && !trio; ++v) {
+          if (g.node_type(v) != 0) continue;
+          bool h3 = false, h4 = false, h5 = false;
+          for (const Neighbor& nb : g.neighbors(v)) {
+            if (g.node_type(nb.node) == 3) h3 = true;
+            if (g.node_type(nb.node) == 4) h4 = true;
+            if (g.node_type(nb.node) == 5) h5 = true;
+          }
+          trio = h3 && h4 && h5;
+        }
+        EXPECT_TRUE(trio)
+            << "class-2 molecule " << i << " lacks its halogen trio";
+        break;
+      }
+      default:
+        FAIL() << "unexpected label";
+    }
+  }
+}
+
+TEST(PcqmTest, BackbonesKeepMoleculesConnected) {
+  GraphDatabase db = GeneratePcqm(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(IsConnected(db.graph(i))) << "molecule " << i;
+  }
+}
+
+TEST(PcqmTest, GraphCountIsAParameter) {
+  PcqmOptions opt = SmallOptions();
+  opt.num_graphs = 7;  // the scalability bench sweeps this
+  EXPECT_EQ(GeneratePcqm(opt).size(), 7);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -1,0 +1,114 @@
+#include "data/products.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph_io.h"
+
+namespace gvex {
+namespace {
+
+ProductsOptions SmallOptions(uint64_t seed = 606) {
+  ProductsOptions opt;
+  opt.num_graphs = 16;
+  opt.num_categories = 8;
+  opt.min_products = 40;
+  opt.max_products = 80;
+  opt.seed = seed;
+  return opt;
+}
+
+std::vector<int> CategoryCounts(const Graph& g, int num_categories) {
+  std::vector<int> counts(static_cast<size_t>(num_categories), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++counts[static_cast<size_t>(g.node_type(v))];
+  }
+  return counts;
+}
+
+TEST(ProductsTest, DeterministicUnderSeed) {
+  GraphDatabase a = GenerateProducts(SmallOptions());
+  GraphDatabase b = GenerateProducts(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.true_label(i), b.true_label(i));
+    EXPECT_EQ(SerializeGraph(a.graph(i)), SerializeGraph(b.graph(i)));
+  }
+}
+
+TEST(ProductsTest, DifferentSeedsProduceDifferentCommunities) {
+  GraphDatabase a = GenerateProducts(SmallOptions(1));
+  GraphDatabase b = GenerateProducts(SmallOptions(2));
+  ASSERT_EQ(a.size(), b.size());
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (SerializeGraph(a.graph(i)) != SerializeGraph(b.graph(i))) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ProductsTest, LabelsCycleThroughCategories) {
+  const ProductsOptions opt = SmallOptions();
+  GraphDatabase db = GenerateProducts(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.true_label(i), i % opt.num_categories);
+  }
+}
+
+TEST(ProductsTest, CommunitiesAreSizedAndOneHot) {
+  const ProductsOptions opt = SmallOptions();
+  GraphDatabase db = GenerateProducts(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_FALSE(g.directed());
+    EXPECT_GE(g.num_nodes(), opt.min_products) << "community " << i;
+    EXPECT_LE(g.num_nodes(), opt.max_products) << "community " << i;
+    ASSERT_TRUE(g.has_features());
+    ASSERT_EQ(g.feature_dim(), opt.num_categories);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g.features().at(v, g.node_type(v)), 1.0f);
+    }
+  }
+}
+
+// The label is the DOMINANT category: the dense core (two thirds of the
+// community) carries the labelled category, the sparse periphery spreads
+// over all of them — so the labelled type must outnumber every other.
+TEST(ProductsTest, LabelledCategoryDominatesEveryCommunity) {
+  const ProductsOptions opt = SmallOptions();
+  GraphDatabase db = GenerateProducts(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    const auto counts = CategoryCounts(db.graph(i), opt.num_categories);
+    const int label = db.true_label(i);
+    // Core alone is ~2/3 of the nodes.
+    EXPECT_GE(counts[static_cast<size_t>(label)],
+              db.graph(i).num_nodes() * 2 / 3)
+        << "community " << i;
+    for (int c = 0; c < opt.num_categories; ++c) {
+      if (c == label) continue;
+      EXPECT_GT(counts[static_cast<size_t>(label)],
+                counts[static_cast<size_t>(c)])
+          << "community " << i << " not dominated by its category";
+    }
+  }
+}
+
+// Core products are densely co-purchased (2-3 links each), the periphery
+// sparsely (1 link) — the intra-category edge share must dominate.
+TEST(ProductsTest, IntraCategoryEdgesDominate) {
+  const ProductsOptions opt = SmallOptions();
+  GraphDatabase db = GenerateProducts(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    const int label = db.true_label(i);
+    int intra = 0;
+    for (const Edge& e : g.edges()) {
+      if (g.node_type(e.u) == label && g.node_type(e.v) == label) ++intra;
+    }
+    EXPECT_GT(intra, g.num_edges() / 2) << "community " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gvex

@@ -87,5 +87,45 @@ TEST(ViewIoTest, MissingFileFails) {
   EXPECT_TRUE(LoadViews("/no/such/views.txt").status().IsIOError());
 }
 
+// The binary entry points (implemented by the store module) sit next to
+// the text ones and preserve MORE: doubles round-trip bit-exactly instead
+// of through "%.9g".
+TEST(ViewIoTest, BinaryRoundTripIsBitExact) {
+  ExplanationView view = MakeRealView();
+  auto parsed = ParseViewsBinary(SerializeViewsBinary({view}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  const ExplanationView& back = parsed.value()[0];
+  EXPECT_EQ(back.label, view.label);
+  EXPECT_EQ(back.explainability, view.explainability);  // exact, not NEAR
+  ASSERT_EQ(back.patterns.size(), view.patterns.size());
+  for (size_t i = 0; i < view.patterns.size(); ++i) {
+    EXPECT_TRUE(back.patterns[i].IsomorphicTo(view.patterns[i]));
+  }
+  ASSERT_EQ(back.subgraphs.size(), view.subgraphs.size());
+  for (size_t i = 0; i < view.subgraphs.size(); ++i) {
+    EXPECT_EQ(back.subgraphs[i].nodes, view.subgraphs[i].nodes);
+    EXPECT_EQ(back.subgraphs[i].explainability,
+              view.subgraphs[i].explainability);
+  }
+  // Text and binary describe the same view.
+  EXPECT_EQ(SerializeView(back), SerializeView(view));
+}
+
+TEST(ViewIoTest, BinaryFileRoundTripAndCorruptionRejection) {
+  ExplanationView view = MakeRealView();
+  const std::string path = ::testing::TempDir() + "/gvex_views.gvxv";
+  ASSERT_TRUE(SaveViewsBinary(path, {view}).ok());
+  auto loaded = LoadViewsBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 1u);
+  std::remove(path.c_str());
+
+  std::string bytes = SerializeViewsBinary({view});
+  bytes.resize(bytes.size() / 2);  // truncation never partially loads
+  EXPECT_FALSE(ParseViewsBinary(bytes).ok());
+  EXPECT_TRUE(LoadViewsBinary("/no/such/views.gvxv").status().IsIOError());
+}
+
 }  // namespace
 }  // namespace gvex

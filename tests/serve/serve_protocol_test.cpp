@@ -7,6 +7,7 @@
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
 #include "serve/synthetic_store.h"
+#include "store/store_test_util.h"
 #include "util/string_util.h"
 
 namespace gvex {
@@ -92,6 +93,27 @@ TEST_F(ServeProtocolTest, StatsAndQuit) {
   EXPECT_EQ(out.find("ids 0 1"), std::string::npos);
 }
 
+TEST_F(ServeProtocolTest, StatsReportsCacheCountersAndHitRate) {
+  // A fresh service has seen no cacheable lookups: rate is 0, not NaN.
+  std::string out = ServeText(service_.get(), "stats\n");
+  EXPECT_NE(out.find("cache_hits 0 cache_misses 0 hit_rate 0.0000"),
+            std::string::npos)
+      << out;
+  // The same containment query twice: one miss filling the cache, then
+  // one hit — a 50% rate.
+  const Pattern& probe = store_.views[0].patterns[0];
+  const std::string query = "graphs 0\n" + PatternBlock(probe);
+  out = ServeText(service_.get(), query + query + "stats\n");
+  EXPECT_NE(out.find("cache_hits 1 cache_misses 1 hit_rate 0.5000"),
+            std::string::npos)
+      << out;
+  // A third repetition: 2 hits / 1 miss.
+  out = ServeText(service_.get(), query + "stats\n");
+  EXPECT_NE(out.find("cache_hits 2 cache_misses 1 hit_rate 0.6667"),
+            std::string::npos)
+      << out;
+}
+
 TEST_F(ServeProtocolTest, MalformedRequestsRecover) {
   // Unknown keyword, missing label, bad label, then a valid query — the
   // stream recovers after each error.
@@ -121,6 +143,73 @@ TEST_F(ServeProtocolTest, UnterminatedBlockIsAnError) {
   const std::string out =
       ServeText(service_.get(), "labelsof\ngraph 1 0\nn 0 0\n");
   EXPECT_TRUE(StartsWith(out, "err "));
+}
+
+TEST_F(ServeProtocolTest, SaveAndCompactRequireAStore) {
+  // The fixture's service is in-memory: the store verbs answer errors but
+  // the stream keeps serving.
+  const std::string out =
+      ServeText(service_.get(), "save\ncompact\nlabels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_TRUE(StartsWith(lines[1], "err "));
+  EXPECT_EQ(lines[2], "ok 2");
+}
+
+TEST_F(ServeProtocolTest, OpenWithoutSessionIsAnError) {
+  const std::string out = ServeText(service_.get(), "open /tmp/nowhere\n");
+  // The bare-service ServeText wraps a temporary session, so `open`
+  // actually works there — but HandleServeRequest on a service alone must
+  // refuse. Exercise the latter directly.
+  ServeRequest req;
+  req.kind = ServeRequest::Kind::kOpen;
+  req.dir = "/tmp/nowhere";
+  EXPECT_TRUE(StartsWith(HandleServeRequest(service_.get(), req), "err "));
+  (void)out;
+}
+
+TEST_F(ServeProtocolTest, OpenSaveCompactRoundTripThroughSession) {
+  testing::ScratchDir dir;
+  ASSERT_TRUE(dir.ok());
+
+  ServeSession session;
+  session.service = service_.get();
+  session.db = &store_.db;
+
+  // Open an empty store, admit a view into it, save and compact.
+  std::string out =
+      ServeText(&session, "open " + dir.path() + "\n");
+  EXPECT_TRUE(StartsWith(out, "ok open " + dir.path() + " epoch 0 labels 0"))
+      << out;
+  ASSERT_NE(session.service, service_.get());  // session swapped services
+  EXPECT_TRUE(session.service->durable());
+
+  out = ServeText(&session, "admit\n" + SerializeView(store_.views[0]));
+  EXPECT_TRUE(StartsWith(out, "ok admitted 0 epoch 1")) << out;
+  out = ServeText(&session, "save\n");
+  EXPECT_EQ(out, "ok saved epoch 1\n");
+  out = ServeText(&session, "admit\n" + SerializeView(store_.views[1]));
+  EXPECT_TRUE(StartsWith(out, "ok admitted 1 epoch 2")) << out;
+  out = ServeText(&session, "compact\n");
+  EXPECT_EQ(out, "ok compacted epoch 2\n");
+
+  // A brand-new session re-opens the directory and sees the recovered
+  // store: both labels, epoch 2.
+  ServeSession fresh;
+  fresh.service = service_.get();
+  fresh.db = &store_.db;
+  out = ServeText(&fresh, "open " + dir.path() + "\nlabels\n");
+  EXPECT_NE(out.find("epoch 2 labels 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("ids 0 1"), std::string::npos) << out;
+}
+
+TEST_F(ServeProtocolTest, OpenNeedsADirectoryArgument) {
+  const std::string out = ServeText(service_.get(), "open\nlabels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_EQ(lines[1], "ok 2");  // the stream stays in sync
 }
 
 TEST_F(ServeProtocolTest, AdmitRejectsUnlabeledView) {

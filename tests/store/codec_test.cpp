@@ -1,0 +1,310 @@
+#include "store/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "explain/view_io.h"
+#include "graph/graph_io.h"
+#include "serve/synthetic_store.h"
+#include "store/store_test_util.h"
+
+namespace gvex {
+namespace {
+
+TEST(CodecTest, VarintRoundTripsBoundaryValues) {
+  const std::vector<uint64_t> values = {
+      0,    1,    127,  128,  129,   16383, 16384,
+      1u << 21, (1ull << 35) - 1, 1ull << 35, (1ull << 63),
+      std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  ByteReader in(buf);
+  for (uint64_t want : values) {
+    uint64_t got = 1;
+    ASSERT_TRUE(in.GetVarint64(&got).ok());
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_TRUE(in.done());
+}
+
+TEST(CodecTest, ZigzagRoundTripsSignedValues) {
+  const std::vector<int64_t> values = {
+      0, -1, 1, -2, 63, -64, 64, 1000000, -1000000,
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max()};
+  std::string buf;
+  for (int64_t v : values) PutZigzag64(&buf, v);
+  ByteReader in(buf);
+  for (int64_t want : values) {
+    int64_t got = 12345;
+    ASSERT_TRUE(in.GetZigzag64(&got).ok());
+    EXPECT_EQ(got, want);
+  }
+  // Small magnitudes must stay small: -1 is one byte, not ten.
+  std::string one;
+  PutZigzag64(&one, -1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(CodecTest, FixedAndFloatBitsRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  PutDoubleBits(&buf, 0.1);  // not representable exactly — bits must survive
+  PutDoubleBits(&buf, -0.0);
+  PutFloatBits(&buf, 3.14159f);
+  ByteReader in(buf);
+  uint32_t f32 = 0;
+  uint64_t f64 = 0;
+  double d1 = 0, d2 = 1;
+  float f = 0;
+  ASSERT_TRUE(in.GetFixed32(&f32).ok());
+  ASSERT_TRUE(in.GetFixed64(&f64).ok());
+  ASSERT_TRUE(in.GetDoubleBits(&d1).ok());
+  ASSERT_TRUE(in.GetDoubleBits(&d2).ok());
+  ASSERT_TRUE(in.GetFloatBits(&f).ok());
+  EXPECT_EQ(f32, 0xDEADBEEFu);
+  EXPECT_EQ(f64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(d1, 0.1);
+  EXPECT_TRUE(std::signbit(d2));  // -0.0 preserved, unlike "%g" text
+  EXPECT_EQ(f, 3.14159f);
+  EXPECT_TRUE(in.done());
+}
+
+TEST(CodecTest, LittleEndianLayoutIsPinned) {
+  // The on-disk format is little-endian regardless of host: pin the bytes.
+  std::string buf;
+  PutFixed32(&buf, 0x11223344u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x44);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0x33);
+  EXPECT_EQ(static_cast<uint8_t>(buf[2]), 0x22);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x11);
+}
+
+TEST(CodecTest, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(CodecTest, FramedRecordRoundTripAndTamperDetection) {
+  std::string buf;
+  PutFramedRecord(&buf, "hello");
+  PutFramedRecord(&buf, "");
+  PutFramedRecord(&buf, std::string(1000, 'x'));
+  {
+    ByteReader in(buf);
+    std::string payload;
+    ASSERT_TRUE(in.GetFramedRecord(&payload).ok());
+    EXPECT_EQ(payload, "hello");
+    ASSERT_TRUE(in.GetFramedRecord(&payload).ok());
+    EXPECT_EQ(payload, "");
+    ASSERT_TRUE(in.GetFramedRecord(&payload).ok());
+    EXPECT_EQ(payload, std::string(1000, 'x'));
+    EXPECT_TRUE(in.GetFramedRecord(&payload).IsNotFound());  // clean end
+  }
+  // Any single flipped byte breaks the stream: walking the records either
+  // hits a hard error or yields payloads different from the originals.
+  const std::vector<std::string> originals = {"hello", "",
+                                              std::string(1000, 'x')};
+  for (size_t i = 0; i < buf.size(); ++i) {
+    std::string tampered = buf;
+    tampered[i] = static_cast<char>(tampered[i] ^ 0x20);
+    ByteReader in(tampered);
+    std::vector<std::string> got;
+    Status st = Status::OK();
+    while (true) {
+      std::string payload;
+      st = in.GetFramedRecord(&payload);
+      if (!st.ok()) break;
+      got.push_back(std::move(payload));
+    }
+    const bool clean = st.IsNotFound();
+    EXPECT_FALSE(clean && got == originals)
+        << "flip at byte " << i << " went unnoticed";
+  }
+}
+
+TEST(CodecTest, GraphRoundTripsBitIdentically) {
+  auto store = synthetic::MakeSyntheticStore(3, /*num_labels=*/2);
+  for (int i = 0; i < store.db.size(); ++i) {
+    const Graph& g = store.db.graph(i);
+    std::string buf;
+    EncodeGraph(g, &buf);
+    ByteReader in(buf);
+    Graph decoded;
+    ASSERT_TRUE(DecodeGraph(&in, &decoded).ok());
+    EXPECT_TRUE(in.done());
+    EXPECT_EQ(SerializeGraph(decoded), SerializeGraph(g));
+    // Re-encoding the decoded graph reproduces the bytes exactly.
+    std::string again;
+    EncodeGraph(decoded, &again);
+    EXPECT_EQ(again, buf);
+  }
+}
+
+TEST(CodecTest, GraphWithFeaturesAndDirectedEdgesRoundTrips) {
+  Graph g(/*directed=*/true);
+  g.AddNode(2);
+  g.AddNode(0);
+  g.AddNode(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 3).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 1).ok());
+  Matrix x(3, 2);
+  x.at(0, 0) = 0.25f;
+  x.at(1, 1) = -7.5f;
+  x.at(2, 0) = 1e-20f;
+  ASSERT_TRUE(g.SetFeatures(std::move(x)).ok());
+
+  std::string buf;
+  EncodeGraph(g, &buf);
+  ByteReader in(buf);
+  Graph decoded;
+  ASSERT_TRUE(DecodeGraph(&in, &decoded).ok());
+  EXPECT_TRUE(decoded.directed());
+  EXPECT_TRUE(decoded.has_features());
+  EXPECT_EQ(decoded.feature_dim(), 2);
+  EXPECT_EQ(decoded.features().at(2, 0), 1e-20f);
+  EXPECT_EQ(decoded.EdgeType(2, 0), 1);
+  EXPECT_EQ(SerializeGraph(decoded), SerializeGraph(g));
+}
+
+TEST(CodecTest, ViewRoundTripsThroughTextSerialization) {
+  auto store = synthetic::MakeSyntheticStore(11, /*num_labels=*/3);
+  for (const ExplanationView& view : store.views) {
+    std::string buf;
+    EncodeView(view, &buf);
+    ByteReader in(buf);
+    ExplanationView decoded;
+    ASSERT_TRUE(DecodeView(&in, &decoded).ok());
+    EXPECT_TRUE(in.done());
+    EXPECT_EQ(SerializeView(decoded), SerializeView(view));
+    EXPECT_EQ(decoded.explainability, view.explainability);  // bit-exact
+    ASSERT_EQ(decoded.patterns.size(), view.patterns.size());
+    for (size_t i = 0; i < view.patterns.size(); ++i) {
+      EXPECT_EQ(decoded.patterns[i].canonical_code(),
+                view.patterns[i].canonical_code());
+    }
+  }
+}
+
+TEST(CodecTest, BinaryViewFileRoundTrips) {
+  auto store = synthetic::MakeSyntheticStore(19, /*num_labels=*/3);
+  const std::string bytes = SerializeViewsBinary(store.views);
+  auto parsed = ParseViewsBinary(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), store.views.size());
+  for (size_t i = 0; i < store.views.size(); ++i) {
+    EXPECT_EQ(SerializeView(parsed.value()[i]),
+              SerializeView(store.views[i]));
+  }
+  // File round trip through the view_io entry points.
+  testing::ScratchDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = dir.File("views.gvxv");
+  ASSERT_TRUE(SaveViewsBinary(path, store.views).ok());
+  auto loaded = LoadViewsBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), store.views.size());
+}
+
+// --- Corrupt-input fuzzing (the satellite acceptance): truncations and
+// single-byte flips must yield Result errors — never a crash, never a
+// partially loaded result. ---
+
+TEST(CodecCorruptTest, TruncatedViewFileAlwaysErrors) {
+  auto store = synthetic::MakeSyntheticStore(23, /*num_labels=*/2);
+  const std::string bytes = SerializeViewsBinary(store.views);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto parsed = ParseViewsBinary(bytes.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(CodecCorruptTest, EveryByteFlipInViewFileErrors) {
+  synthetic::SyntheticStoreOptions opt;
+  opt.num_labels = 1;
+  opt.graphs_per_label = 2;
+  opt.patterns_per_label = 3;
+  auto store = synthetic::MakeSyntheticStore(29, opt);
+  const std::string bytes = SerializeViewsBinary(store.views);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (uint8_t mask : {0x01, 0x80}) {
+      std::string tampered = bytes;
+      tampered[i] = static_cast<char>(tampered[i] ^ mask);
+      auto parsed = ParseViewsBinary(tampered);
+      EXPECT_FALSE(parsed.ok())
+          << "flip 0x" << std::hex << static_cast<int>(mask) << " at byte "
+          << std::dec << i << " went unnoticed";
+    }
+  }
+}
+
+TEST(CodecCorruptTest, BadMagicVersionAndKindAreRejected) {
+  auto store = synthetic::MakeSyntheticStore(31, /*num_labels=*/1);
+  std::string bytes = SerializeViewsBinary(store.views);
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseViewsBinary(bad_magic).ok());
+
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(kStoreFormatVersion + 1);
+  auto parsed = ParseViewsBinary(bad_version);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+
+  std::string bad_kind = bytes;
+  bad_kind[8] = static_cast<char>(StoreFileKind::kWal);  // a WAL, not views
+  EXPECT_FALSE(ParseViewsBinary(bad_kind).ok());
+
+  EXPECT_FALSE(ParseViewsBinary("").ok());
+  EXPECT_FALSE(ParseViewsBinary("short").ok());
+}
+
+TEST(CodecCorruptTest, HostileCountsAreRejectedBeforeAllocation) {
+  // A graph claiming 2^40 nodes inside a 16-byte buffer must fail fast.
+  std::string buf;
+  PutVarint64(&buf, 0);              // flags
+  PutVarint64(&buf, 1ull << 40);     // num_nodes — hostile
+  ByteReader in(buf);
+  Graph g;
+  EXPECT_FALSE(DecodeGraph(&in, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 0);  // output untouched on failure
+}
+
+TEST(CodecCorruptTest, EdgeEndpointsOutOfRangeAreRejected) {
+  std::string buf;
+  PutVarint64(&buf, 0);  // flags
+  PutVarint64(&buf, 2);  // nodes
+  PutZigzag64(&buf, 0);
+  PutZigzag64(&buf, 0);
+  PutVarint64(&buf, 1);  // edges
+  PutVarint64(&buf, 0);
+  PutVarint64(&buf, 7);  // endpoint 7 of 2 nodes
+  PutZigzag64(&buf, 0);
+  ByteReader in(buf);
+  Graph g;
+  EXPECT_FALSE(DecodeGraph(&in, &g).ok());
+}
+
+TEST(CodecCorruptTest, DisconnectedPatternIsRejected) {
+  // Patterns must be connected (§2.1); the codec enforces it via
+  // Pattern::Create exactly like the text path.
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);  // two isolated nodes
+  std::string buf;
+  EncodeGraph(g, &buf);
+  ByteReader in(buf);
+  Pattern p;
+  EXPECT_FALSE(DecodePattern(&in, &p).ok());
+}
+
+}  // namespace
+}  // namespace gvex

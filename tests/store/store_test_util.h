@@ -1,0 +1,58 @@
+// Scratch-directory helper for the store suites: a unique directory under
+// the system temp root, recursively removed at scope exit.
+
+#ifndef GVEX_TESTS_STORE_STORE_TEST_UTIL_H_
+#define GVEX_TESTS_STORE_STORE_TEST_UTIL_H_
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace gvex {
+namespace testing {
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char tmpl[] = "/tmp/gvex_store_test.XXXXXX";
+    char* made = mkdtemp(tmpl);
+    path_ = made != nullptr ? made : "";
+  }
+  ~ScratchDir() {
+    if (!path_.empty()) RemoveAll(path_);
+  }
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  bool ok() const { return !path_.empty(); }
+
+  /// Path of a file inside the scratch directory.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  static void RemoveAll(const std::string& dir) {
+    if (DIR* d = ::opendir(dir.c_str())) {
+      while (struct dirent* entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        const std::string child = dir + "/" + name;
+        if (std::remove(child.c_str()) != 0) RemoveAll(child);
+      }
+      ::closedir(d);
+    }
+    (void)::rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
+}  // namespace testing
+}  // namespace gvex
+
+#endif  // GVEX_TESTS_STORE_STORE_TEST_UTIL_H_

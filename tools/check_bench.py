@@ -36,6 +36,10 @@ Checks applied to every section present in BOTH files:
     path vs the legacy linear scan on one workload), so the floor is
     hardware-independent and enforced unconditionally — unlike the
     worker-count speedups, no core-count precondition applies.
+  * warm-speedup floor — every current key named "warm_speedup" (or
+    prefixed "warm_speedup_") must be >= --min-warm-speedup (default 5).
+    Same-machine ratio of the store bench's cold index build vs warm
+    snapshot load, gated unconditionally like scan_speedup.
 
 Exit status 0 when all gates pass, 1 otherwise (2 for usage errors).
 """
@@ -90,20 +94,24 @@ def check_section(name, base, cur, args):
                     f"{name}.{key} regressed: {c:.3f}s > {limit:.3f}s "
                     f"({args.tolerance:.0%} over baseline {b:.3f}s)")
 
-    # Same-machine ratio floors: scan_speedup* keys compare two paths run
-    # on the same hardware in the same process, so they gate everywhere —
-    # no baseline value and no core-count precondition needed.
+    # Same-machine ratio floors: scan_speedup* / warm_speedup* keys compare
+    # two paths run on the same hardware in the same process, so they gate
+    # everywhere — no baseline value and no core-count precondition needed.
+    ratio_floors = (("scan_speedup", args.min_scan_speedup),
+                    ("warm_speedup", args.min_warm_speedup))
     for key in sorted(cur):
-        if key != "scan_speedup" and not key.startswith("scan_speedup_"):
+        floor = next((f for base_key, f in ratio_floors
+                      if key == base_key or key.startswith(base_key + "_")),
+                     None)
+        if floor is None:
             continue
         c = cur[key]
-        status = "ok" if c >= args.min_scan_speedup else "FAIL"
+        status = "ok" if c >= floor else "FAIL"
         print(f"  {name}.{key}: current {c:.2f}x "
-              f"(floor {args.min_scan_speedup:.2f}x) {status}")
-        if c < args.min_scan_speedup:
+              f"(floor {floor:.2f}x) {status}")
+        if c < floor:
             failures.append(
-                f"{name}.{key} below floor: {c:.2f}x < "
-                f"{args.min_scan_speedup:.2f}x")
+                f"{name}.{key} below floor: {c:.2f}x < {floor:.2f}x")
 
     # The speedup floor is an absolute property of the current run (does
     # the sharded path scale on THIS machine?), so it covers every current
@@ -155,6 +163,9 @@ def main():
     parser.add_argument("--min-scan-speedup", type=float, default=10.0,
                         help="hardware-independent floor for scan_speedup* "
                              "ratio keys (default 10)")
+    parser.add_argument("--min-warm-speedup", type=float, default=5.0,
+                        help="hardware-independent floor for warm_speedup* "
+                             "ratio keys (default 5)")
     parser.add_argument("--min-seconds", type=float, default=0.02,
                         help="timings below this are too noisy to gate "
                              "(default 0.02)")

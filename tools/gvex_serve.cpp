@@ -4,24 +4,32 @@
 // stdin (or a request file) on stdout until EOF or `quit`.
 //
 // Usage:
-//   gvex_serve --views views.txt [--graphs graphs.txt] [--threads 4]
-//              [--cache 256] [--requests requests.txt] [--stats 1]
+//   gvex_serve [--views views.txt] [--graphs graphs.txt] [--store dir]
+//              [--threads 4] [--cache 256] [--wal-sync 1]
+//              [--compact-bytes N] [--requests requests.txt] [--stats 1]
+//
+// With --store the service is DURABLE (src/store/): it warm-starts from
+// the directory's newest snapshot + WAL, admissions append to the WAL, and
+// the protocol verbs `save` / `compact` write epoch-tagged snapshots.
+// --views may be combined with --store to admit a view file into the store
+// on startup. View files may be text (view_io.h) or binary (the "GVXS"
+// magic is sniffed).
 //
 // The service front end is concurrent (snapshot-swapped with live `admit`
 // support); this tool drives it from a single protocol session, which is
-// the shape the bench and tests script against. Payload formats are the
-// existing text formats: graph blocks (graph_io.h) and view blocks
-// (view_io.h).
+// the shape the bench and tests script against.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
 #include "serve/serve_protocol.h"
 #include "serve/view_service.h"
+#include "store/codec.h"
 #include "tool_args.h"
 #include "util/string_util.h"
 
@@ -36,10 +44,30 @@ int Fail(const std::string& msg) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gvex_serve --views views.txt [--graphs graphs.txt]\n"
-               "                  [--threads N] [--cache N] "
-               "[--requests file] [--stats 1]\n");
+               "usage: gvex_serve [--views views.txt] [--graphs graphs.txt]\n"
+               "                  [--store dir] [--threads N] [--cache N]\n"
+               "                  [--wal-sync N] [--compact-bytes N]\n"
+               "                  [--requests file] [--stats 1]\n"
+               "       (at least one of --views / --store is required)\n");
   return 1;
+}
+
+// Loads a view file in either format: binary files carry the store magic
+// in their first bytes, everything else parses as text.
+Result<std::vector<ExplanationView>> LoadViewsAnyFormat(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  char head[4] = {0, 0, 0, 0};
+  f.read(head, 4);
+  f.close();
+  uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<uint32_t>(static_cast<unsigned char>(head[i]))
+             << (8 * i);
+  }
+  if (magic == kStoreMagic) return LoadViewsBinary(path);
+  return LoadViews(path);
 }
 
 // True when `keyword` opens a request that carries a payload block;
@@ -60,7 +88,7 @@ bool BlockTerminator(const std::string& keyword, std::string* terminator) {
 // Request/response loop: reads ONE request (keyword line + payload block if
 // any) at a time and flushes its response immediately, so interactive and
 // co-process clients never deadlock waiting for EOF.
-void ServeStream(ViewService* service, std::istream& in) {
+void ServeStream(ServeSession* session, std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     if (Trim(line).empty()) continue;
@@ -75,7 +103,7 @@ void ServeStream(ViewService* service, std::istream& in) {
       }
     }
     bool quit = false;
-    std::fputs(ServeText(service, chunk, &quit).c_str(), stdout);
+    std::fputs(ServeText(session, chunk, &quit).c_str(), stdout);
     std::fflush(stdout);
     if (quit) break;
   }
@@ -89,7 +117,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.error().c_str());
     return Usage();
   }
-  if (!args.Has("views")) return Usage();
+  if (!args.Has("views") && !args.Has("store")) return Usage();
 
   GraphDatabase db;
   bool have_db = false;
@@ -103,36 +131,60 @@ int main(int argc, char** argv) {
   ViewServiceOptions options;
   options.index.num_threads = args.GetInt("threads", 1);
   options.cache_capacity = static_cast<size_t>(args.GetInt("cache", 256));
-  ViewService service(have_db ? &db : nullptr, options);
+  options.store.wal_sync_every = args.GetInt("wal-sync", 1);
+  options.store.compact_wal_bytes =
+      static_cast<uint64_t>(args.GetInt("compact-bytes", 0));
 
-  auto views = LoadViews(args.Get("views", "views.txt"));
-  if (!views.ok()) return Fail(views.status().ToString());
-  if (!views.value().empty()) {
-    auto admitted = service.AdmitViews(std::move(views).value());
-    if (!admitted.ok()) return Fail(admitted.status().ToString());
+  ServeSession session;
+  session.db = have_db ? &db : nullptr;
+  session.options = options;
+  if (args.Has("store")) {
+    auto opened = ViewService::Open(args.Get("store", ""), session.db,
+                                    options);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    session.owned = std::move(opened).value();
+  } else {
+    session.owned =
+        std::make_unique<ViewService>(session.db, options);
   }
-  std::fprintf(stderr, "serving %d label(s), %llu epoch(s); reading %s\n",
-               static_cast<int>(service.Labels().size()),
-               static_cast<unsigned long long>(service.epoch()),
+  session.service = session.owned.get();
+
+  if (args.Has("views")) {
+    auto views = LoadViewsAnyFormat(args.Get("views", "views.txt"));
+    if (!views.ok()) return Fail(views.status().ToString());
+    if (!views.value().empty()) {
+      auto admitted =
+          session.service->AdmitViews(std::move(views).value());
+      if (!admitted.ok()) return Fail(admitted.status().ToString());
+    }
+  }
+  std::fprintf(stderr, "serving %d label(s), %llu epoch(s)%s%s; reading %s\n",
+               static_cast<int>(session.service->Labels().size()),
+               static_cast<unsigned long long>(session.service->epoch()),
+               session.service->durable() ? " from store " : "",
+               session.service->durable()
+                   ? session.service->store_dir().c_str()
+                   : "",
                args.Has("requests") ? args.Get("requests", "").c_str()
                                     : "stdin");
 
   if (args.Has("requests")) {
     std::ifstream f(args.Get("requests", ""));
     if (!f.good()) return Fail("cannot open " + args.Get("requests", ""));
-    ServeStream(&service, f);
+    ServeStream(&session, f);
   } else {
-    ServeStream(&service, std::cin);
+    ServeStream(&session, std::cin);
   }
 
   if (args.GetInt("stats", 0) != 0) {
-    const ViewServiceStats s = service.stats();
+    const ViewServiceStats s = session.service->stats();
     std::fprintf(stderr,
                  "stats: epoch %llu labels %d codes %d cache_hits %llu "
-                 "cache_misses %llu\n",
+                 "cache_misses %llu hit_rate %.4f\n",
                  static_cast<unsigned long long>(s.epoch), s.num_labels,
                  s.num_codes, static_cast<unsigned long long>(s.cache_hits),
-                 static_cast<unsigned long long>(s.cache_misses));
+                 static_cast<unsigned long long>(s.cache_misses),
+                 s.hit_rate());
   }
   return 0;
 }

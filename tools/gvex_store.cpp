@@ -1,0 +1,303 @@
+// gvex_store — inspect, verify, and maintain durable view-store
+// directories (src/store/): epoch-tagged binary snapshots plus the
+// admission WAL that ViewService::Open recovers from.
+//
+// Usage:
+//   gvex_store inspect <file>    # snapshot / WAL / binary view file:
+//                                # header, epoch(s), record summary
+//   gvex_store verify <dir>      # validate every snapshot + the WAL;
+//                                # reports torn tails; exit 1 on a store
+//                                # that cannot recover
+//   gvex_store compact <dir>     # offline compaction: open, fold the WAL
+//                                # into a fresh snapshot, prune old ones
+//   gvex_store selftest <dir>    # synthetic save/admit/kill/reopen parity
+//                                # round trip (the run_tests.sh smoke step)
+//
+// Exit status: 0 on success/healthy, 1 on failure/corruption.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explain/view_io.h"
+#include "serve/synthetic_store.h"
+#include "serve/view_service.h"
+#include "store/codec.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "util/string_util.h"
+
+using namespace gvex;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gvex_store inspect <file>\n"
+               "       gvex_store verify <dir>\n"
+               "       gvex_store compact <dir>\n"
+               "       gvex_store selftest <dir>\n");
+  return 1;
+}
+
+Result<uint32_t> SniffKind(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  char head[12];
+  f.read(head, sizeof(head));
+  if (f.gcount() < static_cast<std::streamsize>(sizeof(head))) {
+    return Status::InvalidArgument("file too short for a store header");
+  }
+  ByteReader in(head, sizeof(head));
+  uint32_t magic = 0, version = 0, kind = 0;
+  (void)in.GetFixed32(&magic);
+  (void)in.GetFixed32(&version);
+  (void)in.GetFixed32(&kind);
+  if (magic != kStoreMagic) {
+    return Status::InvalidArgument("bad magic: not a gvex store file");
+  }
+  if (version != kStoreFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported format version %u", version));
+  }
+  return kind;
+}
+
+void PrintViewSummary(const std::map<int, ExplanationView>& views) {
+  for (const auto& [label, view] : views) {
+    std::printf("  view label %d: %zu patterns, %zu subgraphs, "
+                "explainability %.6g\n",
+                label, view.patterns.size(), view.subgraphs.size(),
+                view.explainability);
+  }
+}
+
+int InspectSnapshot(const std::string& path) {
+  auto loaded = LoadSnapshot(path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const SnapshotData& data = loaded.value();
+  size_t db_postings = 0;
+  for (const StoredPostings& p : data.postings) {
+    db_postings += p.db_graphs.size();
+  }
+  std::printf("snapshot %s\n", path.c_str());
+  std::printf("  epoch %llu, %zu view(s), %zu indexed code(s), "
+              "%zu db posting(s), database_indexed=%d\n",
+              static_cast<unsigned long long>(data.epoch),
+              data.views.size(), data.postings.size(), db_postings,
+              data.database_indexed ? 1 : 0);
+  PrintViewSummary(data.views);
+  return 0;
+}
+
+int InspectWal(const std::string& path) {
+  auto replay = ReplayWal(path);
+  if (!replay.ok()) return Fail(replay.status().ToString());
+  const WalReplay& log = replay.value();
+  std::printf("wal %s\n", path.c_str());
+  std::printf("  %zu record(s), %llu valid byte(s)%s\n", log.records.size(),
+              static_cast<unsigned long long>(log.valid_bytes),
+              log.torn_tail ? ", TORN TAIL" : "");
+  if (log.torn_tail) {
+    std::printf("  tail error: %s\n", log.tail_error.c_str());
+  }
+  for (const WalRecord& record : log.records) {
+    std::printf("  epoch %llu: %zu view(s) admitted, labels",
+                static_cast<unsigned long long>(record.epoch),
+                record.views.size());
+    for (const ExplanationView& v : record.views) {
+      std::printf(" %d", v.label);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int InspectViews(const std::string& path) {
+  auto views = LoadViewsBinary(path);
+  if (!views.ok()) return Fail(views.status().ToString());
+  std::printf("binary view file %s: %zu view(s)\n", path.c_str(),
+              views.value().size());
+  for (const ExplanationView& v : views.value()) {
+    std::printf("  view label %d: %zu patterns, %zu subgraphs\n", v.label,
+                v.patterns.size(), v.subgraphs.size());
+  }
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  auto kind = SniffKind(path);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  switch (static_cast<StoreFileKind>(kind.value())) {
+    case StoreFileKind::kSnapshot:
+      return InspectSnapshot(path);
+    case StoreFileKind::kWal:
+      return InspectWal(path);
+    case StoreFileKind::kViews:
+      return InspectViews(path);
+  }
+  return Fail(StrFormat("unknown store file kind %u", kind.value()));
+}
+
+int CmdVerify(const std::string& dir) {
+  auto epochs = ListSnapshotEpochs(dir);
+  if (!epochs.ok()) return Fail(epochs.status().ToString());
+  int bad = 0;
+  bool have_valid_snapshot = false;
+  for (uint64_t epoch : epochs.value()) {
+    const std::string path = dir + "/" + SnapshotFileName(epoch);
+    auto loaded = LoadSnapshot(path);
+    if (loaded.ok()) {
+      std::printf("ok   %s (epoch %llu, %zu views, %zu codes)\n",
+                  path.c_str(), static_cast<unsigned long long>(epoch),
+                  loaded.value().views.size(),
+                  loaded.value().postings.size());
+      have_valid_snapshot = true;
+    } else {
+      std::printf("BAD  %s: %s\n", path.c_str(),
+                  loaded.status().ToString().c_str());
+      ++bad;
+    }
+  }
+
+  const std::string wal_path = dir + "/" + WalFileName();
+  bool wal_usable = true;
+  auto replay = ReplayWal(wal_path);
+  if (replay.ok()) {
+    std::printf("%s %s (%zu records%s)\n",
+                replay.value().torn_tail ? "torn" : "ok  ", wal_path.c_str(),
+                replay.value().records.size(),
+                replay.value().torn_tail ? ", tail dropped on recovery" : "");
+  } else if (replay.status().IsNotFound()) {
+    std::printf("none %s (no WAL yet)\n", wal_path.c_str());
+  } else {
+    std::printf("BAD  %s: %s\n", wal_path.c_str(),
+                replay.status().ToString().c_str());
+    wal_usable = false;
+  }
+
+  // The store is healthy when recovery has something valid to start from:
+  // either no snapshots at all (fresh store) or at least one that loads,
+  // and a usable (possibly torn, possibly absent) WAL.
+  const bool healthy =
+      wal_usable && (epochs.value().empty() || have_valid_snapshot);
+  if (bad > 0) {
+    std::printf("%d corrupt snapshot(s)%s\n", bad,
+                healthy ? " (recovery falls back to an older epoch)" : "");
+  }
+  if (!healthy) return Fail("store cannot recover");
+  std::printf("store %s is recoverable\n", dir.c_str());
+  return 0;
+}
+
+int CmdCompact(const std::string& dir) {
+  // Offline compaction has no graph database. Compacting a
+  // database-indexed store without it would rewrite the snapshot with the
+  // db postings stripped (and prune the snapshots that still have them) —
+  // refuse instead of silently downgrading the store.
+  auto epochs = ListSnapshotEpochs(dir);
+  if (epochs.ok()) {
+    for (auto it = epochs.value().rbegin(); it != epochs.value().rend();
+         ++it) {
+      auto snapshot = LoadSnapshot(dir + "/" + SnapshotFileName(*it));
+      if (!snapshot.ok()) continue;
+      if (snapshot.value().database_indexed) {
+        return Fail(
+            "store is database-indexed; offline compaction would drop its "
+            "db postings — compact from a service that has the database "
+            "(gvex_serve --store " + dir + " --graphs ... + `compact`)");
+      }
+      break;  // newest valid snapshot is not db-indexed: safe to proceed
+    }
+  }
+  auto service = ViewService::Open(dir, nullptr);
+  if (!service.ok()) return Fail(service.status().ToString());
+  auto epoch = service.value()->Compact();
+  if (!epoch.ok()) return Fail(epoch.status().ToString());
+  std::printf("compacted %s into epoch %llu\n", dir.c_str(),
+              static_cast<unsigned long long>(epoch.value()));
+  return 0;
+}
+
+// Synthetic end-to-end round trip: admit -> save -> admit more (WAL) ->
+// kill -> reopen -> compare answers against a never-restarted service.
+// This is the snapshot round-trip smoke step tools/run_tests.sh runs.
+int CmdSelftest(const std::string& dir) {
+  auto store = synthetic::MakeSyntheticStore(77, /*num_labels=*/3);
+
+  auto opened = ViewService::Open(dir, &store.db);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  std::unique_ptr<ViewService> durable = std::move(opened).value();
+  ViewService reference(&store.db);
+
+  // First two views reach the snapshot, the third only the WAL.
+  for (size_t i = 0; i + 1 < store.views.size(); ++i) {
+    if (!durable->AdmitView(store.views[i]).ok() ||
+        !reference.AdmitView(store.views[i]).ok()) {
+      return Fail("selftest admission failed");
+    }
+  }
+  if (!durable->Save().ok()) return Fail("selftest save failed");
+  if (!durable->AdmitView(store.views.back()).ok() ||
+      !reference.AdmitView(store.views.back()).ok()) {
+    return Fail("selftest admission failed");
+  }
+  durable.reset();  // "kill" the process state
+
+  auto reopened = ViewService::Open(dir, &store.db);
+  if (!reopened.ok()) return Fail(reopened.status().ToString());
+  std::unique_ptr<ViewService> recovered = std::move(reopened).value();
+
+  auto check = [&](const char* stage) -> int {
+    if (recovered->Labels() != reference.Labels()) {
+      return Fail(StrFormat("selftest %s: label mismatch", stage));
+    }
+    for (const ExplanationView& v : store.views) {
+      for (const Pattern& p : v.patterns) {
+        if (recovered->GraphsWithPattern(v.label, p) !=
+                reference.GraphsWithPattern(v.label, p) ||
+            recovered->LabelsOfPattern(p) != reference.LabelsOfPattern(p) ||
+            recovered->DatabaseGraphsWithPattern(p) !=
+                reference.DatabaseGraphsWithPattern(p)) {
+          return Fail(StrFormat("selftest %s: answer mismatch", stage));
+        }
+      }
+    }
+    return 0;
+  };
+  if (int rc = check("recovery"); rc != 0) return rc;
+
+  // Fold the WAL into a fresh snapshot and recover once more.
+  if (!recovered->Compact().ok()) return Fail("selftest compact failed");
+  recovered.reset();
+  reopened = ViewService::Open(dir, &store.db);
+  if (!reopened.ok()) return Fail(reopened.status().ToString());
+  recovered = std::move(reopened).value();
+  if (int rc = check("post-compact"); rc != 0) return rc;
+
+  std::printf("selftest ok: %s recovers bit-identically (snapshot + WAL, "
+              "and after compaction)\n",
+              dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  const std::string cmd = argv[1];
+  const std::string target = argv[2];
+  if (cmd == "inspect") return CmdInspect(target);
+  if (cmd == "verify") return CmdVerify(target);
+  if (cmd == "compact") return CmdCompact(target);
+  if (cmd == "selftest") return CmdSelftest(target);
+  return Usage();
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Bench baseline runner: builds Release, runs the gated perf drivers
-# (bench_fig9e_parallel and bench_serving_throughput) into scratch JSONs,
-# and gates them against the committed BENCH_parallel.json /
-# BENCH_serving.json with tools/check_bench.py.
+# (bench_fig9e_parallel, bench_serving_throughput, bench_store_startup)
+# into scratch JSONs, and gates them against the committed
+# BENCH_parallel.json / BENCH_serving.json / BENCH_store.json with
+# tools/check_bench.py.
 #
 # Usage:
 #   tools/run_bench_baseline.sh            # compare against the baselines
@@ -17,6 +18,8 @@
 #                          machines (default 1.5)
 #   BENCH_MIN_SCAN_SPEEDUP hardware-independent floor for the serving
 #                          bench's indexed-vs-scan ratio (default 10)
+#   BENCH_MIN_WARM_SPEEDUP hardware-independent floor for the store
+#                          bench's cold-build-vs-warm-load ratio (default 5)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,6 +27,7 @@ build_dir="${BENCH_BUILD_DIR:-${repo_root}/build-bench}"
 tolerance="${BENCH_TOLERANCE:-0.35}"
 min_speedup="${BENCH_MIN_SPEEDUP:-1.5}"
 min_scan_speedup="${BENCH_MIN_SCAN_SPEEDUP:-10}"
+min_warm_speedup="${BENCH_MIN_WARM_SPEEDUP:-5}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 record=0
@@ -34,7 +38,7 @@ fi
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "${jobs}" \
-  --target bench_fig9e_parallel bench_serving_throughput
+  --target bench_fig9e_parallel bench_serving_throughput bench_store_startup
 
 # Scratch files are cleaned up on EXIT (a RETURN trap would be skipped when
 # errexit aborts a failed gate mid-function).
@@ -71,8 +75,10 @@ gate() {
     --tolerance "${tolerance}" \
     --min-speedup "${min_speedup}" \
     --min-scan-speedup "${min_scan_speedup}" \
+    --min-warm-speedup "${min_warm_speedup}" \
     --section "${section}"
 }
 
 gate bench_fig9e_parallel "${repo_root}/BENCH_parallel.json" fig9e_parallel
 gate bench_serving_throughput "${repo_root}/BENCH_serving.json" serving
+gate bench_store_startup "${repo_root}/BENCH_store.json" store_startup

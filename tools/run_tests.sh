@@ -26,6 +26,13 @@ cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "${jobs}"
 (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" ${ctest_args[@]+"${ctest_args[@]}"})
 
+# Durable-store smoke: a real on-disk snapshot + WAL round trip through the
+# gvex_store tool (admit -> save -> kill -> reopen -> parity, + compaction).
+store_scratch="$(mktemp -d)"
+trap 'rm -rf "${store_scratch}"' EXIT
+"${build_dir}/tools/gvex_store" selftest "${store_scratch}"
+"${build_dir}/tools/gvex_store" verify "${store_scratch}"
+
 if [[ "${with_bench}" == 1 ]]; then
   "${repo_root}/tools/run_bench_baseline.sh"
 fi
