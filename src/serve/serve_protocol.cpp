@@ -154,6 +154,16 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
 std::string HandleServeRequest(ServeSession* session,
                                const ServeRequest& req) {
   if (req.kind == ServeRequest::Kind::kOpen) {
+    // Re-opening the directory this session already serves is a reload:
+    // release our own store lock first, or Open would see it held and
+    // blame "another process". If the reload then fails, the session is
+    // left serviceless (accurate — the old state is gone).
+    if (session->owned != nullptr && session->owned->store_dir() == req.dir) {
+      if (session->service == session->owned.get()) {
+        session->service = nullptr;
+      }
+      session->owned.reset();
+    }
     auto opened = ViewService::Open(req.dir, session->db, session->options);
     if (!opened.ok()) return "err " + opened.status().ToString() + "\n";
     session->owned = std::move(opened).value();
@@ -162,6 +172,12 @@ std::string HandleServeRequest(ServeSession* session,
                      static_cast<unsigned long long>(
                          session->service->epoch()),
                      session->service->Labels().size());
+  }
+  // A session may legitimately start with no service and issue `open`
+  // first; every other verb except `quit` needs one.
+  if (session->service == nullptr) {
+    if (req.kind == ServeRequest::Kind::kQuit) return "ok bye\n";
+    return "err no service open (use 'open <dir>')\n";
   }
   return HandleServeRequest(session->service, req);
 }

@@ -1,9 +1,15 @@
 #include "serve/view_service.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <functional>
 #include <utility>
 
+#include "store/recovery.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -102,12 +108,24 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
     std::shared_ptr<const Snapshot> cur = Load();
     published = cur->epoch + 1;
     if (store_ != nullptr) {
+      if (store_->wal_needs_reset.load()) {
+        // A previous Compact saved its snapshot but could not reset the
+        // WAL; the snapshot covers every logged record, so retrying here
+        // is safe — and un-wedges a writer the failure left closed. The
+        // admission must NOT proceed while the reset is still pending: an
+        // appended-then-reset record would be an acknowledged admission
+        // destroyed by the next successful reset.
+        GVEX_RETURN_NOT_OK(store_->wal.Reset());
+        store_->wal_needs_reset.store(false);
+      }
       // Log-before-publish: if the append fails, nothing was admitted —
       // the caller sees the error and the published state is unchanged.
       WalRecord record;
       record.epoch = published;
-      record.views = views;  // copy; `views` still moves into the snapshot
-      GVEX_RETURN_NOT_OK(store_->wal.Append(record));
+      record.views = std::move(views);
+      const Status logged = store_->wal.Append(record);
+      views = std::move(record.views);  // Append only reads the record
+      GVEX_RETURN_NOT_OK(logged);
     }
     auto next_views =
         std::make_shared<std::map<int, ExplanationView>>(*cur->views);
@@ -267,72 +285,56 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
     ViewServiceOptions options) {
   GVEX_RETURN_NOT_OK(EnsureDir(dir));
 
-  // Newest snapshot that validates wins; older ones are fallbacks against
-  // a corrupted latest file (atomic writes make that unlikely, torn disks
-  // happen anyway).
-  GVEX_ASSIGN_OR_RETURN(std::vector<uint64_t> epochs, ListSnapshotEpochs(dir));
-  SnapshotData snapshot;
-  bool have_snapshot = false;
-  std::string last_error;
-  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
-    auto loaded = LoadSnapshot(dir + "/" + SnapshotFileName(*it));
-    if (loaded.ok()) {
-      snapshot = std::move(loaded).value();
-      have_snapshot = true;
-      break;
-    }
-    last_error = loaded.status().ToString();
+  // One writer per store: a second Open (e.g. an "offline" gvex_store
+  // compact racing a live server) would truncate the WAL under the first
+  // writer's feet and strand its acknowledged appends behind torn bytes.
+  // flock is advisory but every store entry point goes through Open.
+  auto store = std::make_unique<DurableStore>();
+  store->dir = dir;
+  const std::string lock_path = dir + "/LOCK";
+  store->lock_fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                          0644);
+  if (store->lock_fd < 0) {
+    return Status::IOError(StrFormat("cannot open %s: %s", lock_path.c_str(),
+                                     std::strerror(errno)));
   }
-  if (!have_snapshot && !epochs.empty()) {
-    return Status::IOError(
-        StrFormat("no snapshot in %s validates (last error: %s)",
-                  dir.c_str(), last_error.c_str()));
+  if (::flock(store->lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "store %s is locked by another process (close it, or wait for it "
+        "to exit)", dir.c_str()));
   }
 
-  // WAL replay: admissions newer than the snapshot, longest valid prefix.
-  const std::string wal_path = dir + "/" + WalFileName();
-  WalReplay replay;
-  auto replayed = ReplayWal(wal_path);
-  if (replayed.ok()) {
-    replay = std::move(replayed).value();
-  } else if (!replayed.status().IsNotFound()) {
-    return replayed.status();
+  // The shared fail-stop verdict (src/store/recovery.h): newest valid
+  // snapshot, WAL contiguity, acknowledged-epoch reachability.
+  GVEX_ASSIGN_OR_RETURN(RecoveryPlan plan, PlanRecovery(dir));
+  if (plan.have_snapshot) {
+    // The snapshot records the semantics its postings were computed with;
+    // recovery must answer with those regardless of the caller's defaults
+    // — on BOTH paths below (posting decode and WAL-replay rebuild), and
+    // for every index rebuild a later admission triggers. Otherwise the
+    // same store would answer differently depending on whether a WAL
+    // record happened to exist at reopen.
+    options.index.match = plan.snapshot.match;
+    options.index.index_database = plan.snapshot.database_indexed;
   }
 
   auto service =
       std::unique_ptr<ViewService>(new ViewService(db, options));
 
-  uint64_t epoch = snapshot.epoch;
-  auto views =
-      std::make_shared<std::map<int, ExplanationView>>(std::move(snapshot.views));
+  auto views = std::make_shared<std::map<int, ExplanationView>>(
+      std::move(plan.snapshot.views));
   bool replayed_any = false;
-  for (WalRecord& record : replay.records) {
-    if (record.epoch <= epoch) continue;  // already folded into the snapshot
+  for (WalRecord& record : plan.replay.records) {
+    if (record.epoch <= plan.snapshot.epoch) continue;  // already folded
     for (ExplanationView& v : record.views) {
       (*views)[v.label] = std::move(v);
     }
-    epoch = record.epoch;
     replayed_any = true;
   }
 
-  // Fail-stop on provable data loss: a snapshot FILE for a newer epoch
-  // exists (that state was once acknowledged) but neither a valid
-  // snapshot nor the WAL can reach it — e.g. the newest snapshot is
-  // corrupt and Compact already reset the WAL. Serving the older state
-  // silently would drop acknowledged admissions; make the operator decide
-  // (delete the corrupt file to accept the rollback).
-  if (!epochs.empty() && epoch < epochs.back()) {
-    return Status::IOError(StrFormat(
-        "recovery reaches epoch %llu but %s/%s exists and does not load — "
-        "acknowledged state would be lost; delete the corrupt snapshot to "
-        "accept rolling back",
-        static_cast<unsigned long long>(epoch), dir.c_str(),
-        SnapshotFileName(epochs.back()).c_str()));
-  }
-
-  if (epoch > 0) {
+  if (plan.final_epoch > 0) {
     auto next = std::make_shared<Snapshot>();
-    next->epoch = epoch;
+    next->epoch = plan.final_epoch;
     next->views = std::move(views);
     if (replayed_any) {
       // WAL admissions changed the view set — one scratch index build
@@ -342,20 +344,19 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
       // Pure-snapshot warm start: decode the postings, skip the
       // isomorphism cross-product entirely.
       next->index =
-          PatternIndex::FromStored(next->views, db, snapshot.match,
-                                   snapshot.database_indexed,
-                                   snapshot.postings);
+          PatternIndex::FromStored(next->views, db, plan.snapshot.match,
+                                   plan.snapshot.database_indexed,
+                                   plan.snapshot.postings);
     }
     service->Publish(std::move(next));
   }
 
-  auto store = std::make_unique<DurableStore>();
-  store->dir = dir;
   store->wal.set_sync_every(options.store.wal_sync_every);
   // Dropping a torn tail here is safe: those bytes never published (the
   // WAL is written before the snapshot swap, so at worst the tail is an
   // admission whose caller never saw success).
-  GVEX_RETURN_NOT_OK(store->wal.Open(wal_path, replay.valid_bytes));
+  GVEX_RETURN_NOT_OK(store->wal.Open(dir + "/" + WalFileName(),
+                                     plan.replay.valid_bytes));
   service->store_ = std::move(store);
   return service;
 }
@@ -386,17 +387,31 @@ Result<uint64_t> ViewService::Compact() {
     return Status::FailedPrecondition(
         "Compact() requires a durable service (ViewService::Open)");
   }
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  std::shared_ptr<const Snapshot> snap = Load();
-  GVEX_RETURN_NOT_OK(SaveLocked(*snap));
-  // Every WAL record's epoch is <= the snapshot we just wrote (appends
-  // serialize on writer_mu_), so the log is fully covered.
-  GVEX_RETURN_NOT_OK(store_->wal.Reset());
-  if (options_.store.prune_snapshots) {
-    auto pruned = PruneSnapshots(store_->dir, snap->epoch);
-    if (!pruned.ok()) return pruned.status();
+  // The outcome is also recorded in the store (stats() exposes it):
+  // background compaction has no caller to return its status to, and a
+  // silent persistent failure would just grow the WAL forever.
+  Result<uint64_t> result = [&]() -> Result<uint64_t> {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    std::shared_ptr<const Snapshot> snap = Load();
+    GVEX_RETURN_NOT_OK(SaveLocked(*snap));
+    // Every WAL record's epoch is <= the snapshot we just wrote (appends
+    // serialize on writer_mu_), so the log is fully covered — which also
+    // makes a failed reset retryable (see wal_needs_reset).
+    store_->wal_needs_reset.store(true);
+    GVEX_RETURN_NOT_OK(store_->wal.Reset());
+    store_->wal_needs_reset.store(false);
+    if (options_.store.prune_snapshots) {
+      auto pruned = PruneSnapshots(store_->dir, snap->epoch);
+      if (!pruned.ok()) return pruned.status();
+    }
+    return snap->epoch;
+  }();
+  {
+    std::lock_guard<std::mutex> lock(store_->status_mu);
+    store_->last_compact_error =
+        result.ok() ? "" : result.status().ToString();
   }
-  return snap->epoch;
+  return result;
 }
 
 void ViewService::MaybeScheduleCompact(uint64_t wal_bytes) {
@@ -416,7 +431,9 @@ void ViewService::MaybeScheduleCompact(uint64_t wal_bytes) {
   // but may still need joining before the handle is reused.
   if (store_->compactor.joinable()) store_->compactor.join();
   store_->compactor = std::thread([this] {
-    (void)Compact();  // best-effort; the WAL keeps everything recoverable
+    // Best-effort: the WAL keeps everything recoverable, and the outcome
+    // lands in last_compact_error for stats()/operators.
+    (void)Compact();
     store_->compacting.store(false);
   });
 }
@@ -431,6 +448,10 @@ ViewServiceStats ViewService::stats() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.cache_hits += shard->hits;
     out.cache_misses += shard->misses;
+  }
+  if (store_ != nullptr) {
+    std::lock_guard<std::mutex> lock(store_->status_mu);
+    out.last_compact_error = store_->last_compact_error;
   }
   return out;
 }

@@ -38,6 +38,8 @@
 #ifndef GVEX_SERVE_VIEW_SERVICE_H_
 #define GVEX_SERVE_VIEW_SERVICE_H_
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <list>
@@ -130,6 +132,9 @@ struct ViewServiceStats {
   int num_codes = 0;       ///< Indexed canonical codes in the snapshot.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Last Compact() failure ("" when compaction never failed or succeeded
+  /// since) — the only visible signal when BACKGROUND compaction fails.
+  std::string last_compact_error;
 
   /// hits / (hits + misses); 0 when the cache has seen no lookups.
   double hit_rate() const {
@@ -242,11 +247,25 @@ class ViewService {
   /// `compacting` before the scheduler's move-assignment into `compactor`
   /// completes, so flag-only coordination would race on the handle).
   struct DurableStore {
+    ~DurableStore() {
+      if (lock_fd >= 0) ::close(lock_fd);  // releases the flock
+    }
     std::string dir;
+    /// Held (flock LOCK_EX) for the service's lifetime — one writer per
+    /// store directory; -1 until Open acquires it.
+    int lock_fd = -1;
     WalWriter wal;
+    /// Set when a Compact saved its snapshot but could not reset the WAL;
+    /// every logged record is covered by that snapshot, so the next
+    /// admission retries the reset instead of staying wedged.
+    std::atomic<bool> wal_needs_reset{false};
     std::atomic<bool> compacting{false};
     std::mutex compact_mu;
     std::thread compactor;
+    /// Last Compact() outcome ("" = success), for stats()/operators —
+    /// background compaction has no caller to return its status to.
+    std::mutex status_mu;
+    std::string last_compact_error;
   };
 
   std::shared_ptr<const Snapshot> Load() const;

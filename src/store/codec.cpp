@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -274,8 +275,12 @@ Status DecodeGraph(ByteReader* in, Graph* g) {
     return Status::InvalidArgument("unknown graph flag bits");
   }
   // A node costs at least one encoded byte, so `remaining` bounds every
-  // count — hostile lengths are rejected before any allocation.
+  // count — hostile lengths are rejected before any allocation. Node ids
+  // are ints, so the count must also fit one.
   GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &num_nodes));
+  if (num_nodes > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return Status::InvalidArgument("graph node count exceeds INT_MAX");
+  }
   Graph out((flags & 1u) != 0);
   for (uint64_t v = 0; v < num_nodes; ++v) {
     int64_t type = 0;
@@ -285,7 +290,11 @@ Status DecodeGraph(ByteReader* in, Graph* g) {
   if ((flags & 2u) != 0) {
     uint64_t dim = 0;
     GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &dim));
-    if (num_nodes * dim * 4 > in->remaining()) {
+    // Division-based bound: the multiplied form num_nodes * dim * 4 can
+    // wrap in uint64 for a crafted multi-GB file, sliding hostile counts
+    // past the guard and into the int casts below.
+    if (dim > static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
+        (dim != 0 && num_nodes > in->remaining() / (dim * 4))) {
       return Truncated("graph feature matrix");
     }
     Matrix x(static_cast<int>(num_nodes), static_cast<int>(dim));

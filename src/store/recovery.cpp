@@ -1,0 +1,80 @@
+#include "store/recovery.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+Result<RecoveryPlan> PlanRecovery(const std::string& dir) {
+  RecoveryPlan plan;
+  GVEX_ASSIGN_OR_RETURN(plan.epochs, ListSnapshotEpochs(dir));
+
+  // Newest snapshot that validates wins; older ones are fallbacks against
+  // a corrupted latest file (atomic writes make that unlikely, torn disks
+  // happen anyway).
+  std::string last_error;
+  for (auto it = plan.epochs.rbegin(); it != plan.epochs.rend(); ++it) {
+    auto loaded = LoadSnapshot(dir + "/" + SnapshotFileName(*it));
+    if (loaded.ok()) {
+      plan.snapshot = std::move(loaded).value();
+      plan.have_snapshot = true;
+      break;
+    }
+    last_error = loaded.status().ToString();
+  }
+  if (!plan.have_snapshot && !plan.epochs.empty()) {
+    return Status::IOError(
+        StrFormat("no snapshot in %s validates (last error: %s)",
+                  dir.c_str(), last_error.c_str()));
+  }
+
+  auto replayed = ReplayWal(dir + "/" + WalFileName());
+  if (replayed.ok()) {
+    plan.replay = std::move(replayed).value();
+    plan.have_wal = true;
+  } else if (!replayed.status().IsNotFound()) {
+    return replayed.status();
+  }
+
+  // Admissions bump the epoch by exactly one, so a replayable log is
+  // contiguous from the loaded snapshot. A gap proves acknowledged state
+  // is unreachable — e.g. Compact wrote snapshot-N and reset the WAL,
+  // snapshot-N later corrupted, and recovery fell back to an older
+  // snapshot. Replaying over the gap would silently drop the admissions
+  // that only snapshot-N held (and the final-epoch check below cannot see
+  // it, because replay still ends at the newest epoch); fail-stop.
+  plan.final_epoch = plan.snapshot.epoch;
+  for (const WalRecord& record : plan.replay.records) {
+    if (record.epoch <= plan.final_epoch) continue;  // folded into snapshot
+    if (record.epoch != plan.final_epoch + 1) {
+      return Status::IOError(StrFormat(
+          "WAL record for epoch %llu cannot attach to recovered epoch %llu "
+          "— the admissions in between were acknowledged but no snapshot "
+          "or WAL record reaches them; restore a snapshot covering epoch "
+          "%llu, or delete the WAL to accept losing the logged admissions",
+          static_cast<unsigned long long>(record.epoch),
+          static_cast<unsigned long long>(plan.final_epoch),
+          static_cast<unsigned long long>(record.epoch - 1)));
+    }
+    plan.final_epoch = record.epoch;
+  }
+
+  // Fail-stop on provable data loss: a snapshot FILE for a newer epoch
+  // exists (that state was once acknowledged) but neither a valid
+  // snapshot nor the WAL can reach it — e.g. the newest snapshot is
+  // corrupt and Compact already reset the WAL. Serving the older state
+  // silently would drop acknowledged admissions; make the operator decide
+  // (delete the corrupt file to accept the rollback).
+  if (!plan.epochs.empty() && plan.final_epoch < plan.epochs.back()) {
+    return Status::IOError(StrFormat(
+        "recovery reaches epoch %llu but %s/%s exists and does not load — "
+        "acknowledged state would be lost; delete the corrupt snapshot to "
+        "accept rolling back",
+        static_cast<unsigned long long>(plan.final_epoch), dir.c_str(),
+        SnapshotFileName(plan.epochs.back()).c_str()));
+  }
+  return plan;
+}
+
+}  // namespace gvex

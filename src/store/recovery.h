@@ -1,0 +1,50 @@
+// The recovery verdict for a durable store directory, shared by
+// ViewService::Open (which acts on it) and `gvex_store verify` (which only
+// reports it). Keeping the verdict in ONE place guarantees the tool never
+// calls a store recoverable that Open refuses — the fail-stop rules
+// (acknowledged-state reachability, WAL epoch contiguity) live here and
+// nowhere else.
+
+#ifndef GVEX_STORE_RECOVERY_H_
+#define GVEX_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "util/status.h"
+
+namespace gvex {
+
+/// What recovery would start from and reach. Produced by PlanRecovery.
+struct RecoveryPlan {
+  /// Every snapshot epoch on disk, ascending (loadable or not).
+  std::vector<uint64_t> epochs;
+  /// Newest snapshot that validates (default-constructed when none —
+  /// recovery starts from the empty epoch 0).
+  SnapshotData snapshot;
+  bool have_snapshot = false;
+  /// The WAL's longest valid prefix (empty when no WAL file exists).
+  WalReplay replay;
+  bool have_wal = false;
+  /// The epoch recovery reaches after replaying the WAL onto the snapshot.
+  uint64_t final_epoch = 0;
+};
+
+/// Computes the recovery plan for `dir` WITHOUT side effects: no WAL
+/// truncation, no lock acquisition, nothing written. Fail-stops (IOError)
+/// when acknowledged state is provably unreachable:
+///   - snapshot files exist but none validates;
+///   - a WAL record's epoch cannot attach contiguously to the newest
+///     loadable snapshot (admissions bump the epoch by exactly one, so a
+///     gap proves the admissions in between are lost);
+///   - replay ends below the newest on-disk snapshot epoch (that state was
+///     acknowledged, but neither a valid snapshot nor the WAL reaches it).
+/// A directory with no snapshots and no WAL is a fresh store (epoch 0).
+Result<RecoveryPlan> PlanRecovery(const std::string& dir);
+
+}  // namespace gvex
+
+#endif  // GVEX_STORE_RECOVERY_H_

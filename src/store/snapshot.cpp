@@ -1,6 +1,7 @@
 #include "store/snapshot.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -243,6 +244,61 @@ Result<SnapshotData> ParseSnapshot(const std::string& bytes) {
   if (!in.done()) {
     return Status::InvalidArgument("trailing bytes after snapshot footer");
   }
+
+  // Cross-validate postings against views before returning: the warm-start
+  // index (PatternIndex::FromStored) serves these structures under
+  // build-time invariants — every tier pattern has a posting, coverage
+  // bitsets are sized to their view's subgraph list — so a CRC-valid but
+  // logically inconsistent file must fail the load here, not crash (or
+  // silently mis-answer) a query later.
+  std::map<std::string, const StoredPostings*> by_code;
+  for (const StoredPostings& p : data.postings) {
+    if (!by_code.emplace(p.code, &p).second) {
+      return Status::InvalidArgument("duplicate posting code");
+    }
+  }
+  for (const auto& [label, view] : data.views) {
+    for (size_t pos = 0; pos < view.patterns.size(); ++pos) {
+      if (by_code.find(view.patterns[pos].canonical_code()) ==
+          by_code.end()) {
+        return Status::InvalidArgument(StrFormat(
+            "tier pattern %zu of label %d has no posting", pos, label));
+      }
+    }
+  }
+  for (const StoredPostings& p : data.postings) {
+    std::vector<int> tier_labels;
+    tier_labels.reserve(p.tier_position.size());
+    for (const auto& [label, pos] : p.tier_position) {
+      auto view = data.views.find(label);
+      if (view == data.views.end() || pos < 0 ||
+          static_cast<size_t>(pos) >= view->second.patterns.size() ||
+          view->second.patterns[static_cast<size_t>(pos)].canonical_code() !=
+              p.code) {
+        return Status::InvalidArgument(StrFormat(
+            "posting tier position (%d, %d) does not match its view", label,
+            pos));
+      }
+      tier_labels.push_back(label);
+    }
+    if (p.labels != tier_labels) {
+      return Status::InvalidArgument(
+          "posting labels disagree with its tier positions");
+    }
+    if (p.subgraph_bits.size() != data.views.size()) {
+      return Status::InvalidArgument(
+          "posting coverage bitsets do not cover every view label");
+    }
+    for (const auto& [label, bits] : p.subgraph_bits) {
+      auto view = data.views.find(label);
+      if (view == data.views.end() ||
+          bits.size() != (view->second.subgraphs.size() + 63) / 64) {
+        return Status::InvalidArgument(StrFormat(
+            "posting coverage bitset for label %d does not match its view",
+            label));
+      }
+    }
+  }
   return data;
 }
 
@@ -277,7 +333,10 @@ Status SaveSnapshot(const std::string& path, const SnapshotData& data) {
                                      tmp.c_str(), path.c_str(),
                                      std::strerror(errno)));
   }
-  return Status::OK();
+  // The rename is a directory-entry mutation: without a directory fsync a
+  // power loss can undo it even though the file bytes are on disk — and
+  // Compact resets the WAL on the strength of this snapshot existing.
+  return SyncParentDir(path);
 }
 
 Result<SnapshotData> LoadSnapshot(const std::string& path) {
@@ -305,11 +364,38 @@ Result<std::vector<uint64_t>> ListSnapshotEpochs(const std::string& dir) {
 }
 
 Status EnsureDir(const std::string& dir) {
-  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
-    return Status::OK();
+  if (::mkdir(dir.c_str(), 0755) == 0) {
+    // The new directory's own entry must be durable before anything
+    // fsynced INSIDE it can be considered durable.
+    return SyncParentDir(dir);
   }
+  if (errno == EEXIST) return Status::OK();
   return Status::IOError(StrFormat("cannot create directory %s: %s",
                                    dir.c_str(), std::strerror(errno)));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("cannot open directory %s for fsync: %s",
+                                     dir.c_str(), std::strerror(errno)));
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const int sync_errno = errno;
+  ::close(fd);
+  if (!synced) {
+    return Status::IOError(StrFormat("fsync failed for directory %s: %s",
+                                     dir.c_str(),
+                                     std::strerror(sync_errno)));
+  }
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return SyncDir(".");
+  if (slash == 0) return SyncDir("/");
+  return SyncDir(path.substr(0, slash));
 }
 
 Result<int> PruneSnapshots(const std::string& dir, uint64_t keep_epoch) {

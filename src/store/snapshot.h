@@ -83,6 +83,14 @@ Result<std::vector<uint64_t>> ListSnapshotEpochs(const std::string& dir);
 /// Creates `dir` if it does not exist (one level).
 Status EnsureDir(const std::string& dir);
 
+/// fsyncs `dir` itself, making directory-entry mutations (a rename into the
+/// directory, a newly created file) durable across power loss. File-content
+/// fsync alone does not cover the entry.
+Status SyncDir(const std::string& dir);
+
+/// SyncDir on the directory containing `path`.
+Status SyncParentDir(const std::string& path);
+
 /// Deletes snapshot files in `dir` with epoch < `keep_epoch` (compaction
 /// hygiene). Returns the number removed.
 Result<int> PruneSnapshots(const std::string& dir, uint64_t keep_epoch);

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "store/codec.h"
+#include "store/snapshot.h"  // SyncParentDir
 #include "util/string_util.h"
 
 namespace gvex {
@@ -114,6 +115,7 @@ Status WalWriter::Open(const std::string& path, uint64_t truncate_to) {
   Close();
   failed_ = false;
   unsynced_ = 0;
+  bytes_ = 0;  // never leave a stale size behind an error return below
   path_ = path;
 
   struct stat st;
@@ -127,15 +129,41 @@ Status WalWriter::Open(const std::string& path, uint64_t truncate_to) {
       return Status::IOError(StrFormat("cannot create WAL %s: %s",
                                        path.c_str(), std::strerror(errno)));
     }
+    // Any failure below must leave the writer fully CLOSED (not half-open
+    // with a stale size): Append guards only on file_/failed_, and a
+    // half-open writer would accept records at a bogus offset.
+    const auto fail_closed = [this](Status st) {
+      std::fclose(file_);
+      file_ = nullptr;
+      bytes_ = 0;
+      return st;
+    };
     std::string header;
     PutStoreHeader(&header, StoreFileKind::kWal);
     if (std::fwrite(header.data(), 1, header.size(), file_) !=
         header.size()) {
-      return Status::IOError("cannot write WAL header to " + path);
+      return fail_closed(
+          Status::IOError("cannot write WAL header to " + path));
     }
-    std::fflush(file_);
-    ::fsync(::fileno(file_));
+    // An unchecked header fsync would let Open succeed while the header
+    // may never reach disk — recovery would then read a torn header and
+    // silently treat every acknowledged append as an empty log.
+    if (std::fflush(file_) != 0) {
+      return fail_closed(Status::IOError("WAL flush failed for " + path));
+    }
+    if (::fsync(::fileno(file_)) != 0) {
+      return fail_closed(
+          Status::IOError(StrFormat("WAL fsync failed for %s: %s",
+                                    path.c_str(), std::strerror(errno))));
+    }
     bytes_ = header.size();
+    if (!exists) {
+      // A brand-new file is a directory-entry mutation; without a
+      // directory fsync, power loss can leave acknowledged (file-fsynced)
+      // appends in a file that no longer has a name.
+      Status synced = SyncParentDir(path);
+      if (!synced.ok()) return fail_closed(std::move(synced));
+    }
     return Status::OK();
   }
 
@@ -228,8 +256,12 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Reset() {
-  if (file_ == nullptr) {
-    return Status::FailedPrecondition("WAL is not open");
+  // Deliberately usable with the file closed (and with failed_ latched):
+  // callers only Reset when every logged record is covered by a snapshot,
+  // so rewriting a fresh header is always safe — and it is the recovery
+  // path for a writer that a failed rollback or reset left wedged.
+  if (path_.empty()) {
+    return Status::FailedPrecondition("WAL was never opened");
   }
   const std::string path = path_;
   const int sync_every = sync_every_;

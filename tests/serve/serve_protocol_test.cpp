@@ -195,13 +195,50 @@ TEST_F(ServeProtocolTest, OpenSaveCompactRoundTripThroughSession) {
   EXPECT_EQ(out, "ok compacted epoch 2\n");
 
   // A brand-new session re-opens the directory and sees the recovered
-  // store: both labels, epoch 2.
+  // store: both labels, epoch 2. The first session must release the store
+  // first — one writer per directory (the store lock).
   ServeSession fresh;
   fresh.service = service_.get();
   fresh.db = &store_.db;
+  out = ServeText(&fresh, "open " + dir.path() + "\n");
+  EXPECT_TRUE(StartsWith(out, "err ")) << out;  // still held by `session`
+  session.owned.reset();
+  session.service = nullptr;
   out = ServeText(&fresh, "open " + dir.path() + "\nlabels\n");
   EXPECT_NE(out.find("epoch 2 labels 2"), std::string::npos) << out;
   EXPECT_NE(out.find("ids 0 1"), std::string::npos) << out;
+
+  // Re-opening the SAME directory from the session that holds it is a
+  // reload, not a lock conflict.
+  out = ServeText(&fresh, "open " + dir.path() + "\n");
+  EXPECT_TRUE(StartsWith(out, "ok open ")) << out;
+  EXPECT_NE(out.find("epoch 2"), std::string::npos) << out;
+}
+
+// The documented session contract: a caller may start with NO service and
+// issue `open` first. Any other verb before that must err, not crash.
+TEST_F(ServeProtocolTest, SessionWithoutServiceRequiresOpenFirst) {
+  testing::ScratchDir dir;
+  ASSERT_TRUE(dir.ok());
+
+  ServeSession session;  // service == nullptr
+  session.db = &store_.db;
+  std::string out = ServeText(&session, "labels\nstats\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "err no service open (use 'open <dir>')");
+  EXPECT_EQ(lines[1], "err no service open (use 'open <dir>')");
+
+  // `open` then works and subsequent verbs hit the opened service.
+  out = ServeText(&session, "open " + dir.path() + "\nlabels\n");
+  EXPECT_TRUE(StartsWith(out, "ok open ")) << out;
+  EXPECT_NE(out.find("ok 0"), std::string::npos) << out;
+
+  // `quit` needs no service: a session that never opened one still gets
+  // the documented acknowledgment.
+  ServeSession idle;
+  idle.db = &store_.db;
+  EXPECT_EQ(ServeText(&idle, "quit\n"), "ok bye\n");
 }
 
 TEST_F(ServeProtocolTest, OpenNeedsADirectoryArgument) {

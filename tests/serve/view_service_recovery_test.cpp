@@ -116,6 +116,22 @@ TEST_F(RecoveryTest, EmptyDirectoryOpensAsEpochZero) {
   EXPECT_TRUE(service->Labels().empty());
 }
 
+// One writer per store directory: a second Open while the first service is
+// live (e.g. an "offline" compaction racing a server) must fail fast
+// instead of truncating the WAL under the live writer's feet.
+TEST_F(RecoveryTest, SecondOpenOnALiveStoreFailsFast) {
+  auto first = OpenDurable();
+  ASSERT_NE(first, nullptr);
+  auto second = ViewService::Open(dir_.path(), &store_.db, {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition())
+      << second.status().ToString();
+  // Closing the first service releases the lock.
+  first.reset();
+  auto reopened = OpenDurable();
+  EXPECT_NE(reopened, nullptr);
+}
+
 TEST_F(RecoveryTest, InMemoryServiceRefusesSaveAndCompact) {
   ViewService service(&store_.db);
   EXPECT_FALSE(service.durable());
@@ -178,6 +194,7 @@ TEST_F(RecoveryTest, CompactFoldsWalAndStaysBitIdentical) {
     auto compacted = durable->Compact();
     ASSERT_TRUE(compacted.ok());
     EXPECT_EQ(compacted.value(), static_cast<uint64_t>(store_.views.size()));
+    EXPECT_EQ(durable->stats().last_compact_error, "");
   }
   // After compaction the WAL is empty and exactly one snapshot remains.
   auto replay = ReplayWal(dir_.File(WalFileName()));
@@ -398,6 +415,88 @@ TEST_F(RecoveryTest, UnreachableNewestSnapshotFailsStop) {
   auto recovered = OpenDurable(options);
   ASSERT_NE(recovered, nullptr);
   EXPECT_EQ(recovered->epoch(), 1u);
+}
+
+// The non-empty-WAL variant of the fail-stop: Compact at epoch 2 reset the
+// WAL, admissions 3.. were logged, then snapshot-2 corrupted while
+// snapshot-1 survived (prune_snapshots off). Replay onto snapshot-1 would
+// end at the newest epoch — the final-epoch comparison alone cannot see
+// that epoch 2's admission was silently dropped. The epoch GAP between the
+// loaded snapshot (1) and the first WAL record (3) must fail-stop.
+TEST_F(RecoveryTest, WalEpochGapAfterCompactFailsStop) {
+  ViewServiceOptions options;
+  options.store.prune_snapshots = false;  // keep the older snapshot around
+  {
+    auto durable = OpenDurable(options);
+    ASSERT_NE(durable, nullptr);
+    ASSERT_TRUE(durable->AdmitView(store_.views[0]).ok());
+    ASSERT_TRUE(durable->Save().ok());       // snapshot-1 survives
+    ASSERT_TRUE(durable->AdmitView(store_.views[1]).ok());
+    ASSERT_TRUE(durable->Compact().ok());    // snapshot-2, WAL reset
+    ASSERT_TRUE(durable->AdmitView(store_.views[2]).ok());  // WAL: epoch 3
+  }
+  const std::string newest = dir_.File(SnapshotFileName(2));
+  std::string bytes;
+  {
+    std::ifstream f(newest, std::ios::binary);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x5A);
+  {
+    std::ofstream f(newest, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  auto opened = ViewService::Open(dir_.path(), &store_.db, options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsIOError());
+  EXPECT_NE(opened.status().message().find("cannot attach"),
+            std::string::npos)
+      << opened.status().ToString();
+
+  // Deleting the corrupt snapshot does not help — the WAL still cannot
+  // attach epoch 3 to snapshot-1; the gap keeps the store fail-stopped.
+  ASSERT_EQ(std::remove(newest.c_str()), 0);
+  opened = ViewService::Open(dir_.path(), &store_.db, options);
+  ASSERT_FALSE(opened.ok());
+
+  // The operator accepts losing epochs 2.. by deleting the WAL too;
+  // recovery then lands cleanly on snapshot-1.
+  ASSERT_EQ(std::remove(dir_.File(WalFileName()).c_str()), 0);
+  auto recovered = OpenDurable(options);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->epoch(), 1u);
+}
+
+// Recovery must answer with the match semantics recorded in the snapshot,
+// not the caller's defaults — symmetrically on the posting-decode and the
+// WAL-replay (index rebuild) paths. Otherwise the same store would answer
+// differently depending on whether a WAL record existed at reopen, and a
+// later Compact would persist the wrong options.
+TEST_F(RecoveryTest, RecoveryAdoptsTheSnapshotsMatchOptions) {
+  ViewServiceOptions non_induced;
+  non_induced.index.match.semantics = MatchSemantics::kNonInduced;
+  {
+    auto durable = OpenDurable(non_induced);
+    ASSERT_NE(durable, nullptr);
+    ASSERT_TRUE(durable->AdmitView(store_.views[0]).ok());
+    ASSERT_TRUE(durable->Save().ok());                      // snapshot-1
+    ASSERT_TRUE(durable->AdmitView(store_.views[1]).ok());  // WAL-only
+  }
+  // Reopen with DEFAULT (induced) options: the WAL record forces an index
+  // rebuild, which must still use the stored kNonInduced semantics.
+  auto recovered = OpenDurable();
+  ASSERT_NE(recovered, nullptr);
+  ASSERT_TRUE(recovered->Save().ok());  // records the rebuilt options
+  auto epochs = ListSnapshotEpochs(dir_.path());
+  ASSERT_TRUE(epochs.ok());
+  auto snapshot =
+      LoadSnapshot(dir_.File(SnapshotFileName(epochs.value().back())));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(static_cast<int>(snapshot.value().match.semantics),
+            static_cast<int>(MatchSemantics::kNonInduced));
 }
 
 // A crash between WAL creation and the header reaching disk leaves a

@@ -75,6 +75,48 @@ TEST(SnapshotTest, SerializeParseRoundTripsEverything) {
   }
 }
 
+// A CRC-valid file whose postings are logically inconsistent with its
+// views must fail the load: the warm-start index (FromStored) serves both
+// structures under build-time invariants — tier patterns always indexed,
+// coverage bitsets sized to their view's subgraph list — so accepting
+// such a file would crash or silently mis-answer queries later.
+TEST(SnapshotTest, LogicallyInconsistentSnapshotsAreRejected) {
+  auto store = synthetic::MakeSyntheticStore(9, /*num_labels=*/2);
+  std::map<int, ExplanationView> views;
+  for (const auto& v : store.views) views[v.label] = v;
+  auto index = PatternIndex::Build(views, &store.db);
+  const SnapshotData data = MakeSnapshot(store, index, 7);
+  ASSERT_TRUE(ParseSnapshot(SerializeSnapshot(data)).ok());
+  ASSERT_FALSE(data.postings.empty());
+
+  {
+    // A tier pattern whose posting is missing.
+    SnapshotData broken = data;
+    broken.postings.pop_back();
+    EXPECT_FALSE(ParseSnapshot(SerializeSnapshot(broken)).ok());
+  }
+  {
+    // A coverage bitset with fewer words than the view's subgraph list.
+    SnapshotData broken = data;
+    ASSERT_FALSE(broken.postings[0].subgraph_bits.empty());
+    broken.postings[0].subgraph_bits.begin()->second.clear();
+    EXPECT_FALSE(ParseSnapshot(SerializeSnapshot(broken)).ok());
+  }
+  {
+    // A tier position pointing at a label the snapshot does not hold.
+    SnapshotData broken = data;
+    broken.postings[0].tier_position[99] = 0;
+    EXPECT_FALSE(ParseSnapshot(SerializeSnapshot(broken)).ok());
+  }
+  {
+    // A tier position pointing past its view's pattern list.
+    SnapshotData broken = data;
+    ASSERT_FALSE(broken.postings[0].tier_position.empty());
+    broken.postings[0].tier_position.begin()->second += 1000;
+    EXPECT_FALSE(ParseSnapshot(SerializeSnapshot(broken)).ok());
+  }
+}
+
 TEST(SnapshotTest, SerializationIsDeterministic) {
   auto store = synthetic::MakeSyntheticStore(7, /*num_labels=*/2);
   std::map<int, ExplanationView> views;

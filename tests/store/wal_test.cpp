@@ -212,6 +212,24 @@ TEST_F(WalTest, AppendWithoutOpenFailsCleanly) {
   EXPECT_TRUE(wal.Reset().IsFailedPrecondition());
 }
 
+// Reset is the recovery path for a writer that a failed rollback or reset
+// left closed (callers only Reset when a snapshot covers the log), so it
+// must work from the closed state too.
+TEST_F(WalTest, ResetRecoversAClosedWriter) {
+  WalWriter wal;
+  ASSERT_TRUE(wal.Open(path_, 0).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, {store_.views[0]})).ok());
+  wal.Close();
+  EXPECT_FALSE(wal.is_open());
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_TRUE(wal.is_open());
+  EXPECT_EQ(wal.file_bytes(), kStoreHeaderBytes);
+  ASSERT_TRUE(wal.Append(MakeRecord(1, {store_.views[1]})).ok());
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value().records.size(), 1u);
+}
+
 TEST_F(WalTest, GarbageFileIsRejected) {
   WriteFileBytes(path_, "this is not a WAL at all, not even close");
   EXPECT_FALSE(ReplayWal(path_).ok());

@@ -26,6 +26,7 @@
 #include "serve/synthetic_store.h"
 #include "serve/view_service.h"
 #include "store/codec.h"
+#include "store/recovery.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 #include "util/string_util.h"
@@ -151,7 +152,6 @@ int CmdVerify(const std::string& dir) {
   auto epochs = ListSnapshotEpochs(dir);
   if (!epochs.ok()) return Fail(epochs.status().ToString());
   int bad = 0;
-  bool have_valid_snapshot = false;
   for (uint64_t epoch : epochs.value()) {
     const std::string path = dir + "/" + SnapshotFileName(epoch);
     auto loaded = LoadSnapshot(path);
@@ -160,7 +160,6 @@ int CmdVerify(const std::string& dir) {
                   path.c_str(), static_cast<unsigned long long>(epoch),
                   loaded.value().views.size(),
                   loaded.value().postings.size());
-      have_valid_snapshot = true;
     } else {
       std::printf("BAD  %s: %s\n", path.c_str(),
                   loaded.status().ToString().c_str());
@@ -169,32 +168,36 @@ int CmdVerify(const std::string& dir) {
   }
 
   const std::string wal_path = dir + "/" + WalFileName();
-  bool wal_usable = true;
   auto replay = ReplayWal(wal_path);
   if (replay.ok()) {
-    std::printf("%s %s (%zu records%s)\n",
-                replay.value().torn_tail ? "torn" : "ok  ", wal_path.c_str(),
-                replay.value().records.size(),
-                replay.value().torn_tail ? ", tail dropped on recovery" : "");
+    const WalReplay& log = replay.value();
+    std::printf("%s %s (%zu records%s)\n", log.torn_tail ? "torn" : "ok  ",
+                wal_path.c_str(), log.records.size(),
+                log.torn_tail ? ", tail dropped on recovery" : "");
   } else if (replay.status().IsNotFound()) {
     std::printf("none %s (no WAL yet)\n", wal_path.c_str());
   } else {
     std::printf("BAD  %s: %s\n", wal_path.c_str(),
                 replay.status().ToString().c_str());
-    wal_usable = false;
   }
 
-  // The store is healthy when recovery has something valid to start from:
-  // either no snapshots at all (fresh store) or at least one that loads,
-  // and a usable (possibly torn, possibly absent) WAL.
-  const bool healthy =
-      wal_usable && (epochs.value().empty() || have_valid_snapshot);
+  // The verdict is the SAME code path ViewService::Open uses
+  // (store/recovery.h), so this tool can never call a store recoverable
+  // that Open refuses: snapshot validity, WAL epoch contiguity, and
+  // acknowledged-epoch reachability are all checked there. That re-reads
+  // the newest snapshot and the WAL after the listing above — accepted:
+  // a diagnostic pays double I/O to keep the verdict in one place.
+  auto plan = PlanRecovery(dir);
   if (bad > 0) {
     std::printf("%d corrupt snapshot(s)%s\n", bad,
-                healthy ? " (recovery falls back to an older epoch)" : "");
+                plan.ok() ? " (recovery falls back to an older epoch)" : "");
   }
-  if (!healthy) return Fail("store cannot recover");
-  std::printf("store %s is recoverable\n", dir.c_str());
+  if (!plan.ok()) {
+    return Fail("store cannot recover: " + plan.status().ToString());
+  }
+  std::printf("store %s is recoverable (recovery reaches epoch %llu)\n",
+              dir.c_str(),
+              static_cast<unsigned long long>(plan.value().final_epoch));
   return 0;
 }
 
@@ -202,21 +205,15 @@ int CmdCompact(const std::string& dir) {
   // Offline compaction has no graph database. Compacting a
   // database-indexed store without it would rewrite the snapshot with the
   // db postings stripped (and prune the snapshots that still have them) —
-  // refuse instead of silently downgrading the store.
-  auto epochs = ListSnapshotEpochs(dir);
-  if (epochs.ok()) {
-    for (auto it = epochs.value().rbegin(); it != epochs.value().rend();
-         ++it) {
-      auto snapshot = LoadSnapshot(dir + "/" + SnapshotFileName(*it));
-      if (!snapshot.ok()) continue;
-      if (snapshot.value().database_indexed) {
-        return Fail(
-            "store is database-indexed; offline compaction would drop its "
-            "db postings — compact from a service that has the database "
-            "(gvex_serve --store " + dir + " --graphs ... + `compact`)");
-      }
-      break;  // newest valid snapshot is not db-indexed: safe to proceed
-    }
+  // refuse instead of silently downgrading the store. (An unrecoverable
+  // store falls through: Open below fails with the precise verdict.)
+  auto plan = PlanRecovery(dir);
+  if (plan.ok() && plan.value().have_snapshot &&
+      plan.value().snapshot.database_indexed) {
+    return Fail(
+        "store is database-indexed; offline compaction would drop its "
+        "db postings — compact from a service that has the database "
+        "(gvex_serve --store " + dir + " --graphs ... + `compact`)");
   }
   auto service = ViewService::Open(dir, nullptr);
   if (!service.ok()) return Fail(service.status().ToString());
