@@ -89,6 +89,21 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
   }
   if (kw == "save") {
     req.kind = ServeRequest::Kind::kSave;
+    if (head.size() > 2) {
+      // "save --delta --full" must not silently win by first flag.
+      return Status::InvalidArgument(
+          "'save' takes at most one flag (--delta or --full)");
+    }
+    if (head.size() == 2) {
+      if (head[1] == "--delta") {
+        req.save_kind = SaveKind::kDelta;
+      } else if (head[1] == "--full") {
+        req.save_kind = SaveKind::kFull;
+      } else {
+        return Status::InvalidArgument("bad save flag '" + head[1] +
+                                       "' (use --delta or --full)");
+      }
+    }
     return req;
   }
   if (kw == "compact") {
@@ -210,17 +225,21 @@ std::string HandleServeRequest(ViewService* service,
     case ServeRequest::Kind::kStats: {
       const ViewServiceStats s = service->stats();
       return StrFormat(
-          "ok stats epoch %llu labels %d codes %d cache_hits %llu "
-          "cache_misses %llu hit_rate %.4f\n",
+          "ok stats epoch %llu labels %d codes %d admitted %llu "
+          "batches %llu cache_hits %llu cache_misses %llu hit_rate %.4f\n",
           static_cast<unsigned long long>(s.epoch), s.num_labels,
-          s.num_codes, static_cast<unsigned long long>(s.cache_hits),
+          s.num_codes, static_cast<unsigned long long>(s.admitted_views),
+          static_cast<unsigned long long>(s.admitted_batches),
+          static_cast<unsigned long long>(s.cache_hits),
           static_cast<unsigned long long>(s.cache_misses), s.hit_rate());
     }
     case ServeRequest::Kind::kSave: {
-      auto epoch = service->Save();
-      if (!epoch.ok()) return "err " + epoch.status().ToString() + "\n";
-      return StrFormat("ok saved epoch %llu\n",
-                       static_cast<unsigned long long>(epoch.value()));
+      auto saved = service->Save(req.save_kind);
+      if (!saved.ok()) return "err " + saved.status().ToString() + "\n";
+      const SaveInfo& info = saved.value();
+      return StrFormat("ok saved epoch %llu %s\n",
+                       static_cast<unsigned long long>(info.epoch),
+                       !info.wrote ? "noop" : info.delta ? "delta" : "full");
     }
     case ServeRequest::Kind::kCompact: {
       auto epoch = service->Compact();

@@ -18,15 +18,26 @@
 //     <view block>                    (live admission: published as a new
 //                                      snapshot without blocking readers)
 //   stats                          -> ok stats epoch <e> labels <n> codes <c>
+//                                       admitted <v> batches <b>
 //                                       cache_hits <h> cache_misses <m>
 //                                       hit_rate <r>
 //                                      (r = hits / (hits + misses), 0 when
-//                                       the cache has seen no lookups)
+//                                       the cache has seen no lookups;
+//                                       epoch/labels/codes/admitted/batches
+//                                       come from ONE published snapshot —
+//                                       never a torn mid-batch view;
+//                                       admitted/batches count since this
+//                                       service was constructed/Opened,
+//                                       like the cache counters — they are
+//                                       not persisted across restarts)
 //   open <dir>                     -> ok open <dir> epoch <e> labels <n>
 //                                      (switches the SESSION onto a durable
 //                                       ViewService::Open(dir) service;
 //                                       session-owned — needs ServeSession)
-//   save                           -> ok saved epoch <e>
+//   save [--delta|--full]          -> ok saved epoch <e> <full|delta|noop>
+//                                      (no flag: the size policy picks;
+//                                       noop = the epoch was already
+//                                       persisted, nothing written)
 //   compact                        -> ok compacted epoch <e>
 //                                      (save/compact answer "err ..." on a
 //                                       service without a store directory)
@@ -75,6 +86,10 @@ struct ServeRequest {
   Pattern pattern;       ///< For kGraphs / kLabelsOf / kDbGraphs.
   ExplanationView view;  ///< For kAdmit.
   std::string dir;       ///< For kOpen.
+  /// For kSave: plain `save` is kAuto (the service's size policy picks
+  /// full vs delta), `save --delta` forces an incremental snapshot,
+  /// `save --full` a whole-epoch one.
+  SaveKind save_kind = SaveKind::kAuto;
 };
 
 /// Per-connection protocol state. `service` is the current target; the

@@ -154,6 +154,27 @@ inline SyntheticStore MakeSyntheticStore(uint64_t seed, int num_labels) {
   return MakeSyntheticStore(seed, opt);
 }
 
+/// Version `version` of a label's view: the same patterns rotated by
+/// `version`. Distinct versions are observably different (tier order is
+/// part of every answer), deterministic, and cheap to regenerate anywhere
+/// — the admission workload for the crash/interleaving harness and the
+/// store benchmarks.
+inline ExplanationView VersionedView(const SyntheticStore& store, int label,
+                                     int version) {
+  ExplanationView view = store.views[static_cast<size_t>(label)];
+  const size_t n = view.patterns.size();
+  if (n > 1) {
+    std::vector<Pattern> rotated;
+    rotated.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rotated.push_back(
+          view.patterns[(i + static_cast<size_t>(version)) % n]);
+    }
+    view.patterns = std::move(rotated);
+  }
+  return view;
+}
+
 }  // namespace synthetic
 }  // namespace gvex
 

@@ -98,50 +98,113 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
       return Status::InvalidArgument("cannot admit a view without a label");
     }
   }
-  uint64_t published = 0;
-  uint64_t wal_bytes = 0;
-  {
-    // Writers serialize here; readers are untouched. Everything below —
-    // the WAL append, the views-map copy, and the index rebuild — happens
-    // on the NEXT snapshot, off to the side of the published one.
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    std::shared_ptr<const Snapshot> cur = Load();
-    published = cur->epoch + 1;
-    if (store_ != nullptr) {
-      if (store_->wal_needs_reset.load()) {
-        // A previous Compact saved its snapshot but could not reset the
-        // WAL; the snapshot covers every logged record, so retrying here
-        // is safe — and un-wedges a writer the failure left closed. The
-        // admission must NOT proceed while the reset is still pending: an
-        // appended-then-reset record would be an acknowledged admission
-        // destroyed by the next successful reset.
-        GVEX_RETURN_NOT_OK(store_->wal.Reset());
-        store_->wal_needs_reset.store(false);
+  // Single-writer combining queue: every caller enqueues; the first one to
+  // find no active leader becomes the leader and publishes every queued
+  // admission as one epoch (one WAL append + fsync, one index rebuild —
+  // the expensive parts amortize over the whole batch). Later arrivals
+  // just sleep until a leader marks their waiter done, so admission
+  // throughput under load is bounded by batches, not callers. Leadership
+  // is TENURE-BOUNDED: once the leader's own admission is published it
+  // serves at most a couple more rounds and then hands the role to a
+  // queued waiter — a sustained stream of admitters can therefore never
+  // hold one caller's AdmitViews hostage indefinitely.
+  AdmitWaiter me;
+  me.views = std::move(views);
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  admit_queue_.push_back(&me);
+  // Returns immediately when there is no active leader (or a leader
+  // already served us); otherwise sleeps until one of those holds.
+  admit_cv_.wait(lock, [&] { return me.done || !admit_leader_active_; });
+  if (!me.done) {
+    // No active leader and our admission is still queued: lead.
+    admit_leader_active_ = true;
+    constexpr int kLeaderExtraRounds = 2;
+    int extra_rounds = 0;
+    while (!admit_queue_.empty()) {
+      if (me.done && ++extra_rounds > kLeaderExtraRounds) break;
+      std::vector<AdmitWaiter*> batch;
+      batch.swap(admit_queue_);
+      lock.unlock();
+      uint64_t published = 0;
+      uint64_t wal_bytes = 0;
+      const Status status = AdmitCombined(batch, &published, &wal_bytes);
+      // Outside both locks: compaction takes the writer lock itself.
+      MaybeScheduleCompact(wal_bytes);
+      lock.lock();
+      for (AdmitWaiter* waiter : batch) {
+        waiter->status = status;
+        waiter->epoch = published;
+        waiter->done = true;
       }
-      // Log-before-publish: if the append fails, nothing was admitted —
-      // the caller sees the error and the published state is unchanged.
-      WalRecord record;
-      record.epoch = published;
-      record.views = std::move(views);
-      const Status logged = store_->wal.Append(record);
-      views = std::move(record.views);  // Append only reads the record
-      GVEX_RETURN_NOT_OK(logged);
+      admit_cv_.notify_all();
     }
-    auto next_views =
-        std::make_shared<std::map<int, ExplanationView>>(*cur->views);
-    for (ExplanationView& v : views) {
-      (*next_views)[v.label] = std::move(v);
+    admit_leader_active_ = false;
+    if (!admit_queue_.empty()) {
+      // Tenure expired with work still queued: wake the waiters so one
+      // of them takes over as leader.
+      admit_cv_.notify_all();
     }
-    auto next = std::make_shared<Snapshot>();
-    next->epoch = published;
-    next->views = std::move(next_views);
-    next->index = PatternIndex::Build(next->views, db_, options_.index);
-    Publish(std::move(next));
-    wal_bytes = store_ != nullptr ? store_->wal.file_bytes() : 0;
   }
-  // Outside the writer lock: compaction takes the lock itself.
-  MaybeScheduleCompact(wal_bytes);
-  return published;
+  lock.unlock();
+  GVEX_RETURN_NOT_OK(me.status);
+  return me.epoch;
+}
+
+Status ViewService::AdmitCombined(const std::vector<AdmitWaiter*>& batch,
+                                  uint64_t* published, uint64_t* wal_bytes) {
+  // Writers serialize here; readers are untouched. Everything below — the
+  // WAL append, the views-map copy, and the index rebuild — happens on the
+  // NEXT snapshot, off to the side of the published one.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> cur = Load();
+  *published = cur->epoch + 1;
+  *wal_bytes = 0;
+  // One WAL record for the whole combined batch (the record's epoch still
+  // bumps by exactly one, so recovery's contiguity invariant holds); views
+  // are applied in queue order, so a caller's own ordering is preserved
+  // and the last admission of a label wins.
+  WalRecord record;
+  record.epoch = *published;
+  size_t total = 0;
+  for (const AdmitWaiter* waiter : batch) total += waiter->views.size();
+  record.views.reserve(total);
+  for (AdmitWaiter* waiter : batch) {
+    for (ExplanationView& v : waiter->views) {
+      record.views.push_back(std::move(v));
+    }
+  }
+  if (store_ != nullptr) {
+    if (store_->wal_needs_reset.load()) {
+      // A previous Compact saved its snapshot but could not reset the
+      // WAL; the snapshot covers every logged record, so retrying here
+      // is safe — and un-wedges a writer the failure left closed. The
+      // admission must NOT proceed while the reset is still pending: an
+      // appended-then-reset record would be an acknowledged admission
+      // destroyed by the next successful reset.
+      GVEX_RETURN_NOT_OK(store_->wal.Reset());
+      store_->wal_needs_reset.store(false);
+    }
+    // Log-before-publish: if the append fails, nothing was admitted — the
+    // whole batch sees the error and the published state is unchanged.
+    GVEX_RETURN_NOT_OK(store_->wal.Append(record));
+    for (const ExplanationView& v : record.views) {
+      store_->dirty_labels.insert(v.label);
+    }
+  }
+  auto next_views =
+      std::make_shared<std::map<int, ExplanationView>>(*cur->views);
+  for (ExplanationView& v : record.views) {
+    (*next_views)[v.label] = std::move(v);
+  }
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = *published;
+  next->views = std::move(next_views);
+  next->index = PatternIndex::Build(next->views, db_, options_.index);
+  next->admitted_views = cur->admitted_views + total;
+  next->admitted_batches = cur->admitted_batches + batch.size();
+  Publish(std::move(next));
+  if (store_ != nullptr) *wal_bytes = store_->wal.file_bytes();
+  return Status::OK();
 }
 
 uint64_t ViewService::epoch() const { return Load()->epoch; }
@@ -324,9 +387,14 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
   auto views = std::make_shared<std::map<int, ExplanationView>>(
       std::move(plan.snapshot.views));
   bool replayed_any = false;
+  std::set<int> dirty;
   for (WalRecord& record : plan.replay.records) {
-    if (record.epoch <= plan.snapshot.epoch) continue;  // already folded
+    // Records at or below the chain tip were folded into the base or a
+    // delta already (Save never resets the WAL, so the log overlaps the
+    // chain); applying them again would be a no-op anyway — skip.
+    if (record.epoch <= plan.snapshot.epoch) continue;
     for (ExplanationView& v : record.views) {
+      dirty.insert(v.label);
       (*views)[v.label] = std::move(v);
     }
     replayed_any = true;
@@ -336,13 +404,13 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
     auto next = std::make_shared<Snapshot>();
     next->epoch = plan.final_epoch;
     next->views = std::move(views);
-    if (replayed_any) {
-      // WAL admissions changed the view set — one scratch index build
-      // over the recovered state.
+    if (replayed_any || !plan.postings_valid) {
+      // WAL admissions or folded deltas changed the view set — one
+      // scratch index build over the recovered state.
       next->index = PatternIndex::Build(next->views, db, options.index);
     } else {
-      // Pure-snapshot warm start: decode the postings, skip the
-      // isomorphism cross-product entirely.
+      // Pure-base warm start: decode the postings, skip the isomorphism
+      // cross-product entirely.
       next->index =
           PatternIndex::FromStored(next->views, db, plan.snapshot.match,
                                    plan.snapshot.database_indexed,
@@ -350,6 +418,14 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
     }
     service->Publish(std::move(next));
   }
+
+  // Chain bookkeeping: the tip is what the resolved chain persists; WAL
+  // records beyond it are the dirty set the next delta save must carry.
+  store->persisted_epoch = plan.snapshot.epoch;
+  store->base_epoch = plan.base_epoch;
+  store->have_base = plan.have_snapshot;
+  store->chain_length = static_cast<int>(plan.chain.size());
+  store->dirty_labels = std::move(dirty);
 
   store->wal.set_sync_every(options.store.wal_sync_every);
   // Dropping a torn tail here is safe: those bytes never published (the
@@ -368,18 +444,82 @@ Status ViewService::SaveLocked(const Snapshot& snap) {
   data.database_indexed = snap.index.database_indexed();
   data.views = *snap.views;
   data.postings = snap.index.ExportPostings();
-  return SaveSnapshot(store_->dir + "/" + SnapshotFileName(snap.epoch), data);
+  GVEX_RETURN_NOT_OK(
+      SaveSnapshot(store_->dir + "/" + SnapshotFileName(snap.epoch), data));
+  // A full snapshot roots a fresh chain: everything up to this epoch is
+  // covered by one file again.
+  store_->base_epoch = snap.epoch;
+  store_->have_base = true;
+  store_->persisted_epoch = snap.epoch;
+  store_->chain_length = 0;
+  store_->dirty_labels.clear();
+  return Status::OK();
 }
 
-Result<uint64_t> ViewService::Save() {
+Status ViewService::SaveDeltaLocked(const Snapshot& snap) {
+  DeltaData data;
+  data.epoch = snap.epoch;
+  data.parent_epoch = store_->persisted_epoch;
+  for (int label : store_->dirty_labels) {
+    auto it = snap.views->find(label);
+    if (it != snap.views->end()) data.views.emplace(label, it->second);
+  }
+  GVEX_RETURN_NOT_OK(
+      SaveDelta(store_->dir + "/" + DeltaFileName(snap.epoch), data));
+  store_->persisted_epoch = snap.epoch;
+  ++store_->chain_length;
+  store_->dirty_labels.clear();
+  return Status::OK();
+}
+
+Result<SaveInfo> ViewService::Save(SaveKind kind) {
   if (store_ == nullptr) {
     return Status::FailedPrecondition(
         "Save() requires a durable service (ViewService::Open)");
   }
   std::lock_guard<std::mutex> lock(writer_mu_);
   std::shared_ptr<const Snapshot> snap = Load();
+  SaveInfo info;
+  info.epoch = snap->epoch;
+  const bool have_base = store_->have_base;
+  const bool up_to_date = have_base && snap->epoch == store_->persisted_epoch;
+  if (kind == SaveKind::kFull) {
+    GVEX_RETURN_NOT_OK(SaveLocked(*snap));
+    return info;
+  }
+  if (kind == SaveKind::kDelta) {
+    if (!have_base) {
+      return Status::FailedPrecondition(
+          "a delta save needs a full base snapshot on disk first "
+          "(Save(SaveKind::kFull) or Compact())");
+    }
+    info.delta = true;
+    if (up_to_date) {
+      info.wrote = false;  // the chain already persists this epoch
+      return info;
+    }
+    GVEX_RETURN_NOT_OK(SaveDeltaLocked(*snap));
+    return info;
+  }
+  // kAuto: delta when a base exists, the chain has room, and few enough
+  // labels changed that rewriting the whole store is a waste of I/O.
+  if (up_to_date) {
+    info.wrote = false;
+    return info;
+  }
+  const size_t total = snap->views->size();
+  const bool delta_fits =
+      have_base && options_.store.delta_max_chain > 0 &&
+      store_->chain_length < options_.store.delta_max_chain && total > 0 &&
+      static_cast<double>(store_->dirty_labels.size()) <=
+          options_.store.delta_max_fraction * static_cast<double>(total);
+  if (delta_fits) {
+    GVEX_RETURN_NOT_OK(SaveDeltaLocked(*snap));
+    info.delta = true;
+    return info;
+  }
   GVEX_RETURN_NOT_OK(SaveLocked(*snap));
-  return snap->epoch;
+  return info;
 }
 
 Result<uint64_t> ViewService::Compact() {
@@ -403,6 +543,10 @@ Result<uint64_t> ViewService::Compact() {
     if (options_.store.prune_snapshots) {
       auto pruned = PruneSnapshots(store_->dir, snap->epoch);
       if (!pruned.ok()) return pruned.status();
+      // The fresh full base covers every delta at or below it — the chain
+      // folds back into a single file.
+      auto delta_pruned = PruneDeltas(store_->dir, snap->epoch);
+      if (!delta_pruned.ok()) return delta_pruned.status();
     }
     return snap->epoch;
   }();
@@ -440,10 +584,20 @@ void ViewService::MaybeScheduleCompact(uint64_t wal_bytes) {
 
 ViewServiceStats ViewService::stats() const {
   ViewServiceStats out;
+  // One atomic snapshot load: epoch, label/code counts, and the admission
+  // counters all describe the SAME published epoch — a stats() racing a
+  // batch admission sees the batch entirely or not at all, never an epoch
+  // whose counters have not been published with it.
   std::shared_ptr<const Snapshot> snap = Load();
   out.epoch = snap->epoch;
   out.num_labels = static_cast<int>(snap->views->size());
   out.num_codes = snap->index.num_codes();
+  out.admitted_views = snap->admitted_views;
+  out.admitted_batches = snap->admitted_batches;
+  // One shard lock at a time: a query records its hit or miss under
+  // exactly one shard's lock, so a sequential sum can never split an
+  // individual query's counters — and stats() never pauses the whole
+  // cache.
   for (const auto& shard : cache_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.cache_hits += shard->hits;

@@ -26,14 +26,18 @@
 // on admissions and vice versa.
 //
 // Durability (src/store/): a service constructed via Open(dir) is DURABLE.
-// Every admission is appended to a write-ahead log (store/wal.h) before its
-// snapshot is published; Save() writes the whole current epoch as an
-// epoch-tagged binary snapshot (store/snapshot.h, including the index
-// postings, so reopening decodes the index instead of re-running the
-// isomorphism cross-product); Compact() folds the WAL into a fresh
-// snapshot. Open(dir) warm-starts from the newest valid snapshot plus WAL
-// replay and tolerates torn WAL tails — see the kill-and-restart parity
-// test in tests/serve/view_service_recovery_test.cpp.
+// Every admission batch is appended to a write-ahead log (store/wal.h)
+// before its snapshot is published; Save() persists the current epoch
+// either as a full epoch-tagged snapshot (store/snapshot.h, including the
+// index postings, so reopening decodes the index instead of re-running the
+// isomorphism cross-product) or as an incremental DELTA holding only the
+// views changed since the last persisted image — a size policy picks
+// (DurableStoreOptions), so big stores stop paying O(store) I/O per save.
+// Compact() folds the WAL and any delta chain into a fresh full snapshot.
+// Open(dir) warm-starts from the newest valid snapshot CHAIN (base +
+// delta*, resolved by store/recovery.h) plus WAL replay and tolerates torn
+// WAL tails — see tests/serve/view_service_recovery_test.cpp and the
+// crash/interleaving harness in tests/store/chain_crash_test.cpp.
 
 #ifndef GVEX_SERVE_VIEW_SERVICE_H_
 #define GVEX_SERVE_VIEW_SERVICE_H_
@@ -41,11 +45,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,6 +82,14 @@ struct DurableStoreOptions {
   uint64_t compact_wal_bytes = 0;
   /// Compact() removes snapshot files older than the one it just wrote.
   bool prune_snapshots = true;
+  /// Size policy for Save(SaveKind::kAuto): prefer an incremental (delta)
+  /// snapshot when a full base exists, the chain is shorter than
+  /// `delta_max_chain`, and at most `delta_max_fraction` of the labels
+  /// changed since the last persisted image. Otherwise write a full
+  /// snapshot (which roots a fresh chain). 0 disables auto-deltas.
+  int delta_max_chain = 8;
+  /// Changed-labels / total-labels threshold for the auto policy.
+  double delta_max_fraction = 0.5;
 };
 
 /// Service behavior knobs.
@@ -125,11 +139,38 @@ struct ViewQueryResult {
   uint64_t epoch = 0;
 };
 
-/// Cache counters (monotonic since construction).
+/// What Save() wrote (or would write).
+enum class SaveKind {
+  kAuto,   ///< size policy: delta when cheap, full otherwise
+  kFull,   ///< whole-epoch snapshot (roots a fresh chain)
+  kDelta,  ///< incremental: only views changed since the persisted tip
+};
+
+/// The outcome of one Save().
+struct SaveInfo {
+  uint64_t epoch = 0;  ///< epoch the store now persists up to
+  bool delta = false;  ///< true when an incremental snapshot was written
+  bool wrote = true;   ///< false when the epoch was already persisted
+};
+
+/// Service counters. `epoch` / `num_labels` / `num_codes` / `admitted_*`
+/// are read from ONE published snapshot, so they are mutually consistent —
+/// stats() can never observe an epoch whose admission counters have not
+/// been published with it (no torn view mid-batch).
 struct ViewServiceStats {
-  uint64_t epoch = 0;      ///< Admissions published so far.
+  uint64_t epoch = 0;      ///< Epochs published so far.
   int num_labels = 0;      ///< Labels in the current snapshot.
   int num_codes = 0;       ///< Indexed canonical codes in the snapshot.
+  /// Views admitted SINCE THIS SERVICE WAS CONSTRUCTED (or Opened). Like
+  /// the cache counters, admission counters are process-lifetime state:
+  /// they are not persisted, so a warm-started service restarts them at 0
+  /// even though its recovered epoch is non-zero. Under batched admission
+  /// several AdmitViews calls may publish as one epoch, so admitted_views
+  /// can grow by more than one per epoch.
+  uint64_t admitted_views = 0;
+  /// AdmitView(s) calls folded into published snapshots (same lifetime
+  /// semantics as admitted_views).
+  uint64_t admitted_batches = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   /// Last Compact() failure ("" when compaction never failed or succeeded
@@ -176,26 +217,39 @@ class ViewService {
   /// The store directory ("" when not durable).
   const std::string& store_dir() const;
 
-  /// Writes the current epoch as `snapshot-<epoch>.gvxs` in the store
-  /// directory (atomic tmp+rename; the WAL is kept, so admissions racing
-  /// the save stay recoverable). Returns the epoch saved.
+  /// Persists the current epoch into the store directory (atomic
+  /// tmp+rename; the WAL is kept, so admissions racing the save stay
+  /// recoverable). kFull writes `snapshot-<epoch>.gvxs` and roots a fresh
+  /// chain; kDelta appends `delta-<epoch>.gvxd` holding only the views
+  /// changed since the last persisted image (FailedPrecondition when no
+  /// full base exists yet); kAuto picks by the DurableStoreOptions size
+  /// policy. When the current epoch is already persisted, kAuto/kDelta
+  /// return it without touching disk (`wrote` = false).
   /// FailedPrecondition when the service is not durable.
-  Result<uint64_t> Save();
+  Result<SaveInfo> Save(SaveKind kind = SaveKind::kAuto);
 
-  /// Save() + reset the WAL (every logged admission is now covered by the
-  /// snapshot) + prune older snapshot files (when enabled). Returns the
-  /// epoch compacted into. Safe to call concurrently with admissions and
-  /// queries.
+  /// Full Save() + reset the WAL (every logged admission is now covered by
+  /// the snapshot) + prune older snapshot and delta files (when enabled) —
+  /// chains fold back into a single full base. Returns the epoch compacted
+  /// into. Safe to call concurrently with admissions and queries.
   Result<uint64_t> Compact();
 
   /// Publishes `view` (replacing any previous view for its label) as a new
   /// epoch. The index rebuild happens off to the side; readers keep
   /// serving the previous epoch until the atomic pointer swap. Returns the
-  /// epoch THIS admission published (under concurrent admitters, epoch()
-  /// may already be past it by the time the caller looks).
+  /// epoch THIS admission was published in (under concurrent admitters,
+  /// epoch() may already be past it by the time the caller looks).
   Result<uint64_t> AdmitView(ExplanationView view);
 
-  /// Publishes several views as ONE new epoch (one index rebuild).
+  /// Publishes several views atomically (readers see all or none of them).
+  /// Concurrent AdmitViews callers are COALESCED by a single-writer
+  /// combining queue: one caller becomes the leader and publishes every
+  /// queued admission as ONE epoch with ONE WAL append and ONE index
+  /// rebuild — so admission throughput under load is not bounded by one
+  /// WAL fsync + one rebuild per caller. Leadership is tenure-bounded
+  /// (a leader serves a few rounds past its own admission, then hands
+  /// off), so no caller waits unboundedly. The returned epoch is the
+  /// combined batch's epoch (several concurrent callers may share it).
   Result<uint64_t> AdmitViews(std::vector<ExplanationView> views);
 
   // --- Single queries (each runs on one atomically loaded snapshot and is
@@ -226,6 +280,19 @@ class ViewService {
     uint64_t epoch = 0;
     std::shared_ptr<const std::map<int, ExplanationView>> views;
     PatternIndex index;
+    /// Cumulative admission counters, carried snapshot-to-snapshot so
+    /// stats() reads them consistently WITH the epoch (one atomic load).
+    uint64_t admitted_views = 0;
+    uint64_t admitted_batches = 0;
+  };
+
+  /// One queued AdmitViews call awaiting the combining leader. Lives on
+  /// the caller's stack for the duration of its AdmitViews call.
+  struct AdmitWaiter {
+    std::vector<ExplanationView> views;
+    Status status = Status::OK();
+    uint64_t epoch = 0;
+    bool done = false;
   };
 
   /// One LRU stripe: list front = most recent; map values point into it.
@@ -255,6 +322,18 @@ class ViewService {
     /// store directory; -1 until Open acquires it.
     int lock_fd = -1;
     WalWriter wal;
+    /// Chain bookkeeping, guarded by writer_mu_ (mutated by Save/Compact/
+    /// admissions, all of which hold it). `persisted_epoch` is the newest
+    /// on-disk image (chain tip); `base_epoch` the full snapshot the chain
+    /// roots at (`have_base` distinguishes a genuine epoch-0 base from no
+    /// base at all); `chain_length` the deltas since that base;
+    /// `dirty_labels` the labels admitted since the persisted tip (what
+    /// the next delta must carry).
+    uint64_t persisted_epoch = 0;
+    uint64_t base_epoch = 0;
+    bool have_base = false;
+    int chain_length = 0;
+    std::set<int> dirty_labels;
     /// Set when a Compact saved its snapshot but could not reset the WAL;
     /// every logged record is covered by that snapshot, so the next
     /// admission retries the reset instead of staying wedged.
@@ -274,8 +353,17 @@ class ViewService {
   /// Cache-through execution: looks up (epoch, query) and fills on miss.
   ViewQueryResult ExecuteCached(const Snapshot& snap,
                                 const ViewQuery& q) const;
-  /// Snapshot write for `snap`; requires writer_mu_ held and durable().
+  /// Publishes one combined batch of waiters as ONE epoch (one WAL append,
+  /// one index rebuild). Returns the published epoch via *published and
+  /// the WAL size via *wal_bytes; on error nothing was published.
+  Status AdmitCombined(const std::vector<AdmitWaiter*>& batch,
+                       uint64_t* published, uint64_t* wal_bytes);
+  /// Full-snapshot write for `snap`; requires writer_mu_ held and
+  /// durable(). Resets the chain bookkeeping to root at `snap.epoch`.
   Status SaveLocked(const Snapshot& snap);
+  /// Delta write for `snap` against the persisted tip; requires writer_mu_
+  /// held, durable(), and a full base on disk.
+  Status SaveDeltaLocked(const Snapshot& snap);
   /// Kicks off a background Compact when the WAL outgrew its threshold
   /// (`wal_bytes` is read under the writer lock by the caller).
   void MaybeScheduleCompact(uint64_t wal_bytes);
@@ -287,6 +375,14 @@ class ViewService {
   std::shared_ptr<const Snapshot> snapshot_;
   /// Serializes writers (admissions, snapshot writes, WAL appends).
   std::mutex writer_mu_;
+  /// Combining queue for AdmitViews: callers enqueue under admit_mu_; a
+  /// caller that finds no active leader becomes one and serves combined
+  /// batches for a bounded tenure (see AdmitViews). Waiters sleep on
+  /// admit_cv_ until their waiter is done or leadership frees up.
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  std::vector<AdmitWaiter*> admit_queue_;
+  bool admit_leader_active_ = false;
 
   mutable std::vector<std::unique_ptr<CacheShard>> cache_;
   /// Persistent batch pool (null when options_.batch_workers == 0).

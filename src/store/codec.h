@@ -49,6 +49,8 @@ enum class StoreFileKind : uint32_t {
   kSnapshot = 1,  ///< one whole ViewService epoch (store/snapshot.h)
   kWal = 2,       ///< append-only admission log (store/wal.h)
   kViews = 3,     ///< a bare view list (SaveViewsBinary / LoadViewsBinary)
+  kDelta = 4,     ///< incremental snapshot: views changed since a parent
+                  ///< epoch (store/snapshot.h, chain-resolved on recovery)
 };
 
 /// Total bytes of the fixed file header (magic + version + kind).

@@ -22,27 +22,48 @@ namespace gvex {
 struct RecoveryPlan {
   /// Every snapshot epoch on disk, ascending (loadable or not).
   std::vector<uint64_t> epochs;
-  /// Newest snapshot that validates (default-constructed when none —
-  /// recovery starts from the empty epoch 0).
+  /// Every delta epoch on disk, ascending (loadable or not).
+  std::vector<uint64_t> delta_epochs;
+  /// The resolved chain image: the newest base snapshot that validates
+  /// with every attachable delta folded in. `snapshot.epoch` is the CHAIN
+  /// TIP (base epoch when no delta applied); `snapshot.views` are the
+  /// merged views. Default-constructed when no base exists — recovery
+  /// starts from the empty epoch 0.
   SnapshotData snapshot;
   bool have_snapshot = false;
+  /// Epoch of the base (full) snapshot the chain roots at (equal to
+  /// snapshot.epoch when no delta applied; 0 when no base exists).
+  uint64_t base_epoch = 0;
+  /// Delta epochs folded into `snapshot`, ascending (empty = pure base).
+  std::vector<uint64_t> chain;
+  /// True when `snapshot.postings` still describe `snapshot.views` — i.e.
+  /// no delta was applied. Applying a delta changes the view set, so the
+  /// index must be REBUILT over the merged views (postings are cleared).
+  bool postings_valid = false;
   /// The WAL's longest valid prefix (empty when no WAL file exists).
   WalReplay replay;
   bool have_wal = false;
-  /// The epoch recovery reaches after replaying the WAL onto the snapshot.
+  /// The epoch recovery reaches after replaying the WAL onto the chain.
   uint64_t final_epoch = 0;
 };
 
 /// Computes the recovery plan for `dir` WITHOUT side effects: no WAL
-/// truncation, no lock acquisition, nothing written. Fail-stops (IOError)
-/// when acknowledged state is provably unreachable:
+/// truncation, no lock acquisition, nothing written. Resolves snapshot
+/// CHAINS: for the newest base snapshot that validates, every delta whose
+/// parent epoch matches the chain tip so far is folded in, ascending
+/// (newest valid chain wins; a base that does not validate falls back to
+/// an older one, whose chain may re-attach earlier deltas). Fail-stops
+/// (IOError) when acknowledged state is provably unreachable:
 ///   - snapshot files exist but none validates;
-///   - a WAL record's epoch cannot attach contiguously to the newest
-///     loadable snapshot (admissions bump the epoch by exactly one, so a
-///     gap proves the admissions in between are lost);
-///   - replay ends below the newest on-disk snapshot epoch (that state was
-///     acknowledged, but neither a valid snapshot nor the WAL reaches it).
-/// A directory with no snapshots and no WAL is a fresh store (epoch 0).
+///   - a WAL record's epoch cannot attach contiguously to the chain tip
+///     (admissions bump the epoch by exactly one, so a gap proves the
+///     admissions in between are lost);
+///   - replay ends below the newest on-disk snapshot OR delta epoch (that
+///     state was acknowledged, but neither a valid chain nor the WAL
+///     reaches it — e.g. the newest delta is corrupt and Compact already
+///     reset the WAL).
+/// A directory with no snapshots, deltas, or WAL is a fresh store
+/// (epoch 0).
 Result<RecoveryPlan> PlanRecovery(const std::string& dir);
 
 }  // namespace gvex

@@ -28,6 +28,96 @@ constexpr uint8_t kFooterTag = 4;
 
 constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kSnapshotSuffix[] = ".gvxs";
+constexpr char kDeltaPrefix[] = "delta-";
+constexpr char kDeltaSuffix[] = ".gvxd";
+
+// Width of the zero-padded epoch in canonical store file names (%020llu).
+constexpr size_t kEpochDigits = 20;
+
+// Parses "<prefix><20 digits><suffix>" into the digits' value. Only the
+// CANONICAL form is accepted: an unpadded or overflowing name would list
+// an epoch whose canonical filename does not exist, sending recovery (and
+// pruning) after a phantom file.
+Result<uint64_t> ParseEpochFileName(const std::string& name,
+                                    const std::string& prefix,
+                                    const std::string& suffix) {
+  if (name.size() != prefix.size() + kEpochDigits + suffix.size() ||
+      !StartsWith(name, prefix) ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return Status::NotFound("not a store file name: " + name);
+  }
+  const std::string digits = name.substr(prefix.size(), kEpochDigits);
+  uint64_t epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::NotFound("not a store file name: " + name);
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (epoch > (UINT64_MAX - digit) / 10) {
+      return Status::NotFound("epoch overflows in file name: " + name);
+    }
+    epoch = epoch * 10 + digit;
+  }
+  return epoch;
+}
+
+// Epochs of every "<prefix>NNN<suffix>" file in `dir`, ascending.
+Result<std::vector<uint64_t>> ListEpochFiles(const std::string& dir,
+                                             const std::string& prefix,
+                                             const std::string& suffix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError(StrFormat("cannot list %s: %s", dir.c_str(),
+                                     std::strerror(errno)));
+  }
+  std::vector<uint64_t> epochs;
+  while (struct dirent* entry = ::readdir(d)) {
+    auto epoch = ParseEpochFileName(entry->d_name, prefix, suffix);
+    if (epoch.ok()) epochs.push_back(epoch.value());
+  }
+  ::closedir(d);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+// Atomic file write shared by full snapshots and deltas: write to
+// `<path>.tmp`, fsync the bytes, rename into place, fsync the directory
+// entry — a crash at any point leaves either the old file or the new one,
+// never a torn mix (and recovery ignores stray *.tmp leftovers).
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good()) return Status::IOError("cannot open " + tmp);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f.good()) return Status::IOError("write failed for " + tmp);
+  }
+  // fsync before rename: the rename must never publish an unflushed image
+  // (Compact resets the WAL on the strength of this file, so a skipped or
+  // failed fsync here could lose acknowledged admissions on power loss).
+  FILE* f = std::fopen(tmp.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot reopen %s for fsync: %s",
+                                     tmp.c_str(), std::strerror(errno)));
+  }
+  const bool synced = ::fsync(::fileno(f)) == 0;
+  const int sync_errno = errno;
+  std::fclose(f);
+  if (!synced) {
+    (void)std::remove(tmp.c_str());
+    return Status::IOError(StrFormat("fsync failed for %s: %s", tmp.c_str(),
+                                     std::strerror(sync_errno)));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(StrFormat("rename %s -> %s failed: %s",
+                                     tmp.c_str(), path.c_str(),
+                                     std::strerror(errno)));
+  }
+  // The rename is a directory-entry mutation: without a directory fsync a
+  // power loss can undo it even though the file bytes are on disk.
+  return SyncParentDir(path);
+}
 
 void EncodeMatchOptions(const MatchOptions& m, std::string* dst) {
   PutVarint64(dst, static_cast<uint64_t>(m.semantics));
@@ -119,23 +209,16 @@ std::string SnapshotFileName(uint64_t epoch) {
 }
 
 Result<uint64_t> ParseSnapshotFileName(const std::string& name) {
-  const std::string prefix = kSnapshotPrefix;
-  const std::string suffix = kSnapshotSuffix;
-  if (name.size() <= prefix.size() + suffix.size() ||
-      !StartsWith(name, prefix) ||
-      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-    return Status::NotFound("not a snapshot file name: " + name);
-  }
-  const std::string digits =
-      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
-  uint64_t epoch = 0;
-  for (char c : digits) {
-    if (c < '0' || c > '9') {
-      return Status::NotFound("not a snapshot file name: " + name);
-    }
-    epoch = epoch * 10 + static_cast<uint64_t>(c - '0');
-  }
-  return epoch;
+  return ParseEpochFileName(name, kSnapshotPrefix, kSnapshotSuffix);
+}
+
+std::string DeltaFileName(uint64_t epoch) {
+  return StrFormat("%s%020llu%s", kDeltaPrefix,
+                   static_cast<unsigned long long>(epoch), kDeltaSuffix);
+}
+
+Result<uint64_t> ParseDeltaFileName(const std::string& name) {
+  return ParseEpochFileName(name, kDeltaPrefix, kDeltaSuffix);
 }
 
 std::string SerializeSnapshot(const SnapshotData& data) {
@@ -303,40 +386,104 @@ Result<SnapshotData> ParseSnapshot(const std::string& bytes) {
 }
 
 Status SaveSnapshot(const std::string& path, const SnapshotData& data) {
-  const std::string tmp = path + ".tmp";
+  return AtomicWriteFile(path, SerializeSnapshot(data));
+}
+
+std::string SerializeDelta(const DeltaData& data) {
+  std::string out;
+  PutStoreHeader(&out, StoreFileKind::kDelta);
+
+  std::string meta(1, static_cast<char>(kMetaTag));
+  PutVarint64(&meta, data.epoch);
+  PutVarint64(&meta, data.parent_epoch);
+  PutVarint64(&meta, data.views.size());
+  PutFramedRecord(&out, meta);
+
+  for (const auto& [label, view] : data.views) {
+    (void)label;  // the view record carries its own label
+    std::string payload(1, static_cast<char>(kViewTag));
+    EncodeView(view, &payload);
+    PutFramedRecord(&out, payload);
+  }
+
+  std::string footer(1, static_cast<char>(kFooterTag));
+  PutVarint64(&footer, data.views.size());
+  PutFramedRecord(&out, footer);
+  return out;
+}
+
+Result<DeltaData> ParseDelta(const std::string& bytes) {
+  ByteReader in(bytes);
+  GVEX_RETURN_NOT_OK(in.GetStoreHeader(StoreFileKind::kDelta));
+
+  std::string payload;
+  GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kMetaTag) {
+    return Status::InvalidArgument("delta missing meta record");
+  }
+  DeltaData data;
+  uint64_t num_views = 0;
   {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f.good()) return Status::IOError("cannot open " + tmp);
-    const std::string bytes = SerializeSnapshot(data);
-    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    f.flush();
-    if (!f.good()) return Status::IOError("write failed for " + tmp);
+    ByteReader meta(payload.data() + 1, payload.size() - 1);
+    GVEX_RETURN_NOT_OK(meta.GetVarint64(&data.epoch));
+    GVEX_RETURN_NOT_OK(meta.GetVarint64(&data.parent_epoch));
+    GVEX_RETURN_NOT_OK(meta.GetCount(bytes.size(), &num_views));
+    if (!meta.done()) {
+      return Status::InvalidArgument("trailing bytes in delta meta");
+    }
   }
-  // fsync before rename: the rename must never publish an unflushed image
-  // (Compact resets the WAL on the strength of this file, so a skipped or
-  // failed fsync here could lose acknowledged admissions on power loss).
-  FILE* f = std::fopen(tmp.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError(StrFormat("cannot reopen %s for fsync: %s",
-                                     tmp.c_str(), std::strerror(errno)));
+  // A delta that does not advance past its parent persists nothing its
+  // parent doesn't — structurally invalid, reject before use.
+  if (data.epoch <= data.parent_epoch) {
+    return Status::InvalidArgument("delta epoch must exceed its parent");
   }
-  const bool synced = ::fsync(::fileno(f)) == 0;
-  const int sync_errno = errno;
-  std::fclose(f);
-  if (!synced) {
-    (void)std::remove(tmp.c_str());
-    return Status::IOError(StrFormat("fsync failed for %s: %s", tmp.c_str(),
-                                     std::strerror(sync_errno)));
+
+  for (uint64_t i = 0; i < num_views; ++i) {
+    GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+    if (payload.empty() || static_cast<uint8_t>(payload[0]) != kViewTag) {
+      return Status::InvalidArgument("expected a delta view record");
+    }
+    ByteReader rec(payload.data() + 1, payload.size() - 1);
+    ExplanationView view;
+    GVEX_RETURN_NOT_OK(DecodeView(&rec, &view));
+    if (!rec.done()) {
+      return Status::InvalidArgument("trailing bytes in view record");
+    }
+    const int label = view.label;
+    if (!data.views.emplace(label, std::move(view)).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate delta view for label %d", label));
+    }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError(StrFormat("rename %s -> %s failed: %s",
-                                     tmp.c_str(), path.c_str(),
-                                     std::strerror(errno)));
+
+  GVEX_RETURN_NOT_OK(in.GetFramedRecord(&payload));
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kFooterTag) {
+    return Status::InvalidArgument("delta missing footer record");
   }
-  // The rename is a directory-entry mutation: without a directory fsync a
-  // power loss can undo it even though the file bytes are on disk — and
-  // Compact resets the WAL on the strength of this snapshot existing.
-  return SyncParentDir(path);
+  {
+    ByteReader rec(payload.data() + 1, payload.size() - 1);
+    uint64_t views_again = 0;
+    GVEX_RETURN_NOT_OK(rec.GetVarint64(&views_again));
+    if (views_again != num_views || !rec.done()) {
+      return Status::InvalidArgument("delta footer mismatch");
+    }
+  }
+  if (!in.done()) {
+    return Status::InvalidArgument("trailing bytes after delta footer");
+  }
+  return data;
+}
+
+Status SaveDelta(const std::string& path, const DeltaData& data) {
+  return AtomicWriteFile(path, SerializeDelta(data));
+}
+
+Result<DeltaData> LoadDelta(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::IOError("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ParseDelta(ss.str());
 }
 
 Result<SnapshotData> LoadSnapshot(const std::string& path) {
@@ -348,19 +495,23 @@ Result<SnapshotData> LoadSnapshot(const std::string& path) {
 }
 
 Result<std::vector<uint64_t>> ListSnapshotEpochs(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) {
-    return Status::IOError(StrFormat("cannot list %s: %s", dir.c_str(),
-                                     std::strerror(errno)));
+  return ListEpochFiles(dir, kSnapshotPrefix, kSnapshotSuffix);
+}
+
+Result<std::vector<uint64_t>> ListDeltaEpochs(const std::string& dir) {
+  return ListEpochFiles(dir, kDeltaPrefix, kDeltaSuffix);
+}
+
+Result<int> PruneDeltas(const std::string& dir, uint64_t keep_epoch) {
+  auto epochs = ListDeltaEpochs(dir);
+  if (!epochs.ok()) return epochs.status();
+  int removed = 0;
+  for (uint64_t epoch : epochs.value()) {
+    if (epoch > keep_epoch) continue;
+    const std::string path = dir + "/" + DeltaFileName(epoch);
+    if (std::remove(path.c_str()) == 0) ++removed;
   }
-  std::vector<uint64_t> epochs;
-  while (struct dirent* entry = ::readdir(d)) {
-    auto epoch = ParseSnapshotFileName(entry->d_name);
-    if (epoch.ok()) epochs.push_back(epoch.value());
-  }
-  ::closedir(d);
-  std::sort(epochs.begin(), epochs.end());
-  return epochs;
+  return removed;
 }
 
 Status EnsureDir(const std::string& dir) {

@@ -60,6 +60,19 @@ struct SnapshotData {
   std::vector<StoredPostings> postings;
 };
 
+/// One incremental (delta) snapshot: only the views admitted (or replaced)
+/// since `parent_epoch`, the epoch of the previously persisted image (a
+/// full snapshot or an earlier delta). Chains `base + delta*` are resolved
+/// by PlanRecovery (store/recovery.h): a delta attaches iff its parent is
+/// exactly the chain tip so far. Deltas carry no postings — applying one
+/// changes the view set, so recovery rebuilds the index over the merged
+/// views (exactly like WAL replay does).
+struct DeltaData {
+  uint64_t epoch = 0;         ///< epoch this delta persists
+  uint64_t parent_epoch = 0;  ///< image it was computed against (< epoch)
+  std::map<int, ExplanationView> views;  ///< only the changed labels
+};
+
 /// "snapshot-<020 epoch>.gvxs" — zero-padded so lexicographic order is
 /// epoch order.
 std::string SnapshotFileName(uint64_t epoch);
@@ -67,6 +80,32 @@ std::string SnapshotFileName(uint64_t epoch);
 /// Parses an epoch out of a SnapshotFileName-shaped name (NotFound when the
 /// name is not a snapshot file).
 Result<uint64_t> ParseSnapshotFileName(const std::string& name);
+
+/// "delta-<020 epoch>.gvxd" — the delta persisting up to `epoch`.
+std::string DeltaFileName(uint64_t epoch);
+
+/// Parses an epoch out of a DeltaFileName-shaped name (NotFound when the
+/// name is not a delta file).
+Result<uint64_t> ParseDeltaFileName(const std::string& name);
+
+/// Serializes / writes a delta (write goes through tmp-file + rename, same
+/// atomicity as full snapshots — a crash mid-save never corrupts anything).
+std::string SerializeDelta(const DeltaData& data);
+Status SaveDelta(const std::string& path, const DeltaData& data);
+
+/// Parses / reads and fully validates a delta (footer-checked; a corrupt
+/// file yields an error, never a partial DeltaData).
+Result<DeltaData> ParseDelta(const std::string& bytes);
+Result<DeltaData> LoadDelta(const std::string& path);
+
+/// Epochs of every delta file in `dir`, ascending. Missing directory is an
+/// IOError; a directory without deltas is an empty list.
+Result<std::vector<uint64_t>> ListDeltaEpochs(const std::string& dir);
+
+/// Deletes delta files in `dir` with epoch <= `keep_epoch` (compaction
+/// folds chains into a full base, making every delta at or below it
+/// obsolete). Returns the number removed.
+Result<int> PruneDeltas(const std::string& dir, uint64_t keep_epoch);
 
 /// Serializes / writes a snapshot (write goes through tmp-file + rename).
 std::string SerializeSnapshot(const SnapshotData& data);

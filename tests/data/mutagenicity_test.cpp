@@ -1,0 +1,140 @@
+// Dedicated suite for the MUTAGENICITY-like generator (the last molecule
+// generator still covered only by datasets_test): determinism under seed,
+// class balance, and the ground-truth label/motif invariant — the nitro
+// toxicophore appears in EVERY mutagen and NO nonmutagen, so a trained
+// classifier's only class-separating signal is the planted explanation.
+
+#include "data/mutagenicity.h"
+
+#include <gtest/gtest.h>
+
+#include "data/motifs.h"
+#include "graph/connectivity.h"
+#include "graph/graph_io.h"
+
+namespace gvex {
+namespace {
+
+MutagenicityOptions SmallOptions(uint64_t seed = 606) {
+  MutagenicityOptions opt;
+  opt.num_graphs = 40;
+  opt.seed = seed;
+  return opt;
+}
+
+// True when `g` contains a nitro group: a nitrogen bonded to at least two
+// oxygens and anchored on a carbon.
+bool HasNitroGroup(const Graph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node_type(v) != kNitrogen) continue;
+    int oxygens = 0;
+    bool carbon_anchor = false;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (g.node_type(nb.node) == kOxygen) ++oxygens;
+      if (g.node_type(nb.node) == kCarbon) carbon_anchor = true;
+    }
+    if (oxygens >= 2 && carbon_anchor) return true;
+  }
+  return false;
+}
+
+TEST(MutagenicityTest, DeterministicUnderSeed) {
+  GraphDatabase a = GenerateMutagenicity(SmallOptions());
+  GraphDatabase b = GenerateMutagenicity(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.true_label(i), b.true_label(i));
+    EXPECT_EQ(SerializeGraph(a.graph(i)), SerializeGraph(b.graph(i)));
+  }
+}
+
+TEST(MutagenicityTest, DifferentSeedsProduceDifferentMolecules) {
+  GraphDatabase a = GenerateMutagenicity(SmallOptions(1));
+  GraphDatabase b = GenerateMutagenicity(SmallOptions(2));
+  ASSERT_EQ(a.size(), b.size());
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (SerializeGraph(a.graph(i)) != SerializeGraph(b.graph(i))) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(MutagenicityTest, ClassesAlternateAndBalance) {
+  GraphDatabase db = GenerateMutagenicity(SmallOptions());
+  int mutagens = 0;
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.true_label(i), i % 2);  // odd indices are mutagens
+    mutagens += db.true_label(i);
+  }
+  EXPECT_EQ(mutagens, db.size() / 2);
+  EXPECT_EQ(db.DistinctLabels(), (std::vector<int>{0, 1}));
+}
+
+// The ground-truth-explainability construction: the toxicophore is the
+// ONLY class-separating structure. Every mutagen carries a nitro group;
+// no nonmutagen even contains a nitrogen atom (benign decorations are
+// drawn from the same distribution for both classes).
+TEST(MutagenicityTest, NitroToxicophoreSeparatesTheClasses) {
+  GraphDatabase db = GenerateMutagenicity(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    if (db.true_label(i) == 1) {
+      EXPECT_TRUE(HasNitroGroup(g)) << "mutagen " << i << " lacks its nitro";
+    } else {
+      EXPECT_FALSE(HasNitroGroup(g));
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_NE(g.node_type(v), kNitrogen)
+            << "nonmutagen " << i << " contains nitrogen";
+      }
+    }
+  }
+}
+
+TEST(MutagenicityTest, MoleculesAreTable3ShapedAndConnected) {
+  GraphDatabase db = GenerateMutagenicity(SmallOptions());
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    EXPECT_FALSE(g.directed());
+    EXPECT_TRUE(IsConnected(g)) << "molecule " << i;
+    // 1-3 six-carbon rings + bounded decorations (see MakeMolecule).
+    EXPECT_GE(g.num_nodes(), 9) << "molecule " << i;
+    EXPECT_LE(g.num_nodes(), 40) << "molecule " << i;
+    // Carbon ring backbone: at least one full ring's worth of carbons.
+    int carbons = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.node_type(v) == kCarbon) ++carbons;
+    }
+    EXPECT_GE(carbons, 6) << "molecule " << i;
+    // Table 3's 14 one-hot atom features, consistent with node types.
+    ASSERT_TRUE(g.has_features());
+    ASSERT_EQ(g.feature_dim(), kNumAtomTypes);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g.features().at(v, g.node_type(v)), 1.0f);
+    }
+  }
+}
+
+TEST(MutagenicityTest, RingCountOptionsBoundTheBackbone) {
+  MutagenicityOptions opt = SmallOptions();
+  opt.min_rings = 2;
+  opt.max_rings = 2;
+  GraphDatabase db = GenerateMutagenicity(opt);
+  for (int i = 0; i < db.size(); ++i) {
+    int carbons = 0;
+    for (NodeId v = 0; v < db.graph(i).num_nodes(); ++v) {
+      if (db.graph(i).node_type(v) == kCarbon) ++carbons;
+    }
+    // Exactly two rings of backbone carbons (decorations may add a methyl
+    // carbon each, never six).
+    EXPECT_GE(carbons, 2 * opt.ring_size) << "molecule " << i;
+  }
+}
+
+TEST(MutagenicityTest, GraphCountIsAParameter) {
+  MutagenicityOptions opt = SmallOptions();
+  opt.num_graphs = 7;
+  EXPECT_EQ(GenerateMutagenicity(opt).size(), 7);
+}
+
+}  // namespace
+}  // namespace gvex

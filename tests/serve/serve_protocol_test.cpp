@@ -93,6 +93,22 @@ TEST_F(ServeProtocolTest, StatsAndQuit) {
   EXPECT_EQ(out.find("ids 0 1"), std::string::npos);
 }
 
+TEST_F(ServeProtocolTest, StatsReportsAdmissionCountersFromOneSnapshot) {
+  // The fixture admitted one batch of two views: the stats line carries
+  // the admission counters published WITH that epoch (torn mid-batch
+  // counts are impossible — see StatsAreConsistentUnderBatchedAdmission
+  // in view_service_test for the concurrent pinning).
+  std::string out = ServeText(service_.get(), "stats\n");
+  EXPECT_NE(out.find("epoch 1 labels 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("admitted 2 batches 1"), std::string::npos) << out;
+  // Another single-view admission: views 3, batches 2.
+  ExplanationView view = store_.views[0];
+  view.label = 7;
+  out = ServeText(service_.get(),
+                  "admit\n" + SerializeView(view) + "stats\n");
+  EXPECT_NE(out.find("admitted 3 batches 2"), std::string::npos) << out;
+}
+
 TEST_F(ServeProtocolTest, StatsReportsCacheCountersAndHitRate) {
   // A fresh service has seen no cacheable lookups: rate is 0, not NaN.
   std::string out = ServeText(service_.get(), "stats\n");
@@ -188,9 +204,23 @@ TEST_F(ServeProtocolTest, OpenSaveCompactRoundTripThroughSession) {
   out = ServeText(&session, "admit\n" + SerializeView(store_.views[0]));
   EXPECT_TRUE(StartsWith(out, "ok admitted 0 epoch 1")) << out;
   out = ServeText(&session, "save\n");
-  EXPECT_EQ(out, "ok saved epoch 1\n");
+  EXPECT_EQ(out, "ok saved epoch 1 full\n");  // no base yet: policy goes full
   out = ServeText(&session, "admit\n" + SerializeView(store_.views[1]));
   EXPECT_TRUE(StartsWith(out, "ok admitted 1 epoch 2")) << out;
+  // One of two labels changed since the base: the size policy picks a
+  // delta; forcing --full still writes a whole snapshot.
+  out = ServeText(&session, "save --delta\n");
+  EXPECT_EQ(out, "ok saved epoch 2 delta\n");
+  // The epoch is already persisted by the chain — nothing to write.
+  out = ServeText(&session, "save\n");
+  EXPECT_EQ(out, "ok saved epoch 2 noop\n");
+  out = ServeText(&session, "save --full\n");
+  EXPECT_EQ(out, "ok saved epoch 2 full\n");
+  out = ServeText(&session, "save --sideways\n");
+  EXPECT_TRUE(StartsWith(out, "err ")) << out;
+  // Conflicting flags must not silently resolve to the first one.
+  out = ServeText(&session, "save --delta --full\n");
+  EXPECT_TRUE(StartsWith(out, "err ")) << out;
   out = ServeText(&session, "compact\n");
   EXPECT_EQ(out, "ok compacted epoch 2\n");
 
@@ -204,9 +234,12 @@ TEST_F(ServeProtocolTest, OpenSaveCompactRoundTripThroughSession) {
   EXPECT_TRUE(StartsWith(out, "err ")) << out;  // still held by `session`
   session.owned.reset();
   session.service = nullptr;
-  out = ServeText(&fresh, "open " + dir.path() + "\nlabels\n");
+  out = ServeText(&fresh, "open " + dir.path() + "\nlabels\nstats\n");
   EXPECT_NE(out.find("epoch 2 labels 2"), std::string::npos) << out;
   EXPECT_NE(out.find("ids 0 1"), std::string::npos) << out;
+  // Admission counters are process-lifetime (like cache counters): the
+  // warm-started service restarts them at 0 despite its recovered epoch.
+  EXPECT_NE(out.find("admitted 0 batches 0"), std::string::npos) << out;
 
   // Re-opening the SAME directory from the session that holds it is a
   // reload, not a lock conflict.

@@ -169,7 +169,8 @@ TEST_F(RecoveryTest, KillAndRestartRecoversSnapshotPlusWal) {
     }
     auto saved = durable->Save();
     ASSERT_TRUE(saved.ok());
-    EXPECT_EQ(saved.value(), durable->epoch());
+    EXPECT_EQ(saved.value().epoch, durable->epoch());
+    EXPECT_FALSE(saved.value().delta);  // no base yet: kAuto goes full
     // ...the rest only the WAL.
     for (size_t i = store_.views.size() / 2; i < store_.views.size(); ++i) {
       ASSERT_TRUE(durable->AdmitView(store_.views[i]).ok());
@@ -343,12 +344,13 @@ TEST_F(RecoveryTest, CorruptNewestSnapshotFallsBackToOlder) {
     ASSERT_NE(durable, nullptr);
     ASSERT_TRUE(durable->AdmitView(store_.views[0]).ok());
     ASSERT_TRUE(reference.AdmitView(store_.views[0]).ok());
-    ASSERT_TRUE(durable->Save().ok());  // snapshot at epoch 1
+    ASSERT_TRUE(durable->Save(SaveKind::kFull).ok());  // snapshot at epoch 1
     ASSERT_TRUE(durable->AdmitView(store_.views[1]).ok());
     ASSERT_TRUE(reference.AdmitView(store_.views[1]).ok());
-    auto saved = durable->Save();  // snapshot at epoch 2
+    // Full on purpose: this test corrupts the newest FULL snapshot file.
+    auto saved = durable->Save(SaveKind::kFull);  // snapshot at epoch 2
     ASSERT_TRUE(saved.ok());
-    second_epoch = saved.value();
+    second_epoch = saved.value().epoch;
   }
   // Corrupt the NEWEST snapshot; recovery must fall back to epoch 1 and
   // replay the WAL over it — ending bit-identical anyway.
@@ -489,7 +491,8 @@ TEST_F(RecoveryTest, RecoveryAdoptsTheSnapshotsMatchOptions) {
   // rebuild, which must still use the stored kNonInduced semantics.
   auto recovered = OpenDurable();
   ASSERT_NE(recovered, nullptr);
-  ASSERT_TRUE(recovered->Save().ok());  // records the rebuilt options
+  // Full on purpose: only full snapshots record the index options.
+  ASSERT_TRUE(recovered->Save(SaveKind::kFull).ok());
   auto epochs = ListSnapshotEpochs(dir_.path());
   ASSERT_TRUE(epochs.ok());
   auto snapshot =

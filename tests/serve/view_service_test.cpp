@@ -239,22 +239,38 @@ TEST(ViewServiceConcurrencyTest, ReadersSeeOnlyCompleteEpochs8Workers) {
   RunAdmissionStress(8);
 }
 
-TEST(ViewServiceConcurrencyTest, ConcurrentAdmittersSerializeIntoEpochs) {
+TEST(ViewServiceConcurrencyTest, ConcurrentAdmittersCombineIntoEpochs) {
   ViewService service(nullptr);
   constexpr int kPerWriter = 8;
   std::vector<std::thread> writers;
   for (int w = 0; w < 4; ++w) {
     writers.emplace_back([&service, w] {
+      uint64_t last_epoch = 0;
       for (int i = 0; i < kPerWriter; ++i) {
         ExplanationView view;
         view.label = w;  // one label per writer: last admission wins
         view.patterns.push_back(Pattern::SingleNode(i));
-        ASSERT_TRUE(service.AdmitView(std::move(view)).ok());
+        auto epoch = service.AdmitView(std::move(view));
+        ASSERT_TRUE(epoch.ok());
+        // A writer's own admissions land in strictly increasing epochs
+        // even when the combining queue coalesces them with other
+        // writers' (two of OUR calls can never share a batch — the next
+        // one starts only after the previous returned).
+        ASSERT_GT(epoch.value(), last_epoch);
+        last_epoch = epoch.value();
       }
     });
   }
   for (std::thread& t : writers) t.join();
-  EXPECT_EQ(service.epoch(), static_cast<uint64_t>(4 * kPerWriter));
+  // The combining queue publishes each batch as ONE epoch, so the final
+  // epoch counts batches, not admissions: at most one per call, at least
+  // one per round of any single writer.
+  EXPECT_LE(service.epoch(), static_cast<uint64_t>(4 * kPerWriter));
+  EXPECT_GE(service.epoch(), static_cast<uint64_t>(kPerWriter));
+  const ViewServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted_views, static_cast<uint64_t>(4 * kPerWriter));
+  EXPECT_EQ(stats.admitted_batches, static_cast<uint64_t>(4 * kPerWriter));
+  EXPECT_EQ(stats.epoch, service.epoch());
   EXPECT_EQ(service.Labels(), (std::vector<int>{0, 1, 2, 3}));
   // Every label holds its writer's LAST view (admissions are ordered).
   for (int w = 0; w < 4; ++w) {
@@ -262,6 +278,57 @@ TEST(ViewServiceConcurrencyTest, ConcurrentAdmittersSerializeIntoEpochs) {
     EXPECT_EQ(service.PatternsForLabel(w)[0].canonical_code(),
               Pattern::SingleNode(kPerWriter - 1).canonical_code());
   }
+}
+
+// stats() must never report a torn mid-batch view: the epoch and the
+// admission counters come from ONE published snapshot, so a batch of K
+// views is visible in the counters all-or-nothing.
+TEST(ViewServiceConcurrencyTest, StatsAreConsistentUnderBatchedAdmission) {
+  constexpr int kBatchViews = 3;
+  constexpr int kRounds = 16;
+  ViewService service(nullptr);
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> watchers;
+  for (int t = 0; t < 2; ++t) {
+    watchers.emplace_back([&service, &done, &failures] {
+      uint64_t last_admitted = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const ViewServiceStats s = service.stats();
+        // Every admission in this test is a batch of exactly kBatchViews
+        // views, so a torn counter would show a non-multiple.
+        if (s.admitted_views % kBatchViews != 0) ++failures;
+        // Each published epoch carried at least one batch.
+        if (s.admitted_views < s.epoch * kBatchViews) ++failures;
+        if (s.admitted_views < last_admitted) ++failures;  // monotone
+        last_admitted = s.admitted_views;
+      }
+    });
+  }
+
+  std::vector<std::thread> admitters;
+  for (int w = 0; w < 4; ++w) {
+    admitters.emplace_back([&service, w] {
+      for (int i = 0; i < kRounds; ++i) {
+        std::vector<ExplanationView> batch;
+        for (int v = 0; v < kBatchViews; ++v) {
+          ExplanationView view;
+          view.label = w * kBatchViews + v;
+          view.patterns.push_back(Pattern::SingleNode(i));
+          batch.push_back(std::move(view));
+        }
+        ASSERT_TRUE(service.AdmitViews(std::move(batch)).ok());
+      }
+    });
+  }
+  for (std::thread& t : admitters) t.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : watchers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ViewServiceStats s = service.stats();
+  EXPECT_EQ(s.admitted_views, static_cast<uint64_t>(4 * kRounds * kBatchViews));
+  EXPECT_EQ(s.admitted_batches, static_cast<uint64_t>(4 * kRounds));
 }
 
 }  // namespace

@@ -37,6 +37,25 @@ TEST(SnapshotFileNameTest, EpochTaggedAndParsedBack) {
   EXPECT_FALSE(ParseSnapshotFileName("wal.gvxw").ok());
   EXPECT_FALSE(ParseSnapshotFileName("snapshot-12x4.gvxs").ok());
   EXPECT_FALSE(ParseSnapshotFileName("snapshot-.gvxs").ok());
+  // Only the CANONICAL zero-padded form is a store file: an unpadded
+  // stray would be listed under an epoch whose canonical filename does
+  // not exist, sending recovery after a phantom file.
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-3.gvxs").ok());
+  // 20 nines overflows uint64 — rejected, not silently wrapped.
+  EXPECT_FALSE(
+      ParseSnapshotFileName("snapshot-99999999999999999999.gvxs").ok());
+}
+
+TEST(SnapshotFileNameTest, DeltaNamesParallelSnapshotNames) {
+  EXPECT_EQ(DeltaFileName(7), "delta-00000000000000000007.gvxd");
+  auto parsed = ParseDeltaFileName(DeltaFileName(42));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), 42u);
+  EXPECT_LT(DeltaFileName(9), DeltaFileName(10));
+  // Kinds do not cross-parse.
+  EXPECT_FALSE(ParseDeltaFileName(SnapshotFileName(7)).ok());
+  EXPECT_FALSE(ParseSnapshotFileName(DeltaFileName(7)).ok());
+  EXPECT_FALSE(ParseDeltaFileName("delta-7.gvxd").ok());
 }
 
 TEST(SnapshotTest, SerializeParseRoundTripsEverything) {

@@ -40,6 +40,13 @@ Checks applied to every section present in BOTH files:
     prefixed "warm_speedup_") must be >= --min-warm-speedup (default 5).
     Same-machine ratio of the store bench's cold index build vs warm
     snapshot load, gated unconditionally like scan_speedup.
+  * delta-save floor — every current key named "delta_save_speedup" (or
+    prefixed "delta_save_speedup_") must be >= --min-delta-save-speedup
+    (default 3). Same-machine ratio of a full snapshot save vs an
+    incremental delta save after a single-view change on the store
+    bench's 1k-pattern store — the acceptance bar for incremental
+    snapshots (a save must not cost O(store) once deltas exist), gated
+    unconditionally like the other ratios.
 
 Exit status 0 when all gates pass, 1 otherwise (2 for usage errors).
 """
@@ -98,7 +105,8 @@ def check_section(name, base, cur, args):
     # two paths run on the same hardware in the same process, so they gate
     # everywhere — no baseline value and no core-count precondition needed.
     ratio_floors = (("scan_speedup", args.min_scan_speedup),
-                    ("warm_speedup", args.min_warm_speedup))
+                    ("warm_speedup", args.min_warm_speedup),
+                    ("delta_save_speedup", args.min_delta_save_speedup))
     for key in sorted(cur):
         floor = next((f for base_key, f in ratio_floors
                       if key == base_key or key.startswith(base_key + "_")),
@@ -166,6 +174,9 @@ def main():
     parser.add_argument("--min-warm-speedup", type=float, default=5.0,
                         help="hardware-independent floor for warm_speedup* "
                              "ratio keys (default 5)")
+    parser.add_argument("--min-delta-save-speedup", type=float, default=3.0,
+                        help="hardware-independent floor for "
+                             "delta_save_speedup* ratio keys (default 3)")
     parser.add_argument("--min-seconds", type=float, default=0.02,
                         help="timings below this are too noisy to gate "
                              "(default 0.02)")

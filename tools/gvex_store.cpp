@@ -1,17 +1,21 @@
 // gvex_store — inspect, verify, and maintain durable view-store
-// directories (src/store/): epoch-tagged binary snapshots plus the
-// admission WAL that ViewService::Open recovers from.
+// directories (src/store/): epoch-tagged binary snapshots, incremental
+// delta snapshots chained onto them, plus the admission WAL that
+// ViewService::Open recovers from.
 //
 // Usage:
-//   gvex_store inspect <file>    # snapshot / WAL / binary view file:
-//                                # header, epoch(s), record summary
-//   gvex_store verify <dir>      # validate every snapshot + the WAL;
-//                                # reports torn tails; exit 1 on a store
-//                                # that cannot recover
+//   gvex_store inspect <file>    # snapshot / delta / WAL / binary view
+//                                # file: header, epoch(s), record summary
+//   gvex_store verify <dir>      # validate every snapshot, delta, and the
+//                                # WAL; reports torn tails and the resolved
+//                                # chain; exit 1 on a store that cannot
+//                                # recover
 //   gvex_store compact <dir>     # offline compaction: open, fold the WAL
-//                                # into a fresh snapshot, prune old ones
+//                                # and any delta chain into a fresh full
+//                                # snapshot, prune old files
 //   gvex_store selftest <dir>    # synthetic save/admit/kill/reopen parity
-//                                # round trip (the run_tests.sh smoke step)
+//                                # round trip including a base+delta chain
+//                                # (the run_tests.sh smoke step)
 //
 // Exit status: 0 on success/healthy, 1 on failure/corruption.
 
@@ -99,6 +103,19 @@ int InspectSnapshot(const std::string& path) {
   return 0;
 }
 
+int InspectDelta(const std::string& path) {
+  auto loaded = LoadDelta(path);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const DeltaData& data = loaded.value();
+  std::printf("delta %s\n", path.c_str());
+  std::printf("  epoch %llu (parent %llu), %zu changed view(s)\n",
+              static_cast<unsigned long long>(data.epoch),
+              static_cast<unsigned long long>(data.parent_epoch),
+              data.views.size());
+  PrintViewSummary(data.views);
+  return 0;
+}
+
 int InspectWal(const std::string& path) {
   auto replay = ReplayWal(path);
   if (!replay.ok()) return Fail(replay.status().ToString());
@@ -144,6 +161,8 @@ int CmdInspect(const std::string& path) {
       return InspectWal(path);
     case StoreFileKind::kViews:
       return InspectViews(path);
+    case StoreFileKind::kDelta:
+      return InspectDelta(path);
   }
   return Fail(StrFormat("unknown store file kind %u", kind.value()));
 }
@@ -160,6 +179,24 @@ int CmdVerify(const std::string& dir) {
                   path.c_str(), static_cast<unsigned long long>(epoch),
                   loaded.value().views.size(),
                   loaded.value().postings.size());
+    } else {
+      std::printf("BAD  %s: %s\n", path.c_str(),
+                  loaded.status().ToString().c_str());
+      ++bad;
+    }
+  }
+
+  auto deltas = ListDeltaEpochs(dir);
+  if (!deltas.ok()) return Fail(deltas.status().ToString());
+  for (uint64_t epoch : deltas.value()) {
+    const std::string path = dir + "/" + DeltaFileName(epoch);
+    auto loaded = LoadDelta(path);
+    if (loaded.ok()) {
+      std::printf("ok   %s (epoch %llu, parent %llu, %zu changed views)\n",
+                  path.c_str(), static_cast<unsigned long long>(epoch),
+                  static_cast<unsigned long long>(
+                      loaded.value().parent_epoch),
+                  loaded.value().views.size());
     } else {
       std::printf("BAD  %s: %s\n", path.c_str(),
                   loaded.status().ToString().c_str());
@@ -195,9 +232,20 @@ int CmdVerify(const std::string& dir) {
   if (!plan.ok()) {
     return Fail("store cannot recover: " + plan.status().ToString());
   }
-  std::printf("store %s is recoverable (recovery reaches epoch %llu)\n",
+  std::string chain = "";
+  if (plan.value().have_snapshot) {
+    chain = StrFormat(" via base %llu",
+                      static_cast<unsigned long long>(
+                          plan.value().base_epoch));
+    for (uint64_t epoch : plan.value().chain) {
+      chain += StrFormat(" + delta %llu",
+                         static_cast<unsigned long long>(epoch));
+    }
+  }
+  std::printf("store %s is recoverable (recovery reaches epoch %llu%s)\n",
               dir.c_str(),
-              static_cast<unsigned long long>(plan.value().final_epoch));
+              static_cast<unsigned long long>(plan.value().final_epoch),
+              chain.c_str());
   return 0;
 }
 
@@ -224,28 +272,42 @@ int CmdCompact(const std::string& dir) {
   return 0;
 }
 
-// Synthetic end-to-end round trip: admit -> save -> admit more (WAL) ->
-// kill -> reopen -> compare answers against a never-restarted service.
-// This is the snapshot round-trip smoke step tools/run_tests.sh runs.
+// Synthetic end-to-end round trip: admit -> full save -> admit -> delta
+// save (a real base+delta chain) -> admit more (WAL only) -> kill ->
+// reopen -> compare answers against a never-restarted service. This is
+// the delta-chain round-trip smoke step tools/run_tests.sh runs.
 int CmdSelftest(const std::string& dir) {
-  auto store = synthetic::MakeSyntheticStore(77, /*num_labels=*/3);
+  auto store = synthetic::MakeSyntheticStore(77, /*num_labels=*/4);
 
   auto opened = ViewService::Open(dir, &store.db);
   if (!opened.ok()) return Fail(opened.status().ToString());
   std::unique_ptr<ViewService> durable = std::move(opened).value();
   ViewService reference(&store.db);
 
-  // First two views reach the snapshot, the third only the WAL.
-  for (size_t i = 0; i + 1 < store.views.size(); ++i) {
+  // Two views reach the full base snapshot, the third a chained delta,
+  // the last only the WAL — recovery walks base + delta + WAL.
+  for (size_t i = 0; i < store.views.size(); ++i) {
     if (!durable->AdmitView(store.views[i]).ok() ||
         !reference.AdmitView(store.views[i]).ok()) {
       return Fail("selftest admission failed");
     }
+    if (i == 1) {
+      auto saved = durable->Save(SaveKind::kFull);
+      if (!saved.ok() || saved.value().delta) {
+        return Fail("selftest full save failed");
+      }
+    } else if (i == 2) {
+      auto saved = durable->Save(SaveKind::kDelta);
+      if (!saved.ok() || !saved.value().delta) {
+        return Fail("selftest delta save failed");
+      }
+    }
   }
-  if (!durable->Save().ok()) return Fail("selftest save failed");
-  if (!durable->AdmitView(store.views.back()).ok() ||
-      !reference.AdmitView(store.views.back()).ok()) {
-    return Fail("selftest admission failed");
+  {
+    auto deltas = ListDeltaEpochs(dir);
+    if (!deltas.ok() || deltas.value().size() != 1) {
+      return Fail("selftest expected exactly one delta on disk");
+    }
   }
   durable.reset();  // "kill" the process state
 
@@ -272,16 +334,23 @@ int CmdSelftest(const std::string& dir) {
   };
   if (int rc = check("recovery"); rc != 0) return rc;
 
-  // Fold the WAL into a fresh snapshot and recover once more.
+  // Fold the WAL and the delta chain into a fresh full snapshot and
+  // recover once more.
   if (!recovered->Compact().ok()) return Fail("selftest compact failed");
+  {
+    auto deltas = ListDeltaEpochs(dir);
+    if (!deltas.ok() || !deltas.value().empty()) {
+      return Fail("selftest compaction left delta files behind");
+    }
+  }
   recovered.reset();
   reopened = ViewService::Open(dir, &store.db);
   if (!reopened.ok()) return Fail(reopened.status().ToString());
   recovered = std::move(reopened).value();
   if (int rc = check("post-compact"); rc != 0) return rc;
 
-  std::printf("selftest ok: %s recovers bit-identically (snapshot + WAL, "
-              "and after compaction)\n",
+  std::printf("selftest ok: %s recovers bit-identically (base snapshot + "
+              "delta chain + WAL, and after compaction)\n",
               dir.c_str());
   return 0;
 }

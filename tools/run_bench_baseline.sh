@@ -20,6 +20,9 @@
 #                          bench's indexed-vs-scan ratio (default 10)
 #   BENCH_MIN_WARM_SPEEDUP hardware-independent floor for the store
 #                          bench's cold-build-vs-warm-load ratio (default 5)
+#   BENCH_MIN_DELTA_SAVE_SPEEDUP
+#                          hardware-independent floor for the store bench's
+#                          full-save-vs-delta-save ratio (default 3)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -28,6 +31,7 @@ tolerance="${BENCH_TOLERANCE:-0.35}"
 min_speedup="${BENCH_MIN_SPEEDUP:-1.5}"
 min_scan_speedup="${BENCH_MIN_SCAN_SPEEDUP:-10}"
 min_warm_speedup="${BENCH_MIN_WARM_SPEEDUP:-5}"
+min_delta_save_speedup="${BENCH_MIN_DELTA_SAVE_SPEEDUP:-3}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 record=0
@@ -76,6 +80,7 @@ gate() {
     --min-speedup "${min_speedup}" \
     --min-scan-speedup "${min_scan_speedup}" \
     --min-warm-speedup "${min_warm_speedup}" \
+    --min-delta-save-speedup "${min_delta_save_speedup}" \
     --section "${section}"
 }
 

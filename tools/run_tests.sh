@@ -26,8 +26,10 @@ cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "${jobs}"
 (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" ${ctest_args[@]+"${ctest_args[@]}"})
 
-# Durable-store smoke: a real on-disk snapshot + WAL round trip through the
-# gvex_store tool (admit -> save -> kill -> reopen -> parity, + compaction).
+# Durable-store smoke: a real on-disk round trip through the gvex_store
+# tool — full snapshot + chained delta + WAL (admit -> full save -> admit
+# -> delta save -> admit -> kill -> reopen -> parity, + compaction folding
+# the chain).
 store_scratch="$(mktemp -d)"
 trap 'rm -rf "${store_scratch}"' EXIT
 "${build_dir}/tools/gvex_store" selftest "${store_scratch}"
