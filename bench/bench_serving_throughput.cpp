@@ -6,13 +6,23 @@
 // hardware-independent speedup ratio `scan_speedup` (same machine, same
 // workload, scan time / indexed time).
 //
+// A second, fallback-heavy workload times queries whose canonical code is
+// NOT indexed — the path every non-exact containment query takes. Both
+// front ends scan there; the legacy store scans with the blind backtracking
+// matcher, the index with the candidate-filtered matcher (pattern/
+// matcher.h), and the hardware-independent ratio `fallback_speedup` (blind
+// scan time / filtered scan time, same machine, same queries) records the
+// filtering win.
+//
 // The run merge-writes a "serving" section into BENCH_serving.json
 // (override with GVEX_BENCH_OUT); tools/check_bench.py gates
 // `scan_speedup` against an absolute >=10x floor — the acceptance bar for
-// the indexed read path — plus the usual `_sec` regression checks.
+// the indexed read path — and `fallback_speedup` against >=3x, plus the
+// usual `_sec` regression checks.
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -175,6 +185,92 @@ int main() {
     return 1;
   }
 
+  // --- Fallback-heavy mix: patterns the index has never seen, so every
+  // query is a containment scan on both paths (blind matcher vs filtered
+  // matcher). Measured on a denser, label-scarce store — two node types,
+  // ~30-node graphs with coin-flip extra edges — because that is the
+  // regime where a containment scan actually hurts: tiny sparse queries
+  // resolve in microseconds on either matcher, while dense label-scarce
+  // ones send the blind matcher into deep backtracking that the candidate
+  // filter prunes. Half the query patterns are induced subgraphs of real
+  // explanation subgraphs (matches exist), half are random dense graphs
+  // (mostly refuted); all are rejected until their code is unindexed.
+  synthetic::SyntheticStoreOptions stress_opt;
+  stress_opt.num_labels = 4;
+  stress_opt.graphs_per_label = 6;
+  stress_opt.patterns_per_label = 12;
+  stress_opt.min_nodes = 26;
+  stress_opt.max_nodes = 34;
+  stress_opt.num_types = 2;
+  stress_opt.pattern_min_nodes = 2;
+  stress_opt.pattern_max_nodes = 5;
+  stress_opt.subgraph_num = 3;
+  stress_opt.subgraph_den = 4;
+  stress_opt.extra_edge_prob = 0.4;
+  synthetic::SyntheticStore stress =
+      synthetic::MakeSyntheticStore(1042, stress_opt);
+  ViewStore stress_legacy(&stress.db, legacy_opts);
+  for (const ExplanationView& v : stress.views) stress_legacy.AddView(v);
+  ViewService stress_service(&stress.db, cold_opts);
+  if (!stress_service.AdmitViews(stress.views).ok()) {
+    std::fprintf(stderr, "stress admission failed\n");
+    return 1;
+  }
+
+  constexpr int kFallbackPatterns = 48;
+  std::set<std::string> tier_codes;
+  for (const ExplanationView& v : stress.views) {
+    for (const Pattern& p : v.patterns) tier_codes.insert(p.canonical_code());
+  }
+  Rng fb_rng(777);
+  std::vector<ViewQuery> fb_queries;
+  {
+    std::vector<Pattern> fb_patterns;
+    while (static_cast<int>(fb_patterns.size()) < kFallbackPatterns) {
+      const bool planted = (fb_patterns.size() % 2) == 0;
+      auto p =
+          planted
+              ? Result<Pattern>(synthetic::RandomPatternFrom(
+                    stress.views[fb_rng.NextUint(stress.views.size())]
+                        .subgraphs[fb_rng.NextUint(
+                            static_cast<uint64_t>(
+                                stress_opt.graphs_per_label))]
+                        .subgraph,
+                    &fb_rng, 11, 14))
+              : Pattern::Create(synthetic::RandomConnectedGraph(
+                    &fb_rng, 12, 15, stress_opt.num_types, 0.5));
+      if (!p.ok()) continue;
+      if (tier_codes.count(p.value().canonical_code()) != 0) continue;
+      fb_patterns.push_back(std::move(p).value());
+    }
+    for (const Pattern& p : fb_patterns) {
+      for (const ExplanationView& v : stress.views) {
+        ViewQuery q;
+        q.kind = QueryKind::kGraphsWithPattern;
+        q.label = v.label;
+        q.pattern = p;
+        fb_queries.push_back(q);
+      }
+    }
+  }
+  Timer legacy_fb_timer;
+  const uint64_t legacy_fb_sum =
+      RunWorkload(stress_legacy, fb_queries, nullptr);
+  const double legacy_fb_sec = legacy_fb_timer.ElapsedSec();
+  Timer indexed_fb_timer;
+  const uint64_t indexed_fb_sum =
+      RunWorkload(stress_service, fb_queries, nullptr);
+  const double indexed_fb_sec = indexed_fb_timer.ElapsedSec();
+  if (legacy_fb_sum != indexed_fb_sum) {
+    std::fprintf(stderr,
+                 "FATAL: filtered fallback answers diverge from the blind "
+                 "scan (checksum %llu vs %llu)\n",
+                 static_cast<unsigned long long>(indexed_fb_sum),
+                 static_cast<unsigned long long>(legacy_fb_sum));
+    return 1;
+  }
+  const ViewServiceStats fb_stats = stress_service.stats();
+
   ViewServiceOptions warm_opts;
   warm_opts.index.num_threads = cold_opts.index.num_threads;
   ViewService cached(&store.db, warm_opts);
@@ -191,17 +287,33 @@ int main() {
   const double p50 = Percentile(latencies_ms, 0.50);
   const double p99 = Percentile(latencies_ms, 0.99);
 
+  const double fallback_speedup =
+      legacy_fb_sec / std::max(indexed_fb_sec, 1e-9);
+
   Table table({"Path", "Seconds", "QPS"});
   table.AddRow({"legacy scan", FmtDouble(legacy_sec, 3),
                 FmtDouble(n / std::max(legacy_sec, 1e-9), 0)});
   table.AddRow({"indexed", FmtDouble(indexed_sec, 3), FmtDouble(qps, 0)});
   table.AddRow({"indexed+LRU", FmtDouble(warm_sec, 3),
                 FmtDouble(warm_qps, 0)});
+  table.AddRow({"fallback blind", FmtDouble(legacy_fb_sec, 3),
+                FmtDouble(static_cast<double>(fb_queries.size()) /
+                              std::max(legacy_fb_sec, 1e-9),
+                          0)});
+  table.AddRow({"fallback filtered", FmtDouble(indexed_fb_sec, 3),
+                FmtDouble(static_cast<double>(fb_queries.size()) /
+                              std::max(indexed_fb_sec, 1e-9),
+                          0)});
   std::printf("%s", table.ToText().c_str());
   std::printf("\n%d patterns / %d labels / %d queries; index build %.3fs\n"
-              "speedup vs scan %.1fx; p50 %.4fms p99 %.4fms\n",
+              "speedup vs scan %.1fx; p50 %.4fms p99 %.4fms\n"
+              "fallback mix: %zu scans, filtered %.1fx faster than blind, "
+              "%llu filter-only rejects\n",
               total_patterns, kNumLabels, static_cast<int>(queries.size()),
-              build_sec, speedup, p50, p99);
+              build_sec, speedup, p50, p99, fb_queries.size(),
+              fallback_speedup,
+              static_cast<unsigned long long>(
+                  fb_stats.index_filtered_rejects));
 
   bench::BenchReport report("serving");
   report.Add("hardware_concurrency",
@@ -216,6 +328,14 @@ int main() {
   report.Add("warm_cache_qps", warm_qps);
   report.Add("p50_ms", p50);
   report.Add("p99_ms", p99);
+  report.Add("num_fallback_queries", static_cast<double>(fb_queries.size()));
+  report.Add("legacy_fallback_sec", legacy_fb_sec);
+  report.Add("indexed_fallback_sec", indexed_fb_sec);
+  report.Add("fallback_speedup", fallback_speedup);
+  report.Add("fallback_scans",
+             static_cast<double>(fb_stats.index_fallback_scans));
+  report.Add("fallback_filtered_rejects",
+             static_cast<double>(fb_stats.index_filtered_rejects));
   const std::string out = bench::BenchReport::OutPath("BENCH_serving.json");
   Status st = report.WriteMerged(out);
   if (!st.ok()) {

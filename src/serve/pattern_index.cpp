@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "pattern/matcher.h"
+#include "util/bitops.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace gvex {
@@ -12,22 +15,21 @@ namespace {
 const std::vector<Pattern> kEmptyPatterns;
 const std::map<int, ExplanationView> kEmptyViews;
 
-inline bool BitSet(const std::vector<uint64_t>& bits, size_t i) {
-  return (bits[i >> 6] >> (i & 63)) & 1u;
-}
-
-inline void SetBit(std::vector<uint64_t>* bits, size_t i) {
-  (*bits)[i >> 6] |= uint64_t{1} << (i & 63);
-}
-
-inline bool AllZero(const std::vector<uint64_t>& bits) {
-  for (uint64_t w : bits) {
-    if (w != 0) return false;
-  }
-  return true;
-}
-
 }  // namespace
+
+// Every fallback containment check funnels through here: the candidate-
+// filtered matcher (bit-identical answers to the legacy blind scan), with
+// the filter's fast-reject rate surfaced in stats().
+bool PatternIndex::SubgraphContains(const Graph& subgraph,
+                                    const Pattern& p) const {
+  MatcherStats mstats;
+  const bool contains =
+      FilteredContainsPattern(subgraph, p.graph(), match_, &mstats);
+  if (mstats.filtered_out) {
+    stats_->filtered_rejects.fetch_add(1, std::memory_order_relaxed);
+  }
+  return contains;
+}
 
 PatternIndex PatternIndex::Build(
     std::shared_ptr<const std::map<int, ExplanationView>> views,
@@ -64,7 +66,9 @@ PatternIndex PatternIndex::Build(
   // The expensive cross-product — one containment check per (code, subgraph)
   // and, when database indexing is on, per (code, database graph) — sharded
   // over the codes. Each shard writes only its own postings slots, so the
-  // result is identical for every worker count.
+  // result is identical for every worker count. The checks run through the
+  // candidate-filtered matcher: most (code, subgraph) pairs don't match and
+  // die at filtering without a backtracking step.
   const int num_codes = static_cast<int>(reps.size());
   const int threads = std::max(1, options.num_threads);
   ThreadPool::ParallelForShards(
@@ -72,19 +76,26 @@ PatternIndex PatternIndex::Build(
         for (int c = shard.begin; c < shard.end; ++c) {
           const Pattern& p = *reps[static_cast<size_t>(c)];
           PatternPostings& post = postings[static_cast<size_t>(c)];
+          CoverageBits coverage;
           for (const auto& [label, view] : *index.views_) {
-            std::vector<uint64_t> bits((view.subgraphs.size() + 63) / 64, 0);
+            std::vector<uint64_t> bits(
+                bitops::WordsForBits(view.subgraphs.size()), 0);
             for (size_t i = 0; i < view.subgraphs.size(); ++i) {
-              if (ContainsPattern(view.subgraphs[i].subgraph, p.graph(),
-                                  index.match_)) {
-                SetBit(&bits, i);
+              if (FilteredContainsPattern(view.subgraphs[i].subgraph,
+                                          p.graph(), index.match_)) {
+                bitops::SetBit(bits.data(), i);
               }
             }
-            post.subgraph_bits.emplace(label, std::move(bits));
+            coverage.emplace(label, std::move(bits));
           }
+          // Frozen once: export/import and every copy of this index share
+          // these words by pointer from here on.
+          post.subgraph_bits =
+              std::make_shared<const CoverageBits>(std::move(coverage));
           if (index.database_indexed_) {
             for (int i = 0; i < db->size(); ++i) {
-              if (ContainsPattern(db->graph(i), p.graph(), index.match_)) {
+              if (FilteredContainsPattern(db->graph(i), p.graph(),
+                                          index.match_)) {
                 post.db_graphs.push_back(i);
               }
             }
@@ -113,7 +124,7 @@ std::vector<StoredPostings> PatternIndex::ExportPostings() const {
     stored.code = code;
     stored.labels = post.labels;
     stored.tier_position = post.tier_position;
-    stored.subgraph_bits = post.subgraph_bits;
+    stored.subgraph_bits = post.subgraph_bits;  // pointer copy, no words
     stored.db_graphs = post.db_graphs;
     out.push_back(std::move(stored));
   }
@@ -141,7 +152,7 @@ PatternIndex PatternIndex::FromStored(
     PatternPostings post;
     post.labels = stored.labels;
     post.tier_position = stored.tier_position;
-    post.subgraph_bits = stored.subgraph_bits;
+    post.subgraph_bits = stored.subgraph_bits;  // pointer copy, no words
     post.db_graphs = stored.db_graphs;
     index.postings_.emplace(stored.code, std::move(post));
   }
@@ -175,21 +186,87 @@ std::vector<int> PatternIndex::GraphsWithPattern(int label,
   auto it = views().find(label);
   if (it == views().end()) return out;
   const std::vector<ExplanationSubgraph>& subgraphs = it->second.subgraphs;
-  if (const PatternPostings* post = Find(p.canonical_code())) {
-    auto bits = post->subgraph_bits.find(label);
-    if (bits != post->subgraph_bits.end()) {
-      for (size_t i = 0; i < subgraphs.size(); ++i) {
-        if (BitSet(bits->second, i)) out.push_back(subgraphs[i].graph_index);
+  const PatternPostings* post = Find(p.canonical_code());
+  if (post != nullptr) {
+    if (post->subgraph_bits) {
+      auto bits = post->subgraph_bits->find(label);
+      if (bits != post->subgraph_bits->end()) {
+        // The indexed path: one ctz per ANSWER, not one shift per subgraph.
+        bitops::ForEachSetBit(bits->second, [&](size_t i) {
+          if (i < subgraphs.size()) out.push_back(subgraphs[i].graph_index);
+        });
+        return out;
       }
-      return out;
     }
+    // Known code but no bitset for this label: the build computes bits for
+    // every label, so this is an inconsistent snapshot. Say so loudly and
+    // count it — then still answer correctly via the scan below.
+    stats_->inconsistent_postings.fetch_add(1, std::memory_order_relaxed);
+    GVEX_LOG(kError) << "pattern index posting for code "
+                     << p.canonical_code() << " has no coverage bitset for"
+                     << " label " << label
+                     << " (inconsistent snapshot); scanning";
+  } else {
+    stats_->fallback_scans.fetch_add(1, std::memory_order_relaxed);
   }
-  // Non-exact pattern: fall back to the legacy containment scan.
+  // Non-exact pattern (or inconsistent posting): filtered containment scan,
+  // bit-identical to the legacy store's answer.
   for (const auto& s : subgraphs) {
-    if (ContainsPattern(s.subgraph, p.graph(), match_)) {
+    if (SubgraphContains(s.subgraph, p)) {
       out.push_back(s.graph_index);
     }
   }
+  return out;
+}
+
+std::vector<int> PatternIndex::GraphsWithAllPatterns(
+    int label, const std::vector<Pattern>& patterns) const {
+  std::vector<int> out;
+  auto it = views().find(label);
+  if (it == views().end()) return out;
+  const std::vector<ExplanationSubgraph>& subgraphs = it->second.subgraphs;
+  const size_t n = subgraphs.size();
+
+  // Accumulator starts at "all subgraphs" (tail bits masked off) and each
+  // indexed pattern narrows it with one word-level AND — a k-pattern query
+  // costs k ANDs plus one output walk, not k separate bit walks.
+  std::vector<uint64_t> acc(bitops::WordsForBits(n), ~uint64_t{0});
+  if (!acc.empty() && (n & 63) != 0) {
+    acc.back() = (uint64_t{1} << (n & 63)) - 1;
+  }
+
+  std::vector<const Pattern*> scan_patterns;
+  for (const Pattern& p : patterns) {
+    const PatternPostings* post = Find(p.canonical_code());
+    if (post != nullptr && post->subgraph_bits) {
+      auto bits = post->subgraph_bits->find(label);
+      if (bits != post->subgraph_bits->end()) {
+        bitops::AndInPlace(&acc, bits->second);
+        continue;
+      }
+    }
+    if (post != nullptr) {
+      stats_->inconsistent_postings.fetch_add(1, std::memory_order_relaxed);
+      GVEX_LOG(kError) << "pattern index posting for code "
+                       << p.canonical_code() << " has no coverage bitset"
+                       << " for label " << label
+                       << " (inconsistent snapshot); scanning";
+    } else {
+      stats_->fallback_scans.fetch_add(1, std::memory_order_relaxed);
+    }
+    scan_patterns.push_back(&p);
+  }
+  if (bitops::AllZero(acc)) return out;
+
+  // Unknown-code patterns only ever check subgraphs still alive in the
+  // accumulator.
+  bitops::ForEachSetBit(acc, [&](size_t i) {
+    if (i >= n) return;
+    for (const Pattern* p : scan_patterns) {
+      if (!SubgraphContains(subgraphs[i].subgraph, *p)) return;
+    }
+    out.push_back(subgraphs[i].graph_index);
+  });
   return out;
 }
 
@@ -215,13 +292,16 @@ std::vector<int> PatternIndex::DatabaseGraphsWithPattern(const Pattern& p,
     }
     return out;
   }
+  if (database_indexed_) {
+    stats_->fallback_scans.fetch_add(1, std::memory_order_relaxed);
+  }
   for (int i = 0; i < db_->size(); ++i) {
     if (label >= 0) {
       const int l = db_->has_predictions() ? db_->predicted_label(i)
                                            : db_->true_label(i);
       if (l != label) continue;
     }
-    if (ContainsPattern(db_->graph(i), p.graph(), match_)) {
+    if (SubgraphContains(db_->graph(i), p)) {
       out.push_back(i);
     }
   }
@@ -233,18 +313,46 @@ std::vector<Pattern> PatternIndex::DiscriminativePatterns(int label) const {
   auto it = views().find(label);
   if (it == views().end()) return out;
   for (const Pattern& p : it->second.patterns) {
-    // Tier patterns are always indexed (the index is built from the same
-    // view snapshot it queries), so this lookup cannot miss.
+    // Tier patterns are indexed whenever the index was built from the same
+    // view snapshot it queries — but a warm-started index serves whatever
+    // postings its snapshot carried, and an admission race could hand it a
+    // tier it never indexed. Missing postings (or missing per-label
+    // bitsets) are counted, logged, and answered by a filtered scan; never
+    // dereferenced blind.
     const PatternPostings* post = Find(p.canonical_code());
+    if (post == nullptr) {
+      stats_->inconsistent_postings.fetch_add(1, std::memory_order_relaxed);
+      GVEX_LOG(kError) << "tier pattern of label " << label
+                       << " has no posting (inconsistent snapshot);"
+                       << " scanning";
+    }
     bool found_elsewhere = false;
     for (const auto& [other_label, other_view] : views()) {
       if (other_label == label) continue;
-      (void)other_view;
-      auto bits = post->subgraph_bits.find(other_label);
-      if (bits != post->subgraph_bits.end() && !AllZero(bits->second)) {
-        found_elsewhere = true;
-        break;
+      if (post != nullptr && post->subgraph_bits) {
+        auto bits = post->subgraph_bits->find(other_label);
+        if (bits != post->subgraph_bits->end()) {
+          if (!bitops::AllZero(bits->second)) {
+            found_elsewhere = true;
+            break;
+          }
+          continue;
+        }
+        stats_->inconsistent_postings.fetch_add(1,
+                                                std::memory_order_relaxed);
+        GVEX_LOG(kError) << "pattern index posting for code "
+                         << p.canonical_code()
+                         << " has no coverage bitset for label "
+                         << other_label
+                         << " (inconsistent snapshot); scanning";
       }
+      for (const ExplanationSubgraph& s : other_view.subgraphs) {
+        if (SubgraphContains(s.subgraph, p)) {
+          found_elsewhere = true;
+          break;
+        }
+      }
+      if (found_elsewhere) break;
     }
     if (!found_elsewhere) out.push_back(p);
   }

@@ -9,11 +9,21 @@
 //     database graphs contain the pattern;
 //   * per-(code, label) coverage bitsets over the label's explanation
 //     subgraphs, so GraphsWithPattern and DiscriminativePatterns reduce to
-//     bitset iteration / emptiness checks.
+//     bitset iteration / emptiness checks. All bitset walks run on the
+//     word-level kernels of util/bitops.h (ctz iteration, wide AND/ANDNOT/
+//     emptiness), and GraphsWithAllPatterns batches a multi-pattern
+//     conjunction into ONE accumulator pass over the postings instead of
+//     one walk per pattern.
 //
-// Isomorphism is kept only as a fallback for query patterns whose canonical
+// Matching is kept only as a fallback for query patterns whose canonical
 // code is not in the index (non-exact containment queries) — those still
-// scan, exactly like the legacy store, so answers stay bit-identical.
+// scan, but through the candidate-filtered matcher
+// (pattern/matcher.h) rather than blind backtracking; the filtered
+// matcher's answers are bit-identical to the legacy ContainsPattern scan
+// (pinned by the oracle parity suites). Fallback scans and inconsistent
+// postings (a known code missing its per-label bitset — possible only with
+// a logically corrupt snapshot) are counted in stats() and the latter is
+// logged loudly; both still return the correct answer via the scan.
 //
 // Complexity: Build is O(codes x (total subgraphs + database size)) pattern
 // matches, shardable across a thread pool (deterministic result for every
@@ -26,6 +36,7 @@
 #ifndef GVEX_SERVE_PATTERN_INDEX_H_
 #define GVEX_SERVE_PATTERN_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -50,11 +61,29 @@ struct PatternPostings {
   /// label -> bitset (64-bit words) over the label view's subgraph list;
   /// bit i is set iff subgraphs[i].subgraph contains the pattern. Computed
   /// for EVERY indexed label, not just the ones carrying the code, so
-  /// discriminative queries never fall back to isomorphism.
-  std::map<int, std::vector<uint64_t>> subgraph_bits;
+  /// discriminative queries never fall back to isomorphism. Shared with
+  /// snapshot export/import (StoredPostings carries the same pointer), so
+  /// Save() copies pointers, not bitset words.
+  CoverageBitsPtr subgraph_bits;
   /// Database graph indices containing the pattern, ascending (empty when
   /// database indexing is disabled or no database was supplied).
   std::vector<int> db_graphs;
+};
+
+/// Observability counters for one index instance. Queries mutate them
+/// through an atomic so the index itself stays logically immutable (and
+/// every const method stays safe to call concurrently).
+struct IndexStats {
+  /// Queries whose code was not indexed — answered by a filtered
+  /// containment scan (the expected slow path for non-exact patterns).
+  std::atomic<uint64_t> fallback_scans{0};
+  /// Known code but no bitset for the queried label. This is an
+  /// inconsistent snapshot state (build computes bits for every label); it
+  /// is logged loudly, counted here, and answered by a scan.
+  std::atomic<uint64_t> inconsistent_postings{0};
+  /// Fallback containment checks refuted by candidate filtering alone
+  /// (zero backtracking steps) — the matcher's fast-reject rate.
+  std::atomic<uint64_t> filtered_rejects{0};
 };
 
 /// Immutable inverted index over the pattern tiers of a view set.
@@ -113,8 +142,18 @@ class PatternIndex {
   const std::vector<Pattern>& PatternsForLabel(int label) const;
 
   /// Graphs of label group `label` whose explanation subgraph contains `p`.
-  /// Indexed when p's code is known; isomorphism-scan fallback otherwise.
+  /// Indexed when p's code is known; filtered-matcher scan fallback
+  /// otherwise.
   std::vector<int> GraphsWithPattern(int label, const Pattern& p) const;
+
+  /// Graphs of label group `label` whose explanation subgraph contains ALL
+  /// of `patterns` — equal to intersecting GraphsWithPattern answers, but
+  /// computed as ONE bitset-AND accumulator pass across the postings
+  /// (indexed codes narrow the accumulator word-wise first; any
+  /// fallback-scan patterns only check subgraphs still in the
+  /// accumulator). Empty `patterns` returns every graph of the label.
+  std::vector<int> GraphsWithAllPatterns(
+      int label, const std::vector<Pattern>& patterns) const;
 
   /// Labels whose pattern tier contains a pattern isomorphic to `p`.
   /// Always a pure hash lookup (tier membership is exact code equality).
@@ -137,13 +176,20 @@ class PatternIndex {
   const std::map<int, ExplanationView>& views() const;
   const MatchOptions& match_options() const { return match_; }
   bool database_indexed() const { return database_indexed_; }
+  /// Query-path counters (shared across copies of this snapshot's index).
+  const IndexStats& stats() const { return *stats_; }
 
  private:
+  bool SubgraphContains(const Graph& subgraph, const Pattern& p) const;
+
   std::shared_ptr<const std::map<int, ExplanationView>> views_;
   const GraphDatabase* db_ = nullptr;
   MatchOptions match_;
   bool database_indexed_ = false;
   std::unordered_map<std::string, PatternPostings> postings_;
+  // Behind a pointer so the index stays cheaply movable/copyable and const
+  // query methods can count.
+  std::shared_ptr<IndexStats> stats_ = std::make_shared<IndexStats>();
 };
 
 }  // namespace gvex

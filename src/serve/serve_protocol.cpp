@@ -144,6 +144,57 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
     req.pattern = std::move(pattern).value();
     return req;
   }
+  if (kw == "graphsall") {
+    // Head: graphsall <label> <k>, then k pattern blocks. Consume every
+    // block before reporting argument errors (stream stays in sync).
+    auto label = ParseLabelArg(head);
+    int count = -1;
+    if (head.size() >= 3) {
+      try {
+        size_t used = 0;
+        const int k = std::stoi(head[2], &used);
+        if (used == head[2].size() && k >= 0) count = k;
+      } catch (const std::exception&) {
+      }
+    }
+    Status first_error = Status::OK();
+    for (int i = 0; i < std::max(0, count); ++i) {
+      auto pattern = ParsePatternBlock(lines, pos);
+      if (!pattern.ok()) {
+        // An unterminated block consumed the rest of the input; stop.
+        if (first_error.ok()) first_error = pattern.status();
+        break;
+      }
+      req.patterns.push_back(std::move(pattern).value());
+    }
+    if (!label.ok()) return label.status();
+    if (count < 0) {
+      return Status::InvalidArgument(
+          "'graphsall' needs a pattern count: graphsall <label> <k>");
+    }
+    if (!first_error.ok()) return first_error;
+    req.kind = ServeRequest::Kind::kGraphsAll;
+    req.label = label.value();
+    return req;
+  }
+  if (kw == "mcs") {
+    auto label = ParseLabelArg(head);
+    auto block = CollectBlock(lines, pos, "end");
+    if (!label.ok()) return label.status();
+    if (!block.ok()) return block.status();
+    auto graphs = ParseGraphs(block.value());
+    if (!graphs.ok()) return graphs.status();
+    if (graphs.value().size() != 1) {
+      return Status::InvalidArgument("expected exactly one query graph");
+    }
+    if (graphs.value()[0].graph.num_nodes() == 0) {
+      return Status::InvalidArgument("mcs query graph must be non-empty");
+    }
+    req.kind = ServeRequest::Kind::kMcs;
+    req.label = label.value();
+    req.query_graph = std::move(graphs.value()[0].graph);
+    return req;
+  }
   if (kw == "labelsof") {
     auto pattern = ParsePatternBlock(lines, pos);
     if (!pattern.ok()) return pattern.status();
@@ -213,6 +264,15 @@ std::string HandleServeRequest(ViewService* service,
           service->DatabaseGraphsWithPattern(req.pattern, req.label));
     case ServeRequest::Kind::kDiscriminative:
       return FormatPatterns(service->DiscriminativePatterns(req.label));
+    case ServeRequest::Kind::kGraphsAll:
+      return FormatIds(
+          service->GraphsWithAllPatterns(req.label, req.patterns));
+    case ServeRequest::Kind::kMcs: {
+      const McsAnswer a =
+          service->MaxCommonSubgraph(req.label, req.query_graph);
+      return StrFormat("ok mcs graph %d size %d exact %d\n", a.graph_index,
+                       a.size, a.exact ? 1 : 0);
+    }
     case ServeRequest::Kind::kAdmit: {
       const int label = req.view.label;
       auto epoch = service->AdmitView(req.view);

@@ -14,6 +14,22 @@
 //   dbgraphs <label|-1>            -> ok <n> / ids <database graph indices>
 //     <graph block>
 //   discriminative <label>         -> ok <n> / n x ("pattern" + graph block)
+//   graphsall <label> <k>          -> ok <n> / ids <graph indices>
+//     k x <graph block>               (graphs of the label group whose
+//                                      explanation subgraph contains ALL k
+//                                      patterns — one batched bitset pass;
+//                                      k = 0 answers every graph of the
+//                                      label)
+//   mcs <label>                    -> ok mcs graph <g> size <s> exact <0|1>
+//     <graph block>                   (approximate query: the label's
+//                                      explanation subgraph sharing the
+//                                      largest common induced subgraph with
+//                                      the query graph, budgeted McSplit
+//                                      search; the query graph may be
+//                                      disconnected; exact 0 = the step
+//                                      budget bound somewhere, size is a
+//                                      lower bound; graph -1 = label
+//                                      unknown or no common subgraph)
 //   admit                          -> ok admitted <label> epoch <e>
 //     <view block>                    (live admission: published as a new
 //                                      snapshot without blocking readers)
@@ -74,6 +90,8 @@ struct ServeRequest {
     kLabelsOf,
     kDbGraphs,
     kDiscriminative,
+    kGraphsAll,
+    kMcs,
     kAdmit,
     kStats,
     kOpen,
@@ -84,6 +102,10 @@ struct ServeRequest {
   Kind kind = Kind::kLabels;
   int label = -1;
   Pattern pattern;       ///< For kGraphs / kLabelsOf / kDbGraphs.
+  /// For kGraphsAll: the conjunction of patterns to intersect.
+  std::vector<Pattern> patterns;
+  /// For kMcs: the query graph (may be disconnected — it is not a Pattern).
+  Graph query_graph;
   ExplanationView view;  ///< For kAdmit.
   std::string dir;       ///< For kOpen.
   /// For kSave: plain `save` is kAuto (the service's size policy picks

@@ -24,10 +24,14 @@
 namespace gvex {
 namespace synthetic {
 
-/// Random connected graph: spanning tree plus a few extra edges; node types
-/// drawn from [0, num_types).
+/// Random connected graph: spanning tree plus extra edges; node types drawn
+/// from [0, num_types). With `extra_edge_prob` == 0 the extras are n/3
+/// random pairs (the historical shape — same rng stream as ever); a
+/// positive probability instead flips a coin per node pair, yielding the
+/// dense graphs the matcher benchmarks stress.
 inline Graph RandomConnectedGraph(Rng* rng, int min_nodes, int max_nodes,
-                                  int num_types) {
+                                  int num_types,
+                                  double extra_edge_prob = 0.0) {
   const int n = static_cast<int>(rng->NextInt(min_nodes, max_nodes));
   Graph g;
   for (int i = 0; i < n; ++i) {
@@ -36,6 +40,14 @@ inline Graph RandomConnectedGraph(Rng* rng, int min_nodes, int max_nodes,
   for (NodeId v = 1; v < n; ++v) {
     (void)g.AddEdge(v, static_cast<NodeId>(rng->NextUint(
                            static_cast<uint64_t>(v))));
+  }
+  if (extra_edge_prob > 0.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng->NextDouble() < extra_edge_prob) (void)g.AddEdge(u, v);
+      }
+    }
+    return g;
   }
   const int extra = n / 3;
   for (int i = 0; i < extra; ++i) {
@@ -95,6 +107,9 @@ struct SyntheticStoreOptions {
   /// graph's nodes (+1 so they are never empty).
   int subgraph_num = 1;
   int subgraph_den = 2;
+  /// Passed through to RandomConnectedGraph for the database graphs;
+  /// 0 keeps the historical sparse shape (and rng stream) untouched.
+  double extra_edge_prob = 0.0;
 };
 
 /// A synthetic database with one randomized view per label.
@@ -116,7 +131,7 @@ inline SyntheticStore MakeSyntheticStore(
     view.label = label;
     for (int i = 0; i < opt.graphs_per_label; ++i) {
       Graph g = RandomConnectedGraph(&rng, opt.min_nodes, opt.max_nodes,
-                                     opt.num_types);
+                                     opt.num_types, opt.extra_edge_prob);
       const int gi = store.db.Add(g, label);
       ExplanationSubgraph sub;
       sub.graph_index = gi;

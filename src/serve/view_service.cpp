@@ -289,6 +289,29 @@ std::vector<int> ViewService::GraphsWithPattern(int label,
   return ExecuteCached(*Load(), q).ids;
 }
 
+std::vector<int> ViewService::GraphsWithAllPatterns(
+    int label, const std::vector<Pattern>& patterns) const {
+  return Load()->index.GraphsWithAllPatterns(label, patterns);
+}
+
+McsAnswer ViewService::MaxCommonSubgraph(int label, const Graph& query,
+                                         const McsOptions& options) const {
+  std::shared_ptr<const Snapshot> snap = Load();
+  McsAnswer out;
+  out.epoch = snap->epoch;
+  auto it = snap->views->find(label);
+  if (it == snap->views->end()) return out;
+  for (const ExplanationSubgraph& s : it->second.subgraphs) {
+    const McsResult r = gvex::MaxCommonSubgraph(query, s.subgraph, options);
+    if (!r.exact) out.exact = false;  // some search stopped early
+    if (r.size > out.size) {
+      out.size = r.size;
+      out.graph_index = s.graph_index;
+    }
+  }
+  return out;
+}
+
 std::vector<int> ViewService::LabelsOfPattern(const Pattern& p) const {
   ViewQuery q;
   q.kind = QueryKind::kLabelsOfPattern;
@@ -594,6 +617,13 @@ ViewServiceStats ViewService::stats() const {
   out.num_codes = snap->index.num_codes();
   out.admitted_views = snap->admitted_views;
   out.admitted_batches = snap->admitted_batches;
+  const IndexStats& istats = snap->index.stats();
+  out.index_fallback_scans =
+      istats.fallback_scans.load(std::memory_order_relaxed);
+  out.index_inconsistent_postings =
+      istats.inconsistent_postings.load(std::memory_order_relaxed);
+  out.index_filtered_rejects =
+      istats.filtered_rejects.load(std::memory_order_relaxed);
   // One shard lock at a time: a query records its hit or miss under
   // exactly one shard's lock, so a sequential sum can never split an
   // individual query's counters — and stats() never pauses the whole

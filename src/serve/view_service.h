@@ -60,6 +60,7 @@
 
 #include "explain/explanation.h"
 #include "graph/graph_database.h"
+#include "pattern/matcher.h"
 #include "pattern/pattern.h"
 #include "serve/pattern_index.h"
 #include "store/snapshot.h"
@@ -139,6 +140,18 @@ struct ViewQueryResult {
   uint64_t epoch = 0;
 };
 
+/// Answer of a MaxCommonSubgraph (`mcs`) query: the explanation subgraph
+/// of the label scoring the largest common induced subgraph with the query
+/// graph.
+struct McsAnswer {
+  int graph_index = -1;  ///< owning graph of the best subgraph (-1 = none)
+  int size = 0;          ///< nodes in the best common subgraph found
+  /// True when every per-subgraph search proved optimality; false means
+  /// `size` is a lower bound (the step budget bound somewhere).
+  bool exact = true;
+  uint64_t epoch = 0;    ///< snapshot the answer was computed on
+};
+
 /// What Save() wrote (or would write).
 enum class SaveKind {
   kAuto,   ///< size policy: delta when cheap, full otherwise
@@ -173,6 +186,12 @@ struct ViewServiceStats {
   uint64_t admitted_batches = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Index query-path counters (IndexStats of the CURRENT snapshot's
+  /// index; process-lifetime like the cache counters, but reset whenever a
+  /// new epoch publishes a freshly built index).
+  uint64_t index_fallback_scans = 0;
+  uint64_t index_inconsistent_postings = 0;
+  uint64_t index_filtered_rejects = 0;
   /// Last Compact() failure ("" when compaction never failed or succeeded
   /// since) — the only visible signal when BACKGROUND compaction fails.
   std::string last_compact_error;
@@ -257,6 +276,18 @@ class ViewService {
   std::vector<int> Labels() const;
   std::vector<Pattern> PatternsForLabel(int label) const;
   std::vector<int> GraphsWithPattern(int label, const Pattern& p) const;
+  /// Graphs of `label` whose explanation subgraph contains ALL of
+  /// `patterns` (one batched bitset pass; equal to intersecting the
+  /// per-pattern answers). Uncached — the multi-pattern key space is too
+  /// sparse to be worth cache slots.
+  std::vector<int> GraphsWithAllPatterns(
+      int label, const std::vector<Pattern>& patterns) const;
+  /// Approximate pattern query: the label's explanation subgraph sharing
+  /// the largest common induced subgraph with `query` (McSplit search,
+  /// `options.max_steps` spent PER subgraph). A bound-hit downgrades
+  /// `exact`, never mis-ranks an answer the search did prove.
+  McsAnswer MaxCommonSubgraph(int label, const Graph& query,
+                              const McsOptions& options = {}) const;
   std::vector<int> LabelsOfPattern(const Pattern& p) const;
   std::vector<int> DatabaseGraphsWithPattern(const Pattern& p,
                                              int label = -1) const;

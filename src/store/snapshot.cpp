@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -149,8 +150,10 @@ void EncodePosting(const StoredPostings& p, std::string* dst) {
     PutZigzag64(dst, label);
     PutZigzag64(dst, pos);
   }
-  PutVarint64(dst, p.subgraph_bits.size());
-  for (const auto& [label, bits] : p.subgraph_bits) {
+  static const CoverageBits kNoBits;
+  const CoverageBits& sb = p.subgraph_bits ? *p.subgraph_bits : kNoBits;
+  PutVarint64(dst, sb.size());
+  for (const auto& [label, bits] : sb) {
     PutZigzag64(dst, label);
     PutVarint64(dst, bits.size());
     for (uint64_t w : bits) PutFixed64(dst, w);
@@ -179,6 +182,7 @@ Status DecodePosting(ByteReader* in, StoredPostings* p) {
                               static_cast<int>(pos));
   }
   GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &n));
+  CoverageBits subgraph_bits;
   for (uint64_t i = 0; i < n; ++i) {
     int64_t label = 0;
     GVEX_RETURN_NOT_OK(in->GetZigzag64(&label));
@@ -188,8 +192,10 @@ Status DecodePosting(ByteReader* in, StoredPostings* p) {
     for (uint64_t w = 0; w < words; ++w) {
       GVEX_RETURN_NOT_OK(in->GetFixed64(&bits[static_cast<size_t>(w)]));
     }
-    out.subgraph_bits.emplace(static_cast<int>(label), std::move(bits));
+    subgraph_bits.emplace(static_cast<int>(label), std::move(bits));
   }
+  out.subgraph_bits =
+      std::make_shared<const CoverageBits>(std::move(subgraph_bits));
   GVEX_RETURN_NOT_OK(in->GetCount(in->remaining(), &n));
   out.db_graphs.reserve(static_cast<size_t>(n));
   for (uint64_t i = 0; i < n; ++i) {
@@ -368,11 +374,13 @@ Result<SnapshotData> ParseSnapshot(const std::string& bytes) {
       return Status::InvalidArgument(
           "posting labels disagree with its tier positions");
     }
-    if (p.subgraph_bits.size() != data.views.size()) {
+    static const CoverageBits kNoBits;
+    const CoverageBits& sb = p.subgraph_bits ? *p.subgraph_bits : kNoBits;
+    if (sb.size() != data.views.size()) {
       return Status::InvalidArgument(
           "posting coverage bitsets do not cover every view label");
     }
-    for (const auto& [label, bits] : p.subgraph_bits) {
+    for (const auto& [label, bits] : sb) {
       auto view = data.views.find(label);
       if (view == data.views.end() ||
           bits.size() != (view->second.subgraphs.size() + 63) / 64) {

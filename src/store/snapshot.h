@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,14 @@
 
 namespace gvex {
 
+/// Per-label coverage bitsets of one posting: label -> bitset (64-bit
+/// words) over that label view's subgraph list. Immutable once built and
+/// SHARED by pointer between the in-memory index (PatternPostings) and the
+/// snapshot codec (StoredPostings) — Save()/FromStored() exchange postings
+/// without copying a single bitset word.
+using CoverageBits = std::map<int, std::vector<uint64_t>>;
+using CoverageBitsPtr = std::shared_ptr<const CoverageBits>;
+
 /// On-disk mirror of one PatternIndex posting (serve/pattern_index.h
 /// converts to and from this struct). Owning the mirror here decouples the
 /// file format from the in-memory index layout.
@@ -44,7 +53,9 @@ struct StoredPostings {
   std::string code;                ///< canonical pattern code (the key)
   std::vector<int> labels;         ///< labels carrying the code, ascending
   std::map<int, int> tier_position;
-  std::map<int, std::vector<uint64_t>> subgraph_bits;
+  /// Never null after a successful decode; a null pointer encodes like an
+  /// empty map.
+  CoverageBitsPtr subgraph_bits;
   std::vector<int> db_graphs;
 };
 

@@ -1,0 +1,201 @@
+// Word-level bitset kernels for the serving read path. Coverage bitsets
+// (pattern_index.h) are dense arrays of 64-bit words; the hot queries are
+// AND / AND-NOT / emptiness / popcount / iterate-set-bits over them. This
+// header gives each of those a kernel that walks WORDS (and, when the
+// compiler targets AVX2, 256-bit lanes), never individual bits.
+//
+// Dispatch is selected at BUILD time: when the translation unit is
+// compiled with AVX2 enabled (e.g. -mavx2 / -march=native, detected via
+// __AVX2__), the wide kernels are used; otherwise the portable scalar
+// loops compile in. Both paths produce identical results — the scalar
+// implementations live in bitops::scalar and stay callable from any build,
+// so tests can pin the dispatched kernels against them.
+//
+// All kernels take (pointer, word count); the std::vector<uint64_t>
+// convenience overloads cover the common case. Set-bit iteration uses ctz
+// (one iteration per SET bit, not per bit), which is what turns sparse
+// posting walks from O(bits) into O(answers).
+
+#ifndef GVEX_UTIL_BITOPS_H_
+#define GVEX_UTIL_BITOPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__AVX2__) && !defined(GVEX_BITOPS_FORCE_SCALAR)
+#define GVEX_BITOPS_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace gvex {
+namespace bitops {
+
+/// Words needed to hold `bits` bits.
+inline size_t WordsForBits(size_t bits) { return (bits + 63) / 64; }
+
+/// Single-bit accessors (the only per-bit helpers; everything else walks
+/// words).
+inline bool TestBit(const uint64_t* words, size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+inline void SetBit(uint64_t* words, size_t i) {
+  words[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+// --- Portable scalar kernels (always available; the reference the
+// dispatched kernels are tested against). ---
+namespace scalar {
+
+inline bool AllZero(const uint64_t* w, size_t n) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) acc |= w[i];
+  return acc == 0;
+}
+
+inline bool Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+inline void AndInPlace(uint64_t* acc, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] &= b[i];
+}
+
+inline void AndNotInPlace(uint64_t* acc, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] &= ~b[i];
+}
+
+inline size_t Popcount(const uint64_t* w, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(__builtin_popcountll(w[i]));
+  }
+  return total;
+}
+
+}  // namespace scalar
+
+// --- Dispatched kernels: AVX2 when compiled in, scalar otherwise. ---
+
+/// True when every word is zero.
+inline bool AllZero(const uint64_t* w, size_t n) {
+#ifdef GVEX_BITOPS_AVX2
+  size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i)));
+  }
+  if (!_mm256_testz_si256(acc, acc)) return false;
+  return scalar::AllZero(w + i, n - i);
+#else
+  return scalar::AllZero(w, n);
+#endif
+}
+
+/// True when a & b has any set bit (no output written).
+inline bool Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
+#ifdef GVEX_BITOPS_AVX2
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  return scalar::Intersects(a + i, b + i, n - i);
+#else
+  return scalar::Intersects(a, b, n);
+#endif
+}
+
+/// acc &= b, word-wise.
+inline void AndInPlace(uint64_t* acc, const uint64_t* b, size_t n) {
+#ifdef GVEX_BITOPS_AVX2
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_and_si256(va, vb));
+  }
+  scalar::AndInPlace(acc + i, b + i, n - i);
+#else
+  scalar::AndInPlace(acc, b, n);
+#endif
+}
+
+/// acc &= ~b, word-wise.
+inline void AndNotInPlace(uint64_t* acc, const uint64_t* b, size_t n) {
+#ifdef GVEX_BITOPS_AVX2
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // _mm256_andnot_si256 computes (~first) & second.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_andnot_si256(vb, va));
+  }
+  scalar::AndNotInPlace(acc + i, b + i, n - i);
+#else
+  scalar::AndNotInPlace(acc, b, n);
+#endif
+}
+
+/// Number of set bits.
+inline size_t Popcount(const uint64_t* w, size_t n) {
+  // Scalar popcountll compiles to one POPCNT per word on every target we
+  // build for; a Harley-Seal AVX2 version is not worth the complexity at
+  // posting sizes (a few words per label).
+  return scalar::Popcount(w, n);
+}
+
+/// Calls fn(index) for every set bit, ascending — one ctz per SET bit.
+template <typename Fn>
+inline void ForEachSetBit(const uint64_t* words, size_t n, Fn&& fn) {
+  for (size_t wi = 0; wi < n; ++wi) {
+    uint64_t w = words[wi];
+    while (w != 0) {
+      const int b = __builtin_ctzll(w);
+      fn(static_cast<size_t>((wi << 6) + static_cast<size_t>(b)));
+      w &= w - 1;  // clear the lowest set bit
+    }
+  }
+}
+
+// --- std::vector<uint64_t> conveniences. Sizes must match where two
+// bitsets meet (callers index bitsets of one universe). ---
+
+inline bool AllZero(const std::vector<uint64_t>& w) {
+  return AllZero(w.data(), w.size());
+}
+inline bool Intersects(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b) {
+  return Intersects(a.data(), b.data(), a.size() < b.size() ? a.size()
+                                                            : b.size());
+}
+inline void AndInPlace(std::vector<uint64_t>* acc,
+                       const std::vector<uint64_t>& b) {
+  AndInPlace(acc->data(), b.data(),
+             acc->size() < b.size() ? acc->size() : b.size());
+}
+inline size_t Popcount(const std::vector<uint64_t>& w) {
+  return Popcount(w.data(), w.size());
+}
+template <typename Fn>
+inline void ForEachSetBit(const std::vector<uint64_t>& w, Fn&& fn) {
+  ForEachSetBit(w.data(), w.size(), static_cast<Fn&&>(fn));
+}
+
+}  // namespace bitops
+}  // namespace gvex
+
+#endif  // GVEX_UTIL_BITOPS_H_

@@ -71,6 +71,86 @@ TEST_F(ServeProtocolTest, LabelsOfAndDbGraphsQueries) {
   EXPECT_TRUE(StartsWith(out, StrFormat("ok %zu", expected.size())));
 }
 
+TEST_F(ServeProtocolTest, GraphsAllQueryMatchesServiceAnswer) {
+  const Pattern& a = store_.views[0].patterns.front();
+  const Pattern& b = store_.views[0].patterns.back();
+  const std::string request =
+      "graphsall 0 2\n" + PatternBlock(a) + PatternBlock(b);
+  const std::string out = ServeText(service_.get(), request);
+  const auto expected = service_->GraphsWithAllPatterns(0, {a, b});
+  std::string want = StrFormat("ok %zu\n", expected.size());
+  if (!expected.empty()) {
+    want += "ids";
+    for (int id : expected) want += StrFormat(" %d", id);
+    want += "\n";
+  }
+  EXPECT_EQ(out, want);
+}
+
+TEST_F(ServeProtocolTest, GraphsAllWithZeroPatternsListsEveryGraph) {
+  const std::string out = ServeText(service_.get(), "graphsall 0 0\n");
+  std::string want =
+      StrFormat("ok %zu\nids", store_.views[0].subgraphs.size());
+  for (const auto& s : store_.views[0].subgraphs) {
+    want += StrFormat(" %d", s.graph_index);
+  }
+  want += "\n";
+  EXPECT_EQ(out, want);
+}
+
+TEST_F(ServeProtocolTest, GraphsAllWithoutCountIsAnErrorAndRecovers) {
+  const std::string out =
+      ServeText(service_.get(), "graphsall 0\ngraphsall 0 nope\nlabels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_TRUE(StartsWith(lines[1], "err "));
+  EXPECT_EQ(lines[2], "ok 2");  // the stream stayed in sync
+}
+
+TEST_F(ServeProtocolTest, McsQueryReportsBestCommonSubgraph) {
+  // A whole explanation subgraph as the query: the answer must match the
+  // service API verbatim (its own subgraph gives a full-size hit).
+  const Graph& query = store_.views[0].subgraphs[0].subgraph;
+  const McsAnswer want = service_->MaxCommonSubgraph(0, query);
+  EXPECT_GE(want.size, 1);
+  const std::string out =
+      ServeText(service_.get(), "mcs 0\n" + SerializeGraph(query));
+  EXPECT_EQ(out, StrFormat("ok mcs graph %d size %d exact %d\n",
+                           want.graph_index, want.size, want.exact ? 1 : 0));
+}
+
+TEST_F(ServeProtocolTest, McsAcceptsDisconnectedQueries) {
+  // Two isolated nodes — Pattern::Create would reject this; mcs must not.
+  Graph query;
+  query.AddNode(0);
+  query.AddNode(1);
+  const McsAnswer want = service_->MaxCommonSubgraph(0, query);
+  const std::string out =
+      ServeText(service_.get(), "mcs 0\n" + SerializeGraph(query));
+  EXPECT_EQ(out, StrFormat("ok mcs graph %d size %d exact %d\n",
+                           want.graph_index, want.size, want.exact ? 1 : 0));
+}
+
+TEST_F(ServeProtocolTest, McsUnknownLabelAnswersNoGraph) {
+  Graph query;
+  query.AddNode(0);
+  const std::string out =
+      ServeText(service_.get(), "mcs 99\n" + SerializeGraph(query));
+  EXPECT_EQ(out, "ok mcs graph -1 size 0 exact 1\n");
+}
+
+TEST_F(ServeProtocolTest, McsBadRequestsConsumeTheirBlockAndRecover) {
+  Graph query;
+  query.AddNode(0);
+  const std::string out = ServeText(
+      service_.get(), "mcs nope\n" + SerializeGraph(query) + "labels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_EQ(lines[1], "ok 2");  // block swallowed, stream in sync
+}
+
 TEST_F(ServeProtocolTest, AdmitPublishesView) {
   const uint64_t before = service_->epoch();
   ExplanationView view = store_.views[0];

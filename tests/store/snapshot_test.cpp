@@ -89,7 +89,11 @@ TEST(SnapshotTest, SerializeParseRoundTripsEverything) {
     EXPECT_EQ(got.postings[i].code, data.postings[i].code);
     EXPECT_EQ(got.postings[i].labels, data.postings[i].labels);
     EXPECT_EQ(got.postings[i].tier_position, data.postings[i].tier_position);
-    EXPECT_EQ(got.postings[i].subgraph_bits, data.postings[i].subgraph_bits);
+    // The pointers differ (decode allocates fresh maps); the words match.
+    ASSERT_NE(got.postings[i].subgraph_bits, nullptr);
+    ASSERT_NE(data.postings[i].subgraph_bits, nullptr);
+    EXPECT_EQ(*got.postings[i].subgraph_bits,
+              *data.postings[i].subgraph_bits);
     EXPECT_EQ(got.postings[i].db_graphs, data.postings[i].db_graphs);
   }
 }
@@ -116,9 +120,14 @@ TEST(SnapshotTest, LogicallyInconsistentSnapshotsAreRejected) {
   }
   {
     // A coverage bitset with fewer words than the view's subgraph list.
+    // The shared map is immutable; mutate a copy and swap the pointer.
     SnapshotData broken = data;
-    ASSERT_FALSE(broken.postings[0].subgraph_bits.empty());
-    broken.postings[0].subgraph_bits.begin()->second.clear();
+    ASSERT_NE(broken.postings[0].subgraph_bits, nullptr);
+    ASSERT_FALSE(broken.postings[0].subgraph_bits->empty());
+    CoverageBits mutated = *broken.postings[0].subgraph_bits;
+    mutated.begin()->second.clear();
+    broken.postings[0].subgraph_bits =
+        std::make_shared<const CoverageBits>(std::move(mutated));
     EXPECT_FALSE(ParseSnapshot(SerializeSnapshot(broken)).ok());
   }
   {

@@ -1,0 +1,115 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gvex {
+namespace {
+
+std::vector<uint64_t> RandomWords(Rng* rng, size_t n, int density_den) {
+  std::vector<uint64_t> out(n, 0);
+  for (size_t w = 0; w < n; ++w) {
+    for (int b = 0; b < 64; ++b) {
+      if (rng->NextUint(static_cast<uint64_t>(density_den)) == 0) {
+        out[w] |= uint64_t{1} << b;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(BitopsTest, WordsForBits) {
+  EXPECT_EQ(bitops::WordsForBits(0), 0u);
+  EXPECT_EQ(bitops::WordsForBits(1), 1u);
+  EXPECT_EQ(bitops::WordsForBits(64), 1u);
+  EXPECT_EQ(bitops::WordsForBits(65), 2u);
+  EXPECT_EQ(bitops::WordsForBits(128), 2u);
+}
+
+TEST(BitopsTest, SetAndTestBit) {
+  std::vector<uint64_t> w(3, 0);
+  for (size_t i : {0u, 1u, 63u, 64u, 100u, 191u}) {
+    EXPECT_FALSE(bitops::TestBit(w.data(), i));
+    bitops::SetBit(w.data(), i);
+    EXPECT_TRUE(bitops::TestBit(w.data(), i));
+  }
+  EXPECT_FALSE(bitops::TestBit(w.data(), 2));
+  EXPECT_FALSE(bitops::TestBit(w.data(), 65));
+}
+
+// The dispatched kernels (AVX2 when the build enables it) must agree with
+// the always-scalar reference on randomized inputs of every length class —
+// shorter than one 256-bit lane, exactly lane-aligned, and with tails.
+TEST(BitopsTest, DispatchedKernelsMatchScalarReference) {
+  Rng rng(42);
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 31u, 64u}) {
+    for (int density : {1, 2, 64, 4096}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto a = RandomWords(&rng, n, density);
+        const auto b = RandomWords(&rng, n, density);
+
+        EXPECT_EQ(bitops::AllZero(a.data(), n),
+                  bitops::scalar::AllZero(a.data(), n))
+            << "n=" << n;
+        EXPECT_EQ(bitops::Intersects(a.data(), b.data(), n),
+                  bitops::scalar::Intersects(a.data(), b.data(), n))
+            << "n=" << n;
+        EXPECT_EQ(bitops::Popcount(a.data(), n),
+                  bitops::scalar::Popcount(a.data(), n))
+            << "n=" << n;
+
+        auto and_fast = a;
+        auto and_ref = a;
+        bitops::AndInPlace(and_fast.data(), b.data(), n);
+        bitops::scalar::AndInPlace(and_ref.data(), b.data(), n);
+        EXPECT_EQ(and_fast, and_ref) << "n=" << n;
+
+        auto andnot_fast = a;
+        auto andnot_ref = a;
+        bitops::AndNotInPlace(andnot_fast.data(), b.data(), n);
+        bitops::scalar::AndNotInPlace(andnot_ref.data(), b.data(), n);
+        EXPECT_EQ(andnot_fast, andnot_ref) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BitopsTest, KernelSemanticsOnKnownWords) {
+  const std::vector<uint64_t> zero(5, 0);
+  EXPECT_TRUE(bitops::AllZero(zero));
+  auto one_bit = zero;
+  bitops::SetBit(one_bit.data(), 4 * 64 + 17);  // in the scalar tail
+  EXPECT_FALSE(bitops::AllZero(one_bit));
+  EXPECT_FALSE(bitops::Intersects(zero, one_bit));
+  EXPECT_TRUE(bitops::Intersects(one_bit, one_bit));
+  EXPECT_EQ(bitops::Popcount(one_bit), 1u);
+
+  // acc &= ~b clears exactly b's bits.
+  std::vector<uint64_t> acc(5, ~uint64_t{0});
+  bitops::AndNotInPlace(acc.data(), one_bit.data(), acc.size());
+  EXPECT_EQ(bitops::Popcount(acc), 5 * 64u - 1);
+  EXPECT_FALSE(bitops::TestBit(acc.data(), 4 * 64 + 17));
+}
+
+TEST(BitopsTest, ForEachSetBitVisitsAscendingExactly) {
+  Rng rng(7);
+  for (size_t n : {0u, 1u, 3u, 9u}) {
+    const auto w = RandomWords(&rng, n, 3);
+    std::vector<size_t> visited;
+    bitops::ForEachSetBit(w, [&](size_t i) { visited.push_back(i); });
+    EXPECT_EQ(visited.size(), bitops::Popcount(w));
+    for (size_t k = 0; k < visited.size(); ++k) {
+      EXPECT_TRUE(bitops::TestBit(w.data(), visited[k]));
+      if (k > 0) {
+        EXPECT_LT(visited[k - 1], visited[k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gvex

@@ -47,6 +47,12 @@ Checks applied to every section present in BOTH files:
     bench's 1k-pattern store — the acceptance bar for incremental
     snapshots (a save must not cost O(store) once deltas exist), gated
     unconditionally like the other ratios.
+  * fallback floor — every current key named "fallback_speedup" (or
+    prefixed "fallback_speedup_") must be >= --min-fallback-speedup
+    (default 3). Same-machine ratio of the serving bench's unindexed
+    (fallback) query mix scanned with the blind backtracking matcher vs
+    the candidate-filtered matcher — the acceptance bar for the filtered
+    fallback path, gated unconditionally like the other ratios.
 
 Exit status 0 when all gates pass, 1 otherwise (2 for usage errors).
 """
@@ -106,7 +112,8 @@ def check_section(name, base, cur, args):
     # everywhere — no baseline value and no core-count precondition needed.
     ratio_floors = (("scan_speedup", args.min_scan_speedup),
                     ("warm_speedup", args.min_warm_speedup),
-                    ("delta_save_speedup", args.min_delta_save_speedup))
+                    ("delta_save_speedup", args.min_delta_save_speedup),
+                    ("fallback_speedup", args.min_fallback_speedup))
     for key in sorted(cur):
         floor = next((f for base_key, f in ratio_floors
                       if key == base_key or key.startswith(base_key + "_")),
@@ -177,6 +184,9 @@ def main():
     parser.add_argument("--min-delta-save-speedup", type=float, default=3.0,
                         help="hardware-independent floor for "
                              "delta_save_speedup* ratio keys (default 3)")
+    parser.add_argument("--min-fallback-speedup", type=float, default=3.0,
+                        help="hardware-independent floor for "
+                             "fallback_speedup* ratio keys (default 3)")
     parser.add_argument("--min-seconds", type=float, default=0.02,
                         help="timings below this are too noisy to gate "
                              "(default 0.02)")

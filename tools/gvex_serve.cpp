@@ -19,6 +19,7 @@
 // support); this tool drives it from a single protocol session, which is
 // the shape the bench and tests script against.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -70,19 +71,31 @@ Result<std::vector<ExplanationView>> LoadViewsAnyFormat(
   return LoadViews(path);
 }
 
-// True when `keyword` opens a request that carries a payload block;
-// `terminator` receives the block's closing line.
-bool BlockTerminator(const std::string& keyword, std::string* terminator) {
+// How many payload blocks follow `head`'s keyword line, and which line
+// closes each of them. Returns 0 for block-less requests.
+int PayloadBlocks(const std::vector<std::string>& head,
+                  std::string* terminator) {
+  const std::string& keyword = head[0];
   if (keyword == "graphs" || keyword == "dbgraphs" ||
-      keyword == "labelsof") {
+      keyword == "labelsof" || keyword == "mcs") {
     *terminator = "end";
-    return true;
+    return 1;
+  }
+  if (keyword == "graphsall") {
+    // graphsall <label> <k>: k pattern blocks. A malformed count reads no
+    // blocks; the parser reports the error.
+    *terminator = "end";
+    try {
+      return head.size() >= 3 ? std::max(0, std::stoi(head[2])) : 0;
+    } catch (const std::exception&) {
+      return 0;
+    }
   }
   if (keyword == "admit") {
     *terminator = "endview";
-    return true;
+    return 1;
   }
-  return false;
+  return 0;
 }
 
 // Request/response loop: reads ONE request (keyword line + payload block if
@@ -95,7 +108,8 @@ void ServeStream(ServeSession* session, std::istream& in) {
     std::string chunk = line + "\n";
     const auto head = SplitWhitespace(Trim(line));
     std::string terminator;
-    if (!head.empty() && BlockTerminator(head[0], &terminator)) {
+    const int blocks = head.empty() ? 0 : PayloadBlocks(head, &terminator);
+    for (int b = 0; b < blocks; ++b) {
       std::string payload;
       while (std::getline(in, payload)) {
         chunk += payload + "\n";

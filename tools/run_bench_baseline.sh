@@ -23,6 +23,10 @@
 #   BENCH_MIN_DELTA_SAVE_SPEEDUP
 #                          hardware-independent floor for the store bench's
 #                          full-save-vs-delta-save ratio (default 3)
+#   BENCH_MIN_FALLBACK_SPEEDUP
+#                          hardware-independent floor for the serving
+#                          bench's blind-vs-filtered fallback scan ratio
+#                          (default 3)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,6 +36,7 @@ min_speedup="${BENCH_MIN_SPEEDUP:-1.5}"
 min_scan_speedup="${BENCH_MIN_SCAN_SPEEDUP:-10}"
 min_warm_speedup="${BENCH_MIN_WARM_SPEEDUP:-5}"
 min_delta_save_speedup="${BENCH_MIN_DELTA_SAVE_SPEEDUP:-3}"
+min_fallback_speedup="${BENCH_MIN_FALLBACK_SPEEDUP:-3}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 record=0
@@ -81,6 +86,7 @@ gate() {
     --min-scan-speedup "${min_scan_speedup}" \
     --min-warm-speedup "${min_warm_speedup}" \
     --min-delta-save-speedup "${min_delta_save_speedup}" \
+    --min-fallback-speedup "${min_fallback_speedup}" \
     --section "${section}"
 }
 

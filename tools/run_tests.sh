@@ -6,6 +6,9 @@
 #   tools/run_tests.sh -L smoke      # extra args are forwarded to ctest
 #   tools/run_tests.sh --with-bench  # suite + parallel-bench baseline gate
 #                                    # (tools/run_bench_baseline.sh)
+#   tools/run_tests.sh --sanitize    # ASan+UBSan lane only: builds the
+#                                    # serve + store suites in build-asan
+#                                    # (GVEX_SANITIZE=ON) and runs them
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -13,14 +16,33 @@ build_dir="${BUILD_DIR:-${repo_root}/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 with_bench=0
+sanitize=0
 ctest_args=()
 for arg in "$@"; do
   if [[ "${arg}" == "--with-bench" ]]; then
     with_bench=1
+  elif [[ "${arg}" == "--sanitize" ]]; then
+    sanitize=1
   else
     ctest_args+=("${arg}")
   fi
 done
+
+# The sanitizer lane is its own build tree; it covers the serving + durable
+# store suites (the subsystems with the hairiest pointer/lifetime traffic:
+# shared postings, WAL replay, snapshot buffers) without paying for an
+# instrumented build of everything else.
+if [[ "${sanitize}" == 1 ]]; then
+  asan_dir="${ASAN_BUILD_DIR:-${repo_root}/build-asan}"
+  cmake -B "${asan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=ON \
+    -DGVEX_BUILD_BENCH=OFF -DGVEX_BUILD_EXAMPLES=OFF
+  cmake --build "${asan_dir}" -j "${jobs}" \
+    --target gvex_serve_test gvex_store_test
+  "${asan_dir}/tests/gvex_serve_test"
+  "${asan_dir}/tests/gvex_store_test"
+  exit 0
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "${jobs}"
