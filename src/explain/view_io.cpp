@@ -80,12 +80,19 @@ Result<std::vector<ExplanationView>> ParseViews(const std::string& text) {
       return Status::InvalidArgument(
           StrFormat("expected 'view' header at line %zu", pos + 1));
     }
-    ++pos;
     ExplanationView view;
-    view.label = std::stoi(head[1]);
-    view.explainability = std::stod(head[2]);
-    const size_t num_patterns = std::stoul(head[3]);
-    const size_t num_subgraphs = std::stoul(head[4]);
+    int num_patterns_int = 0;
+    int num_subgraphs_int = 0;
+    if (!ParseInt(head[1], &view.label) ||
+        !ParseDouble(head[2], &view.explainability) ||
+        !ParseInt(head[3], &num_patterns_int) || num_patterns_int < 0 ||
+        !ParseInt(head[4], &num_subgraphs_int) || num_subgraphs_int < 0) {
+      return Status::InvalidArgument(
+          StrFormat("malformed 'view' header at line %zu", pos + 1));
+    }
+    ++pos;
+    const size_t num_patterns = static_cast<size_t>(num_patterns_int);
+    const size_t num_subgraphs = static_cast<size_t>(num_subgraphs_int);
 
     for (size_t i = 0; i < num_patterns; ++i) {
       if (pos >= lines.size() || Trim(lines[pos]) != "pattern") {
@@ -106,12 +113,18 @@ Result<std::vector<ExplanationView>> ParseViews(const std::string& text) {
       if (sub_head.size() < 5 || sub_head[0] != "subgraph") {
         return Status::InvalidArgument("expected 'subgraph' header");
       }
-      ++pos;
       ExplanationSubgraph s;
-      s.graph_index = std::stoi(sub_head[1]);
-      s.consistent = std::stoi(sub_head[2]) != 0;
-      s.counterfactual = std::stoi(sub_head[3]) != 0;
-      s.explainability = std::stod(sub_head[4]);
+      int consistent = 0;
+      int counterfactual = 0;
+      if (!ParseInt(sub_head[1], &s.graph_index) ||
+          !ParseInt(sub_head[2], &consistent) ||
+          !ParseInt(sub_head[3], &counterfactual) ||
+          !ParseDouble(sub_head[4], &s.explainability)) {
+        return Status::InvalidArgument("malformed 'subgraph' header");
+      }
+      s.consistent = consistent != 0;
+      s.counterfactual = counterfactual != 0;
+      ++pos;
       if (pos >= lines.size()) {
         return Status::InvalidArgument("truncated subgraph");
       }
@@ -121,7 +134,12 @@ Result<std::vector<ExplanationView>> ParseViews(const std::string& text) {
       }
       ++pos;
       for (size_t j = 1; j < node_line.size(); ++j) {
-        s.nodes.push_back(std::stoi(node_line[j]));
+        int node = 0;
+        if (!ParseInt(node_line[j], &node)) {
+          return Status::InvalidArgument(
+              StrFormat("malformed node id '%s'", node_line[j].c_str()));
+        }
+        s.nodes.push_back(node);
       }
       auto g = ReadGraphBlock(lines, &pos);
       if (!g.ok()) return g.status();

@@ -73,23 +73,27 @@ Result<std::vector<LabeledGraph>> ParseGraphs(const std::string& text) {
         return Status::InvalidArgument(
             StrFormat("line %d: nested 'graph'", lineno));
       }
-      if (tok.size() < 3) {
+      int directed_flag = 0;
+      if (tok.size() < 3 || !ParseInt(tok[1], &expected_nodes) ||
+          expected_nodes < 0 || !ParseInt(tok[2], &directed_flag)) {
         return Status::InvalidArgument(
             StrFormat("line %d: malformed graph header", lineno));
       }
-      expected_nodes = std::stoi(tok[1]);
-      bool directed = std::stoi(tok[2]) != 0;
-      cur = LabeledGraph{Graph(directed), -1};
-      if (tok.size() >= 4) cur.label = std::stoi(tok[3]);
+      cur = LabeledGraph{Graph(directed_flag != 0), -1};
+      if (tok.size() >= 4 && !ParseInt(tok[3], &cur.label)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: malformed graph label", lineno));
+      }
       feats.assign(static_cast<size_t>(expected_nodes), {});
       in_graph = true;
     } else if (tok[0] == "n") {
-      if (!in_graph || tok.size() < 3) {
+      int id = 0;
+      int type = 0;
+      if (!in_graph || tok.size() < 3 || !ParseInt(tok[1], &id) ||
+          !ParseInt(tok[2], &type)) {
         return Status::InvalidArgument(
             StrFormat("line %d: malformed node line", lineno));
       }
-      int id = std::stoi(tok[1]);
-      int type = std::stoi(tok[2]);
       NodeId got = cur.graph.AddNode(type);
       if (got != id) {
         return Status::InvalidArgument(
@@ -98,15 +102,25 @@ Result<std::vector<LabeledGraph>> ParseGraphs(const std::string& text) {
                       lineno, id, got));
       }
       for (size_t j = 3; j < tok.size(); ++j) {
-        feats[static_cast<size_t>(id)].push_back(std::stof(tok[j]));
+        float feat = 0.0f;
+        if (!ParseFloat(tok[j], &feat)) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: malformed feature '%s'", lineno,
+                        tok[j].c_str()));
+        }
+        feats[static_cast<size_t>(id)].push_back(feat);
       }
     } else if (tok[0] == "e") {
-      if (!in_graph || tok.size() < 3) {
+      int u = 0;
+      int v = 0;
+      int et = 0;
+      if (!in_graph || tok.size() < 3 || !ParseInt(tok[1], &u) ||
+          !ParseInt(tok[2], &v) ||
+          (tok.size() >= 4 && !ParseInt(tok[3], &et))) {
         return Status::InvalidArgument(
             StrFormat("line %d: malformed edge line", lineno));
       }
-      int et = tok.size() >= 4 ? std::stoi(tok[3]) : 0;
-      Status st = cur.graph.AddEdge(std::stoi(tok[1]), std::stoi(tok[2]), et);
+      Status st = cur.graph.AddEdge(u, v, et);
       if (!st.ok()) {
         return Status::InvalidArgument(
             StrFormat("line %d: %s", lineno, st.ToString().c_str()));

@@ -1,0 +1,76 @@
+#include "net/frame.h"
+
+#include "serve/serve_protocol.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+void RequestFramer::Feed(const char* data, size_t n) {
+  if (broken_) return;  // the connection is closing; drop the bytes
+  buffer_.append(data, n);
+}
+
+RequestFramer::Next RequestFramer::Pop(std::string* frame,
+                                       std::string* error) {
+  while (true) {
+    if (broken_) {
+      *error = error_;
+      return Next::kBroken;
+    }
+    const size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) {
+      if (buffer_.size() > limits_.max_line_bytes) {
+        broken_ = true;
+        error_ = StrFormat("err line exceeds %zu bytes\n",
+                           limits_.max_line_bytes);
+        continue;
+      }
+      return Next::kNeedMore;
+    }
+    if (nl > limits_.max_line_bytes) {
+      broken_ = true;
+      error_ =
+          StrFormat("err line exceeds %zu bytes\n", limits_.max_line_bytes);
+      continue;
+    }
+    // Consume one complete line (normalizing away a CR from netcat-style
+    // clients; the stdin path's getline never sees one either way).
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    if (blocks_remaining_ == 0) {
+      // Expecting a keyword line; blank separators yield no frame.
+      const std::string trimmed = Trim(line);
+      if (trimmed.empty()) continue;
+      frame_ = line + "\n";
+      std::string terminator;
+      const int blocks =
+          ServeRequestShape(SplitWhitespace(trimmed), &terminator);
+      if (blocks == 0) {
+        *frame = std::move(frame_);
+        frame_.clear();
+        return Next::kFrame;
+      }
+      blocks_remaining_ = blocks;
+      terminator_ = terminator;
+      continue;
+    }
+
+    frame_ += line + "\n";
+    if (frame_.size() > limits_.max_frame_bytes) {
+      broken_ = true;
+      error_ = StrFormat("err request exceeds %zu bytes\n",
+                         limits_.max_frame_bytes);
+      frame_.clear();
+      continue;
+    }
+    if (Trim(line) == terminator_ && --blocks_remaining_ == 0) {
+      *frame = std::move(frame_);
+      frame_.clear();
+      return Next::kFrame;
+    }
+  }
+}
+
+}  // namespace gvex

@@ -1,0 +1,72 @@
+// RequestFramer: incremental framing of the serve_protocol line protocol
+// over an untrusted byte stream. TCP delivers requests split or coalesced
+// arbitrarily across read()s — a keyword line may arrive one byte at a
+// time, or fifty pipelined requests in one segment — so the framer
+// accumulates bytes and surfaces COMPLETE requests (keyword line plus all
+// payload blocks, per ServeRequestShape) one at a time. Nothing is ever
+// handed to the parser mid-block: a connection that dies mid-payload
+// leaves only an unconsumed partial frame behind, which is discarded —
+// the half-received admit can never publish.
+//
+// Two byte limits defend the server's memory against hostile streams:
+// a line longer than `max_line_bytes` (no '\n' in sight) or a frame
+// larger than `max_frame_bytes` (e.g. an "admit" whose view block never
+// ends) BREAKS the framer — Pop returns kBroken with a protocol-shaped
+// "err ..." message, and the connection should flush it and close.
+// Resynchronizing inside an abandoned payload block would misparse
+// payload lines as requests, so broken is terminal by design.
+//
+// Not thread-safe; one framer per connection.
+
+#ifndef GVEX_NET_FRAME_H_
+#define GVEX_NET_FRAME_H_
+
+#include <cstddef>
+#include <string>
+
+namespace gvex {
+
+class RequestFramer {
+ public:
+  struct Limits {
+    size_t max_line_bytes = 1 << 20;   ///< 1 MiB per protocol line
+    size_t max_frame_bytes = 8 << 20;  ///< 8 MiB per complete request
+  };
+
+  enum class Next {
+    kFrame,     ///< *frame holds one complete request's text
+    kNeedMore,  ///< nothing complete buffered; feed more bytes
+    kBroken,    ///< limits exceeded; *error holds an "err ..." response
+  };
+
+  RequestFramer() : RequestFramer(Limits()) {}
+  explicit RequestFramer(Limits limits) : limits_(limits) {}
+
+  /// Appends raw bytes from the socket.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete request. Blank lines between requests are
+  /// skipped (matching the stdin path). Once kBroken is returned, every
+  /// subsequent Pop returns kBroken again.
+  Next Pop(std::string* frame, std::string* error);
+
+  /// True when no partial frame or partial line is buffered — i.e. the
+  /// stream ended on a request boundary.
+  bool idle() const { return !broken_ && buffer_.empty() && frame_.empty(); }
+
+  /// Bytes buffered but not yet surfaced as frames.
+  size_t buffered_bytes() const { return buffer_.size() + frame_.size(); }
+
+ private:
+  Limits limits_;
+  std::string buffer_;  ///< raw bytes not yet split into lines
+  std::string frame_;   ///< the in-progress frame's complete lines
+  int blocks_remaining_ = 0;
+  std::string terminator_;
+  bool broken_ = false;
+  std::string error_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_NET_FRAME_H_

@@ -1,0 +1,67 @@
+// Poller: a minimal level-triggered readiness multiplexer — the waiting
+// primitive under every net/ event loop (one per worker, one for the
+// accept thread). On Linux it wraps epoll; elsewhere it falls back to
+// poll(2) with identical semantics. Level-triggered on purpose: a fd with
+// unread bytes (or writable space) reports ready on EVERY Wait until the
+// condition clears, so a loop that defers work (backpressure stops
+// reading, drain stops processing) never loses a wakeup — the cost is
+// that interest must be Modify()ed off when the loop decides not to act,
+// or it spins.
+//
+// Not thread-safe: each Poller belongs to exactly one event-loop thread.
+// Cross-thread signaling uses a pipe fd registered like any other.
+
+#ifndef GVEX_NET_POLLER_H_
+#define GVEX_NET_POLLER_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace gvex {
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error/hangup on the fd (reported even when not subscribed).
+    bool error = false;
+  };
+
+  Poller();
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// False when the underlying epoll instance could not be created (the
+  /// poll(2) fallback cannot fail to construct).
+  bool ok() const;
+
+  Status Add(int fd, bool want_read, bool want_write);
+  Status Modify(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever, 0 = nonblocking poll) and
+  /// fills `events` with ready fds. Returns the number of events, 0 on
+  /// timeout, -1 on failure (other than EINTR, which retries).
+  int Wait(int timeout_ms, std::vector<Event>* events);
+
+ private:
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+#else
+  struct Interest {
+    int fd;
+    bool want_read;
+    bool want_write;
+  };
+  std::vector<Interest> interests_;
+#endif
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_NET_POLLER_H_

@@ -1,0 +1,321 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl O_NONBLOCK: ") +
+                            ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TcpServer::~TcpServer() {
+  if (started_.load()) {
+    Drain();
+    Wait();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status TcpServer::Start(ViewService* service, const GraphDatabase* db,
+                        const ViewServiceOptions& view_options,
+                        const TcpServerOptions& options) {
+  if (started_.load()) return Status::InvalidArgument("server already started");
+  if (service == nullptr) return Status::InvalidArgument("null service");
+  if (options.workers < 1) return Status::InvalidArgument("workers < 1");
+  service_ = service;
+  db_ = db;
+  view_options_ = view_options;
+  options_ = options;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + ::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " + options.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal(std::string("bind: ") + ::strerror(errno));
+  }
+  if (::listen(listen_fd_, 512) != 0) {
+    return Status::Internal(std::string("listen: ") + ::strerror(errno));
+  }
+  GVEX_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  workers_.clear();
+  for (int i = 0; i < options.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    if (!w->poller.ok()) return Status::Internal("poller init failed");
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      return Status::Internal(std::string("pipe: ") + ::strerror(errno));
+    }
+    w->wake_read = pipefd[0];
+    w->wake_write = pipefd[1];
+    GVEX_RETURN_NOT_OK(SetNonBlocking(w->wake_read));
+    GVEX_RETURN_NOT_OK(SetNonBlocking(w->wake_write));
+    GVEX_RETURN_NOT_OK(w->poller.Add(w->wake_read, true, false));
+    workers_.push_back(std::move(w));
+  }
+
+  started_.store(true);
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    w->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Drain() {
+  if (!started_.load()) return;
+  if (draining_.exchange(true)) return;
+  drain_deadline_ms_.store(
+      NowMs() + static_cast<int64_t>(options_.drain_timeout_sec * 1000.0));
+  // Wake every worker so the drain is noticed without waiting for a tick.
+  for (auto& w : workers_) {
+    const char b = 1;
+    (void)!::write(w->wake_write, &b, 1);
+  }
+}
+
+void TcpServer::Wait() {
+  if (!started_.load()) return;
+  if (waited_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Everything acknowledged before the drain is already published in the
+  // service; one final save folds it all into the durable store.
+  if (options_.save_on_drain && service_ != nullptr && service_->durable()) {
+    (void)service_->Save(SaveKind::kAuto);
+  }
+}
+
+TcpServerStats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void TcpServer::AcceptLoop() {
+  Poller poller;
+  (void)poller.Add(listen_fd_, true, false);
+  std::vector<Poller::Event> events;
+  while (!draining_.load()) {
+    poller.Wait(100, &events);
+    if (draining_.load()) break;
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept error: back to poll
+      }
+      if (live_sessions_.load() >= options_.max_sessions) {
+        // Turn the connection away with a protocol-shaped refusal so
+        // clients can distinguish "full" from a network failure.
+        static const char kFull[] = "err server full\n";
+        (void)!::send(fd, kFull, sizeof(kFull) - 1, MSG_NOSIGNAL);
+        ::close(fd);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.rejected_full;
+        continue;
+      }
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      live_sessions_.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.accepted;
+      }
+      Worker* w = workers_[static_cast<size_t>(next_worker_.fetch_add(1)) %
+                           workers_.size()]
+                      .get();
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->incoming.push_back(fd);
+      }
+      const char b = 1;
+      (void)!::write(w->wake_write, &b, 1);
+    }
+  }
+  // Close the listen socket so post-drain connects are REFUSED instead of
+  // parking in the accept backlog with nobody to serve them.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TcpServer::CloseSession(Worker* w, int fd) {
+  auto it = w->sessions.find(fd);
+  if (it == w->sessions.end()) return;
+  NetSession* s = it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.closed;
+    if (s->killed_by_backpressure()) ++stats_.killed_by_backpressure;
+    if (s->backpressure_engaged()) ++stats_.backpressure_engaged;
+    stats_.frames_executed += s->frames_executed();
+    stats_.admits_refused += s->admits_refused();
+  }
+  w->poller.Remove(fd);
+  w->sessions.erase(it);  // NetSession's destructor closes the fd
+  live_sessions_.fetch_sub(1);
+}
+
+void TcpServer::WorkerLoop(Worker* w) {
+  std::vector<Poller::Event> events;
+  std::vector<int> to_close;
+  bool drain_seen = false;
+  while (true) {
+    w->poller.Wait(100, &events);
+
+    // Adopt connections the accept thread handed over.
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      for (int fd : w->incoming) {
+        ServeSession state;
+        state.service = service_;
+        state.db = db_;
+        state.options = view_options_;
+        auto session = std::make_unique<NetSession>(
+            fd, std::move(state), options_.session, [this] { Drain(); });
+        if (draining_.load()) {
+          // Raced with the drain: nothing was read, close immediately.
+          live_sessions_.fetch_sub(1);
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.closed;
+          continue;
+        }
+        if (!w->poller.Add(fd, true, false).ok()) {
+          live_sessions_.fetch_sub(1);
+          continue;
+        }
+        w->sessions.emplace(fd, std::move(session));
+      }
+      w->incoming.clear();
+    }
+
+    const bool draining = draining_.load();
+    if (draining && !drain_seen) {
+      drain_seen = true;
+      // Finish what was fully framed before the drain; flush from here on.
+      for (auto& [fd, session] : w->sessions) {
+        session->BeginDrain();
+        (void)w->poller.Modify(fd, false, session->wants_write());
+      }
+    }
+
+    to_close.clear();
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == w->wake_read) {
+        char buf[64];
+        while (::read(w->wake_read, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto it = w->sessions.find(ev.fd);
+      if (it == w->sessions.end()) continue;
+      NetSession* s = it->second.get();
+      NetSession::Verdict verdict = NetSession::Verdict::kKeep;
+      if (ev.error) {
+        verdict = NetSession::Verdict::kClose;
+      } else {
+        if (ev.readable && !draining) verdict = s->HandleReadable();
+        if (verdict == NetSession::Verdict::kKeep && ev.writable) {
+          verdict = s->HandleWritable();
+        }
+      }
+      if (verdict == NetSession::Verdict::kClose) {
+        to_close.push_back(ev.fd);
+      } else {
+        (void)w->poller.Modify(ev.fd, !draining && s->wants_read(),
+                               s->wants_write());
+      }
+    }
+    for (int fd : to_close) CloseSession(w, fd);
+
+    // Idle-timeout sweep (and, during drain, deadline enforcement).
+    if (options_.idle_timeout_sec > 0 && !draining) {
+      const auto cutoff =
+          std::chrono::steady_clock::now() -
+          std::chrono::milliseconds(
+              static_cast<int64_t>(options_.idle_timeout_sec * 1000.0));
+      to_close.clear();
+      for (auto& [fd, session] : w->sessions) {
+        if (session->last_activity() < cutoff) to_close.push_back(fd);
+      }
+      for (int fd : to_close) {
+        CloseSession(w, fd);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.idle_closed;
+      }
+    }
+
+    if (draining) {
+      to_close.clear();
+      const bool expired = NowMs() >= drain_deadline_ms_.load();
+      for (auto& [fd, session] : w->sessions) {
+        if (expired || session->drained()) to_close.push_back(fd);
+      }
+      for (int fd : to_close) CloseSession(w, fd);
+      if (w->sessions.empty()) break;
+    }
+  }
+  // Adopt-and-close any fds that raced into the queue after the loop.
+  std::lock_guard<std::mutex> lock(w->mu);
+  for (int fd : w->incoming) {
+    ::close(fd);
+    live_sessions_.fetch_sub(1);
+  }
+  w->incoming.clear();
+  ::close(w->wake_read);
+  ::close(w->wake_write);
+}
+
+}  // namespace gvex

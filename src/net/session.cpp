@@ -1,0 +1,160 @@
+#include "net/session.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace gvex {
+
+NetSession::NetSession(int fd, ServeSession state, NetSessionLimits limits,
+                       std::function<void()> on_shutdown)
+    : fd_(fd),
+      serve_(std::move(state)),
+      limits_(limits),
+      on_shutdown_(std::move(on_shutdown)),
+      framer_(limits.frame),
+      admits_left_(limits.admit_quota > 0 ? limits.admit_quota : -1),
+      last_activity_(std::chrono::steady_clock::now()) {}
+
+NetSession::~NetSession() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool NetSession::wants_read() const {
+  if (eof_ || draining_ || killed_ || close_after_flush_) return false;
+  return write_buf_.size() - write_off_ <= limits_.write_soft_cap;
+}
+
+void NetSession::Respond(const std::string& text) {
+  write_buf_.append(text);
+  // Compact the flushed prefix before it grows unbounded.
+  if (write_off_ > (64 << 10) && write_off_ * 2 > write_buf_.size()) {
+    write_buf_.erase(0, write_off_);
+    write_off_ = 0;
+  }
+  if (write_buf_.size() - write_off_ > limits_.write_hard_cap) {
+    killed_ = true;
+    killed_by_backpressure_ = true;
+  }
+}
+
+void NetSession::ProcessFrames() {
+  std::string frame;
+  std::string error;
+  // close_after_flush_ also stops processing: a broken framer reports
+  // kBroken on every Pop, and re-entering here after the error flushed
+  // would append it again forever.
+  while (!killed_ && !close_after_flush_) {
+    // Backpressure: buffered frames wait while the peer refuses to drain
+    // its responses; they resume after a flush.
+    if (write_buf_.size() - write_off_ > limits_.write_soft_cap) {
+      backpressure_engaged_ = true;
+      return;
+    }
+    const RequestFramer::Next next = framer_.Pop(&frame, &error);
+    if (next == RequestFramer::Next::kNeedMore) return;
+    if (next == RequestFramer::Next::kBroken) {
+      // Oversized line/frame: answer err, then close — resyncing inside
+      // an abandoned payload block would misparse payload as requests.
+      Respond(error);
+      close_after_flush_ = true;
+      return;
+    }
+    ++frames_executed_;
+    const auto head = SplitWhitespace(Trim(frame.substr(0, frame.find('\n'))));
+    const std::string& keyword = head.empty() ? std::string() : head[0];
+    if (keyword == "shutdown") {
+      // Net-layer verb: begin a graceful server drain. Deliberately not
+      // part of serve_protocol — over stdin "shutdown" stays an unknown
+      // request; killing a shared server is a transport-level act.
+      Respond("ok draining\n");
+      if (on_shutdown_) on_shutdown_();
+      continue;
+    }
+    if (keyword == "admit" && admits_left_ == 0) {
+      ++admits_refused_;
+      Respond("err admission quota exhausted\n");
+      continue;
+    }
+    if (keyword == "admit" && admits_left_ > 0) --admits_left_;
+    bool quit = false;
+    Respond(ServeText(&serve_, frame, &quit));
+    if (quit) {
+      close_after_flush_ = true;
+      return;
+    }
+  }
+}
+
+NetSession::Verdict NetSession::HandleReadable() {
+  char buf[64 << 10];
+  // Per-event byte budget so one firehose connection cannot monopolize
+  // its worker loop; level-triggered polling redelivers the rest.
+  size_t budget = 512 << 10;
+  while (wants_read() && budget > 0) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      last_activity_ = std::chrono::steady_clock::now();
+      framer_.Feed(buf, static_cast<size_t>(n));
+      budget -= static_cast<size_t>(n) < budget ? static_cast<size_t>(n)
+                                                : budget;
+      ProcessFrames();
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the client may still be reading; execute what is
+      // fully framed, flush it, then close. Partial frames are dropped.
+      eof_ = true;
+      ProcessFrames();
+      close_after_flush_ = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return Verdict::kClose;  // connection reset etc.
+  }
+  if (killed_) return Verdict::kClose;
+  return HandleWritable();
+}
+
+NetSession::Verdict NetSession::HandleWritable() {
+  while (wants_write()) {
+    const ssize_t n =
+        ::send(fd_, write_buf_.data() + write_off_,
+               write_buf_.size() - write_off_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_off_ += static_cast<size_t>(n);
+      last_activity_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return Verdict::kClose;  // peer gone; response bytes are lost
+  }
+  if (write_off_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_off_ = 0;
+    // The flush may have dropped us back under the soft cap: execute
+    // frames that were waiting on backpressure.
+    if (!draining_ || framer_.buffered_bytes() > 0) ProcessFrames();
+    if (killed_) return Verdict::kClose;
+    if (!wants_write() && (close_after_flush_ || (draining_ && drained()))) {
+      return Verdict::kClose;
+    }
+  }
+  if (killed_) return Verdict::kClose;
+  return Verdict::kKeep;
+}
+
+void NetSession::BeginDrain() {
+  draining_ = true;
+  // In-flight requests (fully framed before the drain) finish now; their
+  // responses flush below / on later writable events.
+  ProcessFrames();
+}
+
+}  // namespace gvex

@@ -1,0 +1,103 @@
+#include "net/workload.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "explain/view_io.h"
+#include "graph/graph_io.h"
+#include "serve/serve_protocol.h"
+#include "serve/view_service.h"
+#include "util/string_util.h"
+
+namespace gvex {
+
+namespace {
+
+int CountLines(const std::string& s) {
+  return static_cast<int>(std::count(s.begin(), s.end(), '\n'));
+}
+
+/// A read entry: expected response rendered by the mirror, byte-exact.
+LoadgenRequest ReadEntry(ViewService* mirror, std::string text,
+                         double weight) {
+  LoadgenRequest r;
+  r.text = std::move(text);
+  r.expect = ServeText(mirror, r.text);
+  r.expect_lines = std::max(1, CountLines(r.expect));
+  r.weight = weight;
+  return r;
+}
+
+}  // namespace
+
+std::vector<LoadgenRequest> BuildSyntheticMix(
+    const synthetic::SyntheticStore& store,
+    const SyntheticWorkloadOptions& options) {
+  // Mirror service: same database, same views — renders the expected
+  // response for every read in the mix.
+  ViewService mirror(&store.db, ViewServiceOptions());
+  {
+    auto views = store.views;  // AdmitViews consumes its argument
+    (void)mirror.AdmitViews(std::move(views));
+  }
+
+  std::vector<LoadgenRequest> mix;
+  const int num_labels = static_cast<int>(store.views.size());
+  if (options.read_weight > 0 && num_labels > 0) {
+    // Spread the read weight over the class; every label contributes a
+    // single-block, a multi-block, and a block-less request so framing
+    // sees all three shapes.
+    const double w =
+        options.read_weight / (static_cast<double>(num_labels) * 3 + 1);
+    mix.push_back(ReadEntry(&mirror, "labels\n", w));
+    for (int label = 0; label < num_labels; ++label) {
+      const auto& patterns = store.views[static_cast<size_t>(label)].patterns;
+      if (patterns.empty()) continue;
+      mix.push_back(ReadEntry(
+          &mirror,
+          StrFormat("graphs %d\n", label) + SerializeGraph(patterns[0].graph()),
+          w));
+      mix.push_back(
+          ReadEntry(&mirror, StrFormat("patterns %d\n", label), w));
+      if (patterns.size() >= 2) {
+        mix.push_back(ReadEntry(&mirror,
+                                StrFormat("graphsall %d 2\n", label) +
+                                    SerializeGraph(patterns[0].graph()) +
+                                    SerializeGraph(patterns[1].graph()),
+                                w));
+      }
+    }
+  }
+  if (options.admit_weight > 0 && num_labels > 0) {
+    const double w = options.admit_weight / num_labels;
+    for (int label = 0; label < num_labels; ++label) {
+      LoadgenRequest r;
+      r.text = "admit\n" +
+               SerializeView(synthetic::VersionedView(store, label, 0));
+      r.expect_prefix = StrFormat("ok admitted %d epoch ", label);
+      r.expect_lines = 1;
+      r.weight = w;
+      mix.push_back(std::move(r));
+    }
+  }
+  if (options.stats_weight > 0) {
+    LoadgenRequest r;
+    r.text = "stats\n";
+    r.expect_prefix = "ok stats epoch ";
+    r.expect_lines = 1;
+    r.weight = options.stats_weight;
+    mix.push_back(std::move(r));
+  }
+  if (options.save_weight > 0) {
+    LoadgenRequest r;
+    r.text = "save\n";
+    r.expect_prefix = "ok saved epoch ";
+    r.expect_lines = 1;
+    r.weight = options.save_weight;
+    mix.push_back(std::move(r));
+  }
+  return mix;
+}
+
+}  // namespace gvex

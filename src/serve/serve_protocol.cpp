@@ -40,13 +40,9 @@ Result<int> ParseLabelArg(const std::vector<std::string>& head) {
   if (head.size() < 2) {
     return Status::InvalidArgument("'" + head[0] + "' needs a label");
   }
-  try {
-    size_t used = 0;
-    const int label = std::stoi(head[1], &used);
-    // Full consumption: "1x" is a typo, not label 1.
-    if (used == head[1].size()) return label;
-  } catch (const std::exception&) {
-  }
+  int label = 0;
+  // Full consumption: "1x" is a typo, not label 1.
+  if (ParseInt(head[1], &label)) return label;
   return Status::InvalidArgument("bad label '" + head[1] + "'");
 }
 
@@ -70,6 +66,31 @@ std::string FormatPatterns(const std::vector<Pattern>& patterns) {
 }
 
 }  // namespace
+
+int ServeRequestShape(const std::vector<std::string>& head,
+                      std::string* terminator) {
+  terminator->clear();
+  if (head.empty()) return 0;
+  const std::string& keyword = head[0];
+  if (keyword == "graphs" || keyword == "dbgraphs" ||
+      keyword == "labelsof" || keyword == "mcs") {
+    *terminator = "end";
+    return 1;
+  }
+  if (keyword == "graphsall") {
+    // graphsall <label> <k>: k pattern blocks. A malformed count reads no
+    // blocks; the parser reports the error.
+    *terminator = "end";
+    int k = 0;
+    if (head.size() >= 3 && ParseInt(head[2], &k) && k > 0) return k;
+    return 0;
+  }
+  if (keyword == "admit") {
+    *terminator = "endview";
+    return 1;
+  }
+  return 0;
+}
 
 Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
                                        size_t* pos) {
@@ -150,12 +171,8 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
     auto label = ParseLabelArg(head);
     int count = -1;
     if (head.size() >= 3) {
-      try {
-        size_t used = 0;
-        const int k = std::stoi(head[2], &used);
-        if (used == head[2].size() && k >= 0) count = k;
-      } catch (const std::exception&) {
-      }
+      int k = -1;
+      if (ParseInt(head[2], &k) && k >= 0) count = k;
     }
     Status first_error = Status::OK();
     for (int i = 0; i < std::max(0, count); ++i) {

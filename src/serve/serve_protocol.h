@@ -127,6 +127,15 @@ struct ServeSession {
   ViewServiceOptions options;
 };
 
+/// How many payload blocks follow `head`'s keyword line (the
+/// whitespace-split first line of a request), and which line closes each
+/// of them. Returns 0 for block-less (and unknown) requests. This is the
+/// framing knowledge shared by every byte-stream front end — the stdin
+/// read loop (tools/gvex_serve) and the TCP incremental framer (net/) —
+/// so a request is only handed to the parser once it is COMPLETE.
+int ServeRequestShape(const std::vector<std::string>& head,
+                      std::string* terminator);
+
 /// Parses one request starting at lines[*pos] (blank lines skipped) and
 /// advances *pos past it — past the payload block too, so a malformed
 /// request does not desynchronize the stream. Returns NotFound at end of

@@ -1,8 +1,11 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gvex {
 
@@ -59,6 +62,43 @@ std::string Join(const std::vector<std::string>& parts,
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;  // strtol would skip leading whitespace; reject it
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (value < INT_MIN || value > INT_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseFloat(const std::string& s, float* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
 }
 
 std::string StrFormat(const char* fmt, ...) {

@@ -23,6 +23,21 @@ std::string Join(const std::vector<std::string>& parts, const std::string& sep);
 /// True if `s` begins with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+// Exception-free whole-string numeric parsing for line-oriented formats
+// fed by untrusted byte streams (sockets, fuzzers): the std::stoi family
+// throws on garbage, which would escape the Status error model as a
+// crash. All three accept only when the ENTIRE string parses ("1x" or ""
+// fail) and the value fits the target type.
+
+/// Parses a base-10 integer into *out; false on garbage/partial/overflow.
+bool ParseInt(const std::string& s, int* out);
+
+/// Parses a double into *out; false on garbage/partial/overflow.
+bool ParseDouble(const std::string& s, double* out);
+
+/// Parses a float into *out; false on garbage/partial/overflow.
+bool ParseFloat(const std::string& s, float* out);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...);
 

@@ -127,5 +127,22 @@ TEST(ViewIoTest, BinaryFileRoundTripAndCorruptionRejection) {
   EXPECT_TRUE(LoadViewsBinary("/no/such/views.gvxv").status().IsIOError());
 }
 
+// Regression: malformed numerics in view blocks used to throw out of
+// std::stoi/std::stod and crash; they must be parse errors.
+TEST(ViewIoTest, MalformedNumericsAreErrorsNotCrashes) {
+  EXPECT_FALSE(ParseViews("view abc 0.5 0 0\nendview\n").ok());   // label
+  EXPECT_FALSE(ParseViews("view 0 1e 0 0\nendview\n").ok());      // explain.
+  EXPECT_FALSE(ParseViews("view 0 0.5 x 0\nendview\n").ok());     // counts
+  EXPECT_FALSE(ParseViews("view 0 0.5 0 -1\nendview\n").ok());    // negative
+  EXPECT_FALSE(
+      ParseViews("view 0 0.5 0 1\nsubgraph zero 0.5 1 0\nnodes 0\n"
+                 "endview\n")
+          .ok());                                                // subgraph
+  EXPECT_FALSE(
+      ParseViews("view 0 0.5 0 1\nsubgraph 0 1 0 0.5\nnodes 0 nope\n"
+                 "endview\n")
+          .ok());                                                // node id
+}
+
 }  // namespace
 }  // namespace gvex

@@ -87,5 +87,19 @@ TEST(GraphIoTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadGraphs("/no/such/file.txt").ok());
 }
 
+// Regression: malformed numerics anywhere in a graph block used to throw
+// out of std::stoi/std::stof and crash; they must be parse errors.
+TEST(GraphIoTest, MalformedNumericsAreErrorsNotCrashes) {
+  EXPECT_FALSE(ParseGraphs("graph x 0\nend\n").ok());            // node count
+  EXPECT_FALSE(ParseGraphs("graph 1 y\nn 0 0\nend\n").ok());      // directed
+  EXPECT_FALSE(ParseGraphs("graph 1 0 lbl\nn 0 0\nend\n").ok());  // label
+  EXPECT_FALSE(
+      ParseGraphs("graph 1 0\nn 0 0 1.0e+\nend\n").ok());         // feature
+  EXPECT_FALSE(ParseGraphs(
+      "graph 2 0\nn 0 0\nn 1 0\ne 0 one 0\nend\n").ok());         // edge
+  EXPECT_FALSE(
+      ParseGraphs("graph 99999999999999999999 0\nend\n").ok());  // overflow
+}
+
 }  // namespace
 }  // namespace gvex

@@ -1,0 +1,250 @@
+// Satellite suite: the incremental framer under adversarial byte
+// delivery. TCP may split or coalesce the request stream arbitrarily, so
+// the framer is fuzzed with seeded random chunkings — from a 1-byte drip
+// to jumbo batches — and every chunking must produce responses
+// byte-identical to the stdin path (ServeText over the whole stream at
+// once). Truncated payload blocks and oversized lines get "err" (or a
+// clean close), never a crash, a hang, or a half-executed request.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/net_test_util.h"
+#include "net/workload.h"
+#include "serve/serve_protocol.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace gvex {
+namespace {
+
+using testing::BlockingClient;
+using testing::TestServer;
+using testing::TinyNetStore;
+
+class FrameFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = TinyNetStore(17, /*num_labels=*/3);
+    SyntheticWorkloadOptions wopts;
+    wopts.read_weight = 1.0;
+    wopts.admit_weight = 0.3;
+    wopts.stats_weight = 0.1;
+    mix_ = BuildSyntheticMix(store_, wopts);
+    ASSERT_FALSE(mix_.empty());
+  }
+
+  /// A fresh service over the synthetic store — the oracle and every
+  /// framer run must execute against identical state.
+  std::unique_ptr<ViewService> FreshService() {
+    auto service =
+        std::make_unique<ViewService>(&store_.db, ViewServiceOptions());
+    auto views = store_.views;
+    EXPECT_TRUE(service->AdmitViews(std::move(views)).ok());
+    return service;
+  }
+
+  /// A seeded random pipelined request stream drawn from the mix.
+  std::string RandomStream(uint64_t seed, int requests) {
+    Rng rng(seed);
+    std::string stream;
+    for (int i = 0; i < requests; ++i) {
+      stream += mix_[rng.NextUint(mix_.size())].text;
+    }
+    return stream;
+  }
+
+  synthetic::SyntheticStore store_;
+  std::vector<LoadgenRequest> mix_;
+};
+
+// The tentpole property: ANY split/coalescing of a valid request stream
+// yields byte-identical responses to feeding the stream whole. Chunk
+// sizes are drawn from a distribution spanning 1-byte drips, small
+// fragments, and jumbo chunks covering many requests at once.
+TEST_F(FrameFuzzTest, RandomChunkingMatchesStdinPathByteForByte) {
+  const std::string stream = RandomStream(/*seed=*/1, /*requests=*/60);
+  auto oracle_service = FreshService();
+  const std::string expected = ServeText(oracle_service.get(), stream);
+
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(1000 + seed);
+    RequestFramer framer;
+    auto service = FreshService();
+    std::string responses;
+    size_t off = 0;
+    while (off < stream.size()) {
+      size_t chunk;
+      switch (rng.NextUint(4)) {
+        case 0: chunk = 1; break;                       // drip
+        case 1: chunk = 1 + rng.NextUint(16); break;    // fragment
+        case 2: chunk = 1 + rng.NextUint(512); break;   // segment
+        default: chunk = 1 + rng.NextUint(stream.size()); break;  // jumbo
+      }
+      chunk = std::min(chunk, stream.size() - off);
+      framer.Feed(stream.data() + off, chunk);
+      off += chunk;
+      std::string frame, error;
+      while (framer.Pop(&frame, &error) == RequestFramer::Next::kFrame) {
+        responses += ServeText(service.get(), frame);
+      }
+    }
+    EXPECT_EQ(responses, expected) << "chunking seed " << seed;
+    EXPECT_TRUE(framer.idle()) << "chunking seed " << seed;
+  }
+}
+
+// Truncating the stream at EVERY byte offset must never crash, hang, or
+// surface a partial frame: the popped frames are exactly the requests
+// whose bytes fully arrived.
+TEST_F(FrameFuzzTest, EveryTruncationPointIsSafe) {
+  const std::string stream = RandomStream(/*seed=*/2, /*requests=*/6);
+  // Reference frame sequence from the unfragmented stream.
+  std::vector<std::string> full_frames;
+  {
+    RequestFramer framer;
+    framer.Feed(stream.data(), stream.size());
+    std::string frame, error;
+    while (framer.Pop(&frame, &error) == RequestFramer::Next::kFrame) {
+      full_frames.push_back(frame);
+    }
+  }
+  ASSERT_GE(full_frames.size(), 6u);
+
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    RequestFramer framer;
+    framer.Feed(stream.data(), cut);
+    std::string frame, error;
+    std::vector<std::string> frames;
+    while (framer.Pop(&frame, &error) == RequestFramer::Next::kFrame) {
+      frames.push_back(frame);
+    }
+    ASSERT_LE(frames.size(), full_frames.size()) << "cut " << cut;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ASSERT_EQ(frames[i], full_frames[i]) << "cut " << cut;
+    }
+  }
+}
+
+// Oversized keyword line: the framer answers a protocol-shaped "err" and
+// goes terminally broken (resync inside unknown bytes is unsafe).
+TEST_F(FrameFuzzTest, OversizedLineBreaksWithErr) {
+  RequestFramer::Limits limits;
+  limits.max_line_bytes = 64;
+  RequestFramer framer(limits);
+  const std::string line(500, 'x');
+  framer.Feed(line.data(), line.size());
+  std::string frame, error;
+  EXPECT_EQ(framer.Pop(&frame, &error), RequestFramer::Next::kBroken);
+  EXPECT_EQ(error, "err line exceeds 64 bytes\n");
+  // Broken is sticky.
+  framer.Feed("labels\n", 7);
+  EXPECT_EQ(framer.Pop(&frame, &error), RequestFramer::Next::kBroken);
+}
+
+// A payload block that never terminates trips the frame byte limit.
+TEST_F(FrameFuzzTest, RunawayPayloadBlockBreaksWithErr) {
+  RequestFramer::Limits limits;
+  limits.max_frame_bytes = 256;
+  RequestFramer framer(limits);
+  std::string stream = "admit\n";
+  for (int i = 0; i < 64; ++i) stream += "view 0 0.5 0 0\n";
+  framer.Feed(stream.data(), stream.size());
+  std::string frame, error;
+  EXPECT_EQ(framer.Pop(&frame, &error), RequestFramer::Next::kBroken);
+  EXPECT_EQ(error, "err request exceeds 256 bytes\n");
+}
+
+// --- Socket-level parity: the same properties over a real connection ---
+
+// One-byte drip through an actual server socket: responses match the
+// stdin path exactly.
+TEST_F(FrameFuzzTest, OneByteDripOverSocket) {
+  auto service = FreshService();
+  TestServer server(service.get(), &store_.db);
+  ASSERT_TRUE(server.ok());
+
+  const std::string stream =
+      "labels\n" + mix_[1].text + "stats\nquit\n";
+  auto oracle_service = FreshService();
+  const std::string expected = ServeText(oracle_service.get(), stream);
+
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  for (char c : stream) {
+    ASSERT_TRUE(client.SendAll(std::string(1, c)));
+  }
+  std::string got;
+  ASSERT_TRUE(client.RecvUntilClosed(&got));  // quit closes the connection
+  EXPECT_EQ(got, expected);
+}
+
+// Jumbo batch: hundreds of pipelined requests in a single send; the
+// response stream is byte-identical to the stdin path.
+TEST_F(FrameFuzzTest, JumboPipelinedBatchOverSocket) {
+  auto service = FreshService();
+  TestServer server(service.get(), &store_.db);
+  ASSERT_TRUE(server.ok());
+
+  const std::string stream = RandomStream(/*seed=*/3, /*requests=*/200);
+  auto oracle_service = FreshService();
+  const std::string expected = ServeText(oracle_service.get(), stream);
+
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.SendAll(stream));
+  client.ShutdownWrite();  // EOF flushes everything framed, then closes
+  std::string got;
+  ASSERT_TRUE(client.RecvUntilClosed(&got));
+  EXPECT_EQ(got, expected);
+}
+
+// A complete frame whose payload carries malformed numerics must answer
+// "err" and KEEP THE STREAM ALIVE — the satellite-4 hardening regression
+// at the socket level (std::stoi would have crashed the server here).
+TEST_F(FrameFuzzTest, MalformedNumericPayloadAnswersErrAndStreamSurvives) {
+  auto service = FreshService();
+  TestServer server(service.get(), &store_.db);
+  ASSERT_TRUE(server.ok());
+
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.SendAll("admit\nview abc 0.5 0 0\nendview\n"));
+  std::string line = client.RecvLines(1);
+  EXPECT_TRUE(StartsWith(line, "err")) << line;
+  // Same for a malformed graph payload.
+  ASSERT_TRUE(client.SendAll("labelsof\ngraph 2 zero\nend\n"));
+  line = client.RecvLines(1);
+  EXPECT_TRUE(StartsWith(line, "err")) << line;
+  // The connection still serves follow-up requests.
+  auto oracle_service = FreshService();
+  const std::string expected = ServeText(oracle_service.get(), "labels\n");
+  ASSERT_TRUE(client.SendAll("labels\n"));
+  EXPECT_EQ(client.RecvLines(2), expected);
+}
+
+// An oversized line over the socket: the server answers "err ..." and
+// closes, and the service is untouched.
+TEST_F(FrameFuzzTest, OversizedLineOverSocketAnswersErrAndCloses) {
+  auto service = FreshService();
+  TcpServerOptions opts;
+  opts.session.frame.max_line_bytes = 128;
+  TestServer server(service.get(), &store_.db, opts);
+  ASSERT_TRUE(server.ok());
+  const uint64_t epoch_before = service->epoch();
+
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.SendAll(std::string(4096, 'a')));
+  std::string got;
+  ASSERT_TRUE(client.RecvUntilClosed(&got));
+  EXPECT_EQ(got, "err line exceeds 128 bytes\n");
+  EXPECT_EQ(service->epoch(), epoch_before);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "explain/view_io.h"
@@ -369,6 +370,46 @@ TEST_F(ServeProtocolTest, AdmitRejectsUnlabeledView) {
       ServeText(service_.get(), "admit\n" + SerializeView(view));
   EXPECT_TRUE(StartsWith(out, "err "));
   EXPECT_EQ(service_->epoch(), 1u);
+}
+
+// Regression for the untrusted-numeric hardening: malformed numerics in
+// payload blocks once escaped std::stoi/std::stod as uncaught exceptions
+// (a remote crash once payloads arrive over a socket). Every one must
+// answer "err ..." and leave the stream alive and in sync.
+TEST_F(ServeProtocolTest, MalformedNumericPayloadsAnswerErrAndKeepStream) {
+  const std::string out = ServeText(
+      service_.get(),
+      "admit\nview abc 0.5 0 0\nendview\n"            // label not an int
+      "admit\nview 0 1e 0 0\nendview\n"               // bad explainability
+      "labelsof\ngraph 2 0\nn 0 zero\nn 1 0\nend\n"    // bad node type
+      "graphsall 0 nope\n"                            // bad count, no block
+      "labels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_TRUE(StartsWith(lines[0], "err "));
+  EXPECT_TRUE(StartsWith(lines[1], "err "));
+  EXPECT_TRUE(StartsWith(lines[2], "err "));
+  EXPECT_TRUE(StartsWith(lines[3], "err "));
+  EXPECT_EQ(lines[4], "ok 2");  // the stream stayed alive and in sync
+  EXPECT_EQ(service_->epoch(), 1u);  // nothing published
+}
+
+// A stream that ENDS inside a payload block answers "err unterminated",
+// never a half-executed request — the distinction the incremental TCP
+// framer relies on (a truncated admit must not publish).
+TEST_F(ServeProtocolTest, StreamEndingMidBlockAnswersErrNotPartialExecute) {
+  // graphs: header + partial graph block, no "end".
+  std::string out =
+      ServeText(service_.get(), "graphs 0\ngraph 2 0\nn 0 0\nn 1 0\n");
+  EXPECT_TRUE(StartsWith(out, "err ")) << out;
+  EXPECT_NE(out.find("unterminated"), std::string::npos) << out;
+  // admit: header + partial view block, no "endview" — must not publish.
+  out = ServeText(service_.get(), "admit\nview 7 0.5 0 1\npattern\n");
+  EXPECT_TRUE(StartsWith(out, "err ")) << out;
+  EXPECT_NE(out.find("unterminated"), std::string::npos) << out;
+  EXPECT_EQ(service_->epoch(), 1u);
+  const auto labels = service_->Labels();
+  EXPECT_TRUE(std::find(labels.begin(), labels.end(), 7) == labels.end());
 }
 
 }  // namespace

@@ -53,6 +53,13 @@ Checks applied to every section present in BOTH files:
     (fallback) query mix scanned with the blind backtracking matcher vs
     the candidate-filtered matcher — the acceptance bar for the filtered
     fallback path, gated unconditionally like the other ratios.
+  * concurrent floor — every current key named "concurrent_speedup" (or
+    prefixed "concurrent_speedup_") must be >= --min-concurrent-speedup
+    (default 3). Same-machine ratio of the net bench's many-connection
+    admit throughput vs one pipelined connection over the same TcpServer
+    — the acceptance bar for admission coalescing on the socket path
+    (independent of core count: the win is fewer index rebuilds, not
+    parallel compute), gated unconditionally like the other ratios.
 
 Exit status 0 when all gates pass, 1 otherwise (2 for usage errors).
 """
@@ -113,7 +120,8 @@ def check_section(name, base, cur, args):
     ratio_floors = (("scan_speedup", args.min_scan_speedup),
                     ("warm_speedup", args.min_warm_speedup),
                     ("delta_save_speedup", args.min_delta_save_speedup),
-                    ("fallback_speedup", args.min_fallback_speedup))
+                    ("fallback_speedup", args.min_fallback_speedup),
+                    ("concurrent_speedup", args.min_concurrent_speedup))
     for key in sorted(cur):
         floor = next((f for base_key, f in ratio_floors
                       if key == base_key or key.startswith(base_key + "_")),
@@ -187,6 +195,9 @@ def main():
     parser.add_argument("--min-fallback-speedup", type=float, default=3.0,
                         help="hardware-independent floor for "
                              "fallback_speedup* ratio keys (default 3)")
+    parser.add_argument("--min-concurrent-speedup", type=float, default=3.0,
+                        help="hardware-independent floor for "
+                             "concurrent_speedup* ratio keys (default 3)")
     parser.add_argument("--min-seconds", type=float, default=0.02,
                         help="timings below this are too noisy to gate "
                              "(default 0.02)")

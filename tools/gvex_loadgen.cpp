@@ -1,0 +1,91 @@
+// gvex_loadgen — client-side load generator for gvex_netserve. Opens many
+// concurrent pipelined connections, drives a mixed read/admit/save
+// workload, and reports qps / p50 / p99 (open-loop with --qps, saturation
+// otherwise; see src/net/loadgen.h for the pacing semantics).
+//
+// Usage:
+//   gvex_loadgen --port P [--host 127.0.0.1] [--connections 8]
+//                [--requests 256] [--pipeline 8] [--qps 0]
+//                [--synthetic 42] [--labels 4] [--admit-frac 0]
+//                [--stats-frac 0] [--save-frac 0] [--seed 1] [--timeout 60]
+//
+// --synthetic/--labels must match the server's flags: the loadgen builds
+// the SAME deterministic store locally and verifies every read response
+// byte-for-byte against it (admit/save/stats are prefix-verified — their
+// epochs move). Divergences, protocol errors, and aborted connections are
+// reported and make the exit status nonzero, so scripts can gate on a
+// clean run.
+
+#include <cstdio>
+#include <string>
+
+#include "net/loadgen.h"
+#include "net/workload.h"
+#include "tool_args.h"
+
+using namespace gvex;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gvex_loadgen --port P [--host 127.0.0.1] [--connections 8]\n"
+      "                    [--requests 256] [--pipeline 8] [--qps 0]\n"
+      "                    [--synthetic 42] [--labels 4] [--admit-frac 0]\n"
+      "                    [--stats-frac 0] [--save-frac 0] [--seed 1]\n"
+      "                    [--timeout 60]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv, 1);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return Usage();
+  }
+  if (!args.Has("port")) return Usage();
+
+  SyntheticWorkloadOptions wopts;
+  wopts.seed = static_cast<uint64_t>(args.GetInt("synthetic", 42));
+  wopts.store.num_labels = args.GetInt("labels", 4);
+  wopts.admit_weight = args.GetFloat("admit-frac", 0.0f);
+  wopts.stats_weight = args.GetFloat("stats-frac", 0.0f);
+  wopts.save_weight = args.GetFloat("save-frac", 0.0f);
+  wopts.read_weight =
+      1.0 - wopts.admit_weight - wopts.stats_weight - wopts.save_weight;
+  if (wopts.read_weight < 0) {
+    std::fprintf(stderr, "error: workload fractions exceed 1\n");
+    return 1;
+  }
+  const synthetic::SyntheticStore store =
+      synthetic::MakeSyntheticStore(wopts.seed, wopts.store);
+  const std::vector<LoadgenRequest> mix = BuildSyntheticMix(store, wopts);
+
+  LoadgenOptions opts;
+  opts.host = args.Get("host", "127.0.0.1");
+  opts.port = args.GetInt("port", 0);
+  opts.connections = args.GetInt("connections", 8);
+  opts.requests_per_conn = args.GetInt("requests", 256);
+  opts.pipeline_depth = args.GetInt("pipeline", 8);
+  opts.target_qps = args.GetFloat("qps", 0.0f);
+  opts.timeout_sec = args.GetFloat("timeout", 60.0f);
+  opts.seed = static_cast<unsigned>(args.GetInt("seed", 1));
+
+  auto report = RunLoadgen(opts, mix);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const LoadgenReport& r = report.value();
+  std::printf(
+      "requests %llu qps %.1f p50_ms %.3f p99_ms %.3f errors %llu "
+      "divergences %llu aborted %llu elapsed_sec %.3f\n",
+      static_cast<unsigned long long>(r.requests), r.qps, r.p50_ms, r.p99_ms,
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.divergences),
+      static_cast<unsigned long long>(r.aborted_connections), r.elapsed_sec);
+  return (r.divergences == 0 && r.aborted_connections == 0) ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+// gvex_netserve — the TCP serving front end: one shared ViewService behind
+// an accept thread + N worker event loops (src/net/server.h), speaking the
+// same line protocol as gvex_serve but to thousands of concurrent,
+// pipelined connections.
+//
+// Usage:
+//   gvex_netserve [--port 0] [--workers 2] [--max-sessions 1024]
+//                 [--drain-timeout 5] [--idle-timeout 0] [--admit-quota 0]
+//                 [--store dir] [--views views.txt] [--graphs graphs.txt]
+//                 [--synthetic SEED] [--labels 4]
+//                 [--threads N] [--cache N] [--wal-sync N]
+//                 [--port-file path] [--stats 1]
+//
+// Content comes from --store/--views/--graphs exactly as in gvex_serve, or
+// from --synthetic SEED: a deterministic MakeSyntheticStore(seed) database
+// + views (shape via --labels), so a gvex_loadgen started with the same
+// seed can verify responses byte-for-byte without shared fixtures.
+//
+// --port 0 binds an ephemeral port; --port-file writes the bound port to a
+// file once listening (how scripts and tests rendezvous). SIGTERM/SIGINT
+// trigger a graceful drain: stop accepting, finish in-flight requests,
+// flush within --drain-timeout seconds, and (for a durable --store
+// service) fold everything admitted into one final save.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "explain/view_io.h"
+#include "graph/graph_io.h"
+#include "net/server.h"
+#include "serve/synthetic_store.h"
+#include "serve/view_service.h"
+#include "tool_args.h"
+
+using namespace gvex;
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gvex_netserve [--port 0] [--workers 2] [--max-sessions 1024]\n"
+      "                     [--drain-timeout 5] [--idle-timeout 0]\n"
+      "                     [--admit-quota 0] [--store dir] [--views file]\n"
+      "                     [--graphs file] [--synthetic SEED] [--labels 4]\n"
+      "                     [--threads N] [--cache N] [--wal-sync N]\n"
+      "                     [--port-file path] [--stats 1]\n"
+      "       (one of --views / --store / --synthetic is required)\n");
+  return 1;
+}
+
+TcpServer* g_server = nullptr;
+
+// Drain() only touches atomics and write(2), so it is safe to call from a
+// signal handler; the worker threads do the actual draining.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Drain();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv, 1);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return Usage();
+  }
+  if (!args.Has("views") && !args.Has("store") && !args.Has("synthetic")) {
+    return Usage();
+  }
+
+  GraphDatabase db;
+  bool have_db = false;
+  std::vector<ExplanationView> startup_views;
+  if (args.Has("synthetic")) {
+    synthetic::SyntheticStoreOptions shape;
+    shape.num_labels = args.GetInt("labels", 4);
+    synthetic::SyntheticStore store = synthetic::MakeSyntheticStore(
+        static_cast<uint64_t>(args.GetInt("synthetic", 42)), shape);
+    db = std::move(store.db);
+    startup_views = std::move(store.views);
+    have_db = true;
+  }
+  if (args.Has("graphs")) {
+    auto graphs = LoadGraphs(args.Get("graphs", ""));
+    if (!graphs.ok()) return Fail(graphs.status().ToString());
+    for (auto& lg : graphs.value()) db.Add(std::move(lg.graph), lg.label);
+    have_db = true;
+  }
+  if (args.Has("views")) {
+    auto views = LoadViews(args.Get("views", ""));
+    if (!views.ok()) return Fail(views.status().ToString());
+    for (auto& v : views.value()) startup_views.push_back(std::move(v));
+  }
+
+  ViewServiceOptions options;
+  options.index.num_threads = args.GetInt("threads", 1);
+  options.cache_capacity = static_cast<size_t>(args.GetInt("cache", 256));
+  options.store.wal_sync_every = args.GetInt("wal-sync", 1);
+
+  std::unique_ptr<ViewService> service;
+  if (args.Has("store")) {
+    auto opened = ViewService::Open(args.Get("store", ""),
+                                    have_db ? &db : nullptr, options);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    service = std::move(opened).value();
+  } else {
+    service = std::make_unique<ViewService>(have_db ? &db : nullptr, options);
+  }
+  if (!startup_views.empty()) {
+    auto admitted = service->AdmitViews(std::move(startup_views));
+    if (!admitted.ok()) return Fail(admitted.status().ToString());
+  }
+
+  TcpServerOptions topts;
+  topts.port = args.GetInt("port", 0);
+  topts.workers = args.GetInt("workers", 2);
+  topts.max_sessions = args.GetInt("max-sessions", 1024);
+  topts.drain_timeout_sec = args.GetFloat("drain-timeout", 5.0f);
+  topts.idle_timeout_sec = args.GetFloat("idle-timeout", 0.0f);
+  topts.session.admit_quota = args.GetInt("admit-quota", 0);
+
+  TcpServer server;
+  const Status started = server.Start(service.get(), have_db ? &db : nullptr,
+                                      options, topts);
+  if (!started.ok()) return Fail(started.ToString());
+  g_server = &server;
+  ::signal(SIGTERM, HandleSignal);
+  ::signal(SIGINT, HandleSignal);
+
+  if (args.Has("port-file")) {
+    std::ofstream f(args.Get("port-file", ""));
+    f << server.port() << "\n";
+  }
+  std::fprintf(stderr,
+               "listening on port %d (%d workers, %d labels, epoch %llu%s)\n",
+               server.port(), topts.workers,
+               static_cast<int>(service->Labels().size()),
+               static_cast<unsigned long long>(service->epoch()),
+               service->durable() ? ", durable" : "");
+
+  server.Wait();
+  g_server = nullptr;
+
+  if (args.GetInt("stats", 0) != 0) {
+    const TcpServerStats s = server.stats();
+    std::fprintf(stderr,
+                 "net: accepted %llu closed %llu rejected_full %llu "
+                 "idle_closed %llu frames %llu admits_refused %llu "
+                 "backpressure %llu killed %llu\n",
+                 static_cast<unsigned long long>(s.accepted),
+                 static_cast<unsigned long long>(s.closed),
+                 static_cast<unsigned long long>(s.rejected_full),
+                 static_cast<unsigned long long>(s.idle_closed),
+                 static_cast<unsigned long long>(s.frames_executed),
+                 static_cast<unsigned long long>(s.admits_refused),
+                 static_cast<unsigned long long>(s.backpressure_engaged),
+                 static_cast<unsigned long long>(s.killed_by_backpressure));
+  }
+  return 0;
+}

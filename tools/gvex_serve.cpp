@@ -71,33 +71,6 @@ Result<std::vector<ExplanationView>> LoadViewsAnyFormat(
   return LoadViews(path);
 }
 
-// How many payload blocks follow `head`'s keyword line, and which line
-// closes each of them. Returns 0 for block-less requests.
-int PayloadBlocks(const std::vector<std::string>& head,
-                  std::string* terminator) {
-  const std::string& keyword = head[0];
-  if (keyword == "graphs" || keyword == "dbgraphs" ||
-      keyword == "labelsof" || keyword == "mcs") {
-    *terminator = "end";
-    return 1;
-  }
-  if (keyword == "graphsall") {
-    // graphsall <label> <k>: k pattern blocks. A malformed count reads no
-    // blocks; the parser reports the error.
-    *terminator = "end";
-    try {
-      return head.size() >= 3 ? std::max(0, std::stoi(head[2])) : 0;
-    } catch (const std::exception&) {
-      return 0;
-    }
-  }
-  if (keyword == "admit") {
-    *terminator = "endview";
-    return 1;
-  }
-  return 0;
-}
-
 // Request/response loop: reads ONE request (keyword line + payload block if
 // any) at a time and flushes its response immediately, so interactive and
 // co-process clients never deadlock waiting for EOF.
@@ -108,7 +81,7 @@ void ServeStream(ServeSession* session, std::istream& in) {
     std::string chunk = line + "\n";
     const auto head = SplitWhitespace(Trim(line));
     std::string terminator;
-    const int blocks = head.empty() ? 0 : PayloadBlocks(head, &terminator);
+    const int blocks = ServeRequestShape(head, &terminator);
     for (int b = 0; b < blocks; ++b) {
       std::string payload;
       while (std::getline(in, payload)) {

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench baseline runner: builds Release, runs the gated perf drivers
-# (bench_fig9e_parallel, bench_serving_throughput, bench_store_startup)
-# into scratch JSONs, and gates them against the committed
-# BENCH_parallel.json / BENCH_serving.json / BENCH_store.json with
-# tools/check_bench.py.
+# (bench_fig9e_parallel, bench_serving_throughput, bench_store_startup,
+# bench_net_throughput) into scratch JSONs, and gates them against the
+# committed BENCH_parallel.json / BENCH_serving.json / BENCH_store.json /
+# BENCH_net.json with tools/check_bench.py.
 #
 # Usage:
 #   tools/run_bench_baseline.sh            # compare against the baselines
@@ -27,6 +27,10 @@
 #                          hardware-independent floor for the serving
 #                          bench's blind-vs-filtered fallback scan ratio
 #                          (default 3)
+#   BENCH_MIN_CONCURRENT_SPEEDUP
+#                          hardware-independent floor for the net bench's
+#                          concurrent-vs-single-connection admit
+#                          throughput ratio (default 3)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -37,6 +41,7 @@ min_scan_speedup="${BENCH_MIN_SCAN_SPEEDUP:-10}"
 min_warm_speedup="${BENCH_MIN_WARM_SPEEDUP:-5}"
 min_delta_save_speedup="${BENCH_MIN_DELTA_SAVE_SPEEDUP:-3}"
 min_fallback_speedup="${BENCH_MIN_FALLBACK_SPEEDUP:-3}"
+min_concurrent_speedup="${BENCH_MIN_CONCURRENT_SPEEDUP:-3}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 record=0
@@ -47,7 +52,8 @@ fi
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "${jobs}" \
-  --target bench_fig9e_parallel bench_serving_throughput bench_store_startup
+  --target bench_fig9e_parallel bench_serving_throughput \
+           bench_store_startup bench_net_throughput
 
 # Scratch files are cleaned up on EXIT (a RETURN trap would be skipped when
 # errexit aborts a failed gate mid-function).
@@ -87,9 +93,11 @@ gate() {
     --min-warm-speedup "${min_warm_speedup}" \
     --min-delta-save-speedup "${min_delta_save_speedup}" \
     --min-fallback-speedup "${min_fallback_speedup}" \
+    --min-concurrent-speedup "${min_concurrent_speedup}" \
     --section "${section}"
 }
 
 gate bench_fig9e_parallel "${repo_root}/BENCH_parallel.json" fig9e_parallel
 gate bench_serving_throughput "${repo_root}/BENCH_serving.json" serving
 gate bench_store_startup "${repo_root}/BENCH_store.json" store_startup
+gate bench_net_throughput "${repo_root}/BENCH_net.json" net

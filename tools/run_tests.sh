@@ -7,8 +7,13 @@
 #   tools/run_tests.sh --with-bench  # suite + parallel-bench baseline gate
 #                                    # (tools/run_bench_baseline.sh)
 #   tools/run_tests.sh --sanitize    # ASan+UBSan lane only: builds the
-#                                    # serve + store suites in build-asan
-#                                    # (GVEX_SANITIZE=ON) and runs them
+#                                    # serve + store + net suites in
+#                                    # build-asan (GVEX_SANITIZE=address)
+#                                    # and runs them
+#   tools/run_tests.sh --tsan        # ThreadSanitizer lane only: builds
+#                                    # the net + serve suites in build-tsan
+#                                    # (GVEX_SANITIZE=thread) and runs the
+#                                    # concurrency-heavy binaries
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,30 +22,51 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 with_bench=0
 sanitize=0
+tsan=0
 ctest_args=()
 for arg in "$@"; do
   if [[ "${arg}" == "--with-bench" ]]; then
     with_bench=1
   elif [[ "${arg}" == "--sanitize" ]]; then
     sanitize=1
+  elif [[ "${arg}" == "--tsan" ]]; then
+    tsan=1
   else
     ctest_args+=("${arg}")
   fi
 done
 
-# The sanitizer lane is its own build tree; it covers the serving + durable
-# store suites (the subsystems with the hairiest pointer/lifetime traffic:
-# shared postings, WAL replay, snapshot buffers) without paying for an
-# instrumented build of everything else.
+# The sanitizer lanes are their own build trees; they cover the serving +
+# durable store + TCP front-end suites (the subsystems with the hairiest
+# pointer/lifetime traffic: shared postings, WAL replay, snapshot buffers,
+# nonblocking socket sessions) without paying for an instrumented build of
+# everything else.
 if [[ "${sanitize}" == 1 ]]; then
   asan_dir="${ASAN_BUILD_DIR:-${repo_root}/build-asan}"
   cmake -B "${asan_dir}" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=address \
     -DGVEX_BUILD_BENCH=OFF -DGVEX_BUILD_EXAMPLES=OFF
   cmake --build "${asan_dir}" -j "${jobs}" \
-    --target gvex_serve_test gvex_store_test
+    --target gvex_serve_test gvex_store_test gvex_net_test
   "${asan_dir}/tests/gvex_serve_test"
   "${asan_dir}/tests/gvex_store_test"
+  "${asan_dir}/tests/gvex_net_test"
+  exit 0
+fi
+
+# The TSan lane exercises the genuinely multi-threaded paths: worker event
+# loops + accept-thread handoff + concurrent AdmitView combining (net), and
+# the query/admission races inside ViewService (serve). ASan and TSan can't
+# share a build, so this is a third tree.
+if [[ "${tsan}" == 1 ]]; then
+  tsan_dir="${TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=thread \
+    -DGVEX_BUILD_BENCH=OFF -DGVEX_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${jobs}" \
+    --target gvex_net_test gvex_serve_test
+  "${tsan_dir}/tests/gvex_net_test"
+  "${tsan_dir}/tests/gvex_serve_test"
   exit 0
 fi
 
