@@ -42,7 +42,16 @@ struct ConnResult {
   uint64_t divergences = 0;
   bool aborted = false;
   std::vector<double> latencies_ms;
+  std::map<std::string, uint64_t> responses_by_verb;
 };
+
+/// First word of a request frame — the verb label the server counts
+/// under (one frame = one request in every BuildSyntheticMix entry).
+std::string MixVerb(const LoadgenRequest& req) {
+  const std::vector<std::string> head =
+      SplitWhitespace(Trim(req.text.substr(0, req.text.find('\n'))));
+  return head.empty() ? std::string("?") : head[0];
+}
 
 int ConnectTo(const std::string& host, int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -76,8 +85,13 @@ void RunConnection(const LoadgenOptions& opts,
 
   std::mt19937 rng(opts.seed + static_cast<unsigned>(conn_index) * 7919u);
   std::vector<double> weights;
+  std::vector<std::string> verbs;
   weights.reserve(mix.size());
-  for (const LoadgenRequest& r : mix) weights.push_back(r.weight);
+  verbs.reserve(mix.size());
+  for (const LoadgenRequest& r : mix) {
+    weights.push_back(r.weight);
+    verbs.push_back(MixVerb(r));
+  }
   std::discrete_distribution<int> draw(weights.begin(), weights.end());
 
   // Open-loop schedule: this connection owns an even share of the rate.
@@ -193,6 +207,7 @@ void RunConnection(const LoadgenOptions& opts,
       out->latencies_ms.push_back(
           std::chrono::duration<double, std::milli>(Clock::now() - f.t_ref)
               .count());
+      ++out->responses_by_verb[verbs[static_cast<size_t>(f.mix_index)]];
       ++out->requests;
       ++completed;
       pending.pop_front();
@@ -250,6 +265,9 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options,
     if (r.aborted) ++report.aborted_connections;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
+    for (const auto& [verb, count] : r.responses_by_verb) {
+      report.responses_by_verb[verb] += count;
+    }
   }
   report.qps = report.elapsed_sec > 0
                    ? static_cast<double>(report.requests) / report.elapsed_sec
@@ -257,6 +275,70 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options,
   report.p50_ms = Percentile(&latencies, 0.50);
   report.p99_ms = Percentile(&latencies, 0.99);
   return report;
+}
+
+Result<std::string> FetchMetrics(const std::string& host, int port,
+                                 double timeout_sec) {
+  const int fd = ConnectTo(host, port);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("metrics fetch: cannot connect to %s:%d", host.c_str(),
+                  port));
+  }
+  std::string outbuf = "metrics\n";
+  size_t out_off = 0;
+  std::string in;
+  int expected_lines = -1;
+  const Clock::time_point t0 = Clock::now();
+  while (true) {
+    if (SecondsSince(t0) > timeout_sec) {
+      ::close(fd);
+      return Status::IOError("metrics fetch timed out");
+    }
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    if (out_off < outbuf.size()) p.events |= POLLOUT;
+    p.revents = 0;
+    const int nready = ::poll(&p, 1, 100);
+    if (nready < 0 && errno != EINTR) break;
+    if (p.revents & POLLOUT) {
+      const ssize_t n = ::send(fd, outbuf.data() + out_off,
+                               outbuf.size() - out_off, MSG_NOSIGNAL);
+      if (n > 0) out_off += static_cast<size_t>(n);
+    }
+    if (p.revents & (POLLIN | POLLERR | POLLHUP)) {
+      char buf[64 << 10];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        in.append(buf, static_cast<size_t>(n));
+      } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                            errno != EINTR)) {
+        break;
+      }
+    }
+    if (expected_lines < 0) {
+      const size_t nl = in.find('\n');
+      if (nl != std::string::npos) {
+        const std::vector<std::string> head =
+            SplitWhitespace(in.substr(0, nl));
+        if (head.size() != 3 || head[0] != "ok" || head[1] != "metrics" ||
+            !ParseInt(head[2], &expected_lines) || expected_lines < 0) {
+          ::close(fd);
+          return Status::IOError("metrics fetch: unexpected header: " +
+                                 in.substr(0, nl));
+        }
+      }
+    }
+    if (expected_lines >= 0 &&
+        std::count(in.begin(), in.end(), '\n') >=
+            static_cast<long>(expected_lines) + 1) {
+      ::close(fd);
+      return in.substr(in.find('\n') + 1);
+    }
+  }
+  ::close(fd);
+  return Status::IOError("metrics fetch: connection ended mid-response");
 }
 
 }  // namespace gvex

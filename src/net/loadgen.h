@@ -30,6 +30,8 @@
 #ifndef GVEX_NET_LOADGEN_H_
 #define GVEX_NET_LOADGEN_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,10 @@ struct LoadgenReport {
   double qps = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  /// Completed responses per verb (first word of the request frame) —
+  /// the client-side half of the `--scrape` cross-check against the
+  /// server's gvex_requests_total{verb=...} counters.
+  std::map<std::string, uint64_t> responses_by_verb;
 };
 
 /// Runs the workload; blocks until every connection finishes or aborts.
@@ -74,6 +80,13 @@ struct LoadgenReport {
 /// shows up as errors/divergences/aborted_connections in the report.
 Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options,
                                  const std::vector<LoadgenRequest>& mix);
+
+/// Fetches one `metrics` scrape over its own blocking connection: sends
+/// the verb, reads the "ok metrics <n>" header plus n exposition lines,
+/// and returns the exposition text (header stripped). IOError on connect
+/// failure, a malformed header, or `timeout_sec` without progress.
+Result<std::string> FetchMetrics(const std::string& host, int port,
+                                 double timeout_sec = 10);
 
 }  // namespace gvex
 

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace gvex {
@@ -30,6 +31,46 @@ int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Server-level net instruments, registered once per process. The live
+// gauge mirrors live_sessions_ (Set after every change, so it never
+// drifts from the authoritative atomic).
+struct ServerInstruments {
+  obs::Gauge* live;
+  obs::Counter* accepted;
+  obs::Counter* rejected_full;
+  obs::Counter* closed;
+  obs::Counter* idle_closed;
+  obs::Histogram* accept_assign_seconds;
+  obs::Histogram* drain_seconds;
+};
+
+const ServerInstruments& ServerObs() {
+  static const ServerInstruments* instruments = [] {
+    auto* si = new ServerInstruments();
+    obs::Registry& m = obs::Metrics();
+    si->live = m.GetGauge("gvex_net_live_sessions",
+                          "Live TCP connections across all workers");
+    si->accepted =
+        m.GetCounter("gvex_net_accepted_total", "Connections accepted");
+    si->rejected_full = m.GetCounter(
+        "gvex_net_rejected_full_total",
+        "Connections turned away at the max_sessions cap");
+    si->closed = m.GetCounter("gvex_net_closed_total", "Connections closed");
+    si->idle_closed = m.GetCounter("gvex_net_idle_closed_total",
+                                   "Connections closed by the idle timeout");
+    si->accept_assign_seconds = m.GetHistogram(
+        "gvex_net_accept_assign_seconds",
+        "accept() to worker-loop adoption latency",
+        obs::Unit::kNanoseconds);
+    si->drain_seconds =
+        m.GetHistogram("gvex_net_drain_seconds",
+                       "Drain() to full stop (accept + workers joined)",
+                       obs::Unit::kNanoseconds);
+    return si;
+  }();
+  return *instruments;
 }
 
 }  // namespace
@@ -112,6 +153,7 @@ Status TcpServer::Start(ViewService* service, const GraphDatabase* db,
 void TcpServer::Drain() {
   if (!started_.load()) return;
   if (draining_.exchange(true)) return;
+  drain_start_ms_.store(NowMs());
   drain_deadline_ms_.store(
       NowMs() + static_cast<int64_t>(options_.drain_timeout_sec * 1000.0));
   // Wake every worker so the drain is noticed without waiting for a tick.
@@ -127,6 +169,10 @@ void TcpServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
+  }
+  if (drain_start_ms_.load() > 0) {
+    ServerObs().drain_seconds->ObserveSeconds(
+        static_cast<double>(NowMs() - drain_start_ms_.load()) / 1e3);
   }
   // Everything acknowledged before the drain is already published in the
   // service; one final save folds it all into the durable store.
@@ -159,6 +205,7 @@ void TcpServer::AcceptLoop() {
         static const char kFull[] = "err server full\n";
         (void)!::send(fd, kFull, sizeof(kFull) - 1, MSG_NOSIGNAL);
         ::close(fd);
+        ServerObs().rejected_full->Add(1);
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.rejected_full;
         continue;
@@ -170,6 +217,8 @@ void TcpServer::AcceptLoop() {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       live_sessions_.fetch_add(1);
+      ServerObs().live->Set(live_sessions_.load());
+      ServerObs().accepted->Add(1);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.accepted;
@@ -179,7 +228,7 @@ void TcpServer::AcceptLoop() {
                       .get();
       {
         std::lock_guard<std::mutex> lock(w->mu);
-        w->incoming.push_back(fd);
+        w->incoming.emplace_back(fd, std::chrono::steady_clock::now());
       }
       const char b = 1;
       (void)!::write(w->wake_write, &b, 1);
@@ -206,6 +255,8 @@ void TcpServer::CloseSession(Worker* w, int fd) {
   w->poller.Remove(fd);
   w->sessions.erase(it);  // NetSession's destructor closes the fd
   live_sessions_.fetch_sub(1);
+  ServerObs().live->Set(live_sessions_.load());
+  ServerObs().closed->Add(1);
 }
 
 void TcpServer::WorkerLoop(Worker* w) {
@@ -218,7 +269,7 @@ void TcpServer::WorkerLoop(Worker* w) {
     // Adopt connections the accept thread handed over.
     {
       std::lock_guard<std::mutex> lock(w->mu);
-      for (int fd : w->incoming) {
+      for (const auto& [fd, accepted_at] : w->incoming) {
         ServeSession state;
         state.service = service_;
         state.db = db_;
@@ -228,14 +279,21 @@ void TcpServer::WorkerLoop(Worker* w) {
         if (draining_.load()) {
           // Raced with the drain: nothing was read, close immediately.
           live_sessions_.fetch_sub(1);
+          ServerObs().live->Set(live_sessions_.load());
+          ServerObs().closed->Add(1);
           std::lock_guard<std::mutex> slock(stats_mu_);
           ++stats_.closed;
           continue;
         }
         if (!w->poller.Add(fd, true, false).ok()) {
           live_sessions_.fetch_sub(1);
+          ServerObs().live->Set(live_sessions_.load());
           continue;
         }
+        ServerObs().accept_assign_seconds->ObserveSeconds(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          accepted_at)
+                .count());
         w->sessions.emplace(fd, std::move(session));
       }
       w->incoming.clear();
@@ -292,6 +350,7 @@ void TcpServer::WorkerLoop(Worker* w) {
       }
       for (int fd : to_close) {
         CloseSession(w, fd);
+        ServerObs().idle_closed->Add(1);
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.idle_closed;
       }
@@ -309,9 +368,11 @@ void TcpServer::WorkerLoop(Worker* w) {
   }
   // Adopt-and-close any fds that raced into the queue after the loop.
   std::lock_guard<std::mutex> lock(w->mu);
-  for (int fd : w->incoming) {
+  for (const auto& [fd, accepted_at] : w->incoming) {
+    (void)accepted_at;
     ::close(fd);
     live_sessions_.fetch_sub(1);
+    ServerObs().live->Set(live_sessions_.load());
   }
   w->incoming.clear();
   ::close(w->wake_read);

@@ -37,6 +37,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/poller.h"
@@ -108,7 +109,10 @@ class TcpServer {
     int wake_read = -1;
     int wake_write = -1;
     std::mutex mu;
-    std::vector<int> incoming;  ///< fds handed over by the accept thread
+    /// (fd, accept time) pairs handed over by the accept thread — the
+    /// timestamp feeds the accept→assign latency histogram.
+    std::vector<std::pair<int, std::chrono::steady_clock::time_point>>
+        incoming;
     std::unordered_map<int, std::unique_ptr<NetSession>> sessions;
     std::thread thread;
   };
@@ -131,6 +135,7 @@ class TcpServer {
   std::atomic<bool> draining_{false};
   std::atomic<bool> waited_{false};
   std::atomic<int64_t> drain_deadline_ms_{0};  ///< steady_clock millis
+  std::atomic<int64_t> drain_start_ms_{0};     ///< 0 = never drained
   std::atomic<int> live_sessions_{0};
   std::atomic<int> next_worker_{0};
 

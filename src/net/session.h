@@ -31,8 +31,10 @@
 #include <chrono>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "net/frame.h"
+#include "obs/trace.h"
 #include "serve/serve_protocol.h"
 
 namespace gvex {
@@ -96,10 +98,22 @@ class NetSession {
   uint64_t admits_refused() const { return admits_refused_; }
 
  private:
+  /// One sampled request whose flush span is still open: completes (and
+  /// records into the global trace ring) once total_flushed_ reaches
+  /// flush_target — the moment the last byte of ITS response hit the
+  /// kernel.
+  struct PendingTrace {
+    obs::TraceSpans spans;
+    uint64_t flush_target = 0;
+    std::chrono::steady_clock::time_point flush_start;
+  };
+
   /// Executes buffered complete frames while under the soft cap.
   void ProcessFrames();
   /// Appends to the write buffer; kills the session past the hard cap.
   void Respond(const std::string& text);
+  /// Records sampled traces whose responses are now fully flushed.
+  void CompleteFlushedTraces();
 
   int fd_;
   ServeSession serve_;
@@ -118,6 +132,17 @@ class NetSession {
   bool backpressure_engaged_ = false;
   uint64_t frames_executed_ = 0;
   uint64_t admits_refused_ = 0;
+  /// Soft-cap pause in progress (its duration is observed on resume).
+  bool paused_ = false;
+  std::chrono::steady_clock::time_point pause_start_;
+  /// When the framer went from empty to holding bytes of the NEXT frame —
+  /// the frame span's start. Backpressure stalls land in this span.
+  bool have_buffer_start_ = false;
+  std::chrono::steady_clock::time_point buffer_start_;
+  /// Monotone byte counters pairing responses with their flush moment.
+  uint64_t total_appended_ = 0;
+  uint64_t total_flushed_ = 0;
+  std::vector<PendingTrace> pending_traces_;
 };
 
 }  // namespace gvex

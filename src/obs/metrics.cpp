@@ -1,0 +1,329 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <ctime>
+
+#include "util/string_util.h"
+
+namespace gvex {
+namespace obs {
+
+namespace internal {
+
+int ThreadShard() {
+  // A small per-thread slot handed out round-robin at first use: cheaper
+  // and better distributed than hashing thread ids, and stable for the
+  // thread's lifetime so a thread keeps hitting its own cache line.
+  static std::atomic<unsigned> next{0};
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards);
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+/// Captured once at load time: the anchor for uptime / start-epoch.
+struct ProcessClock {
+  SteadyClock::time_point steady_start = SteadyClock::now();
+  int64_t unix_start_sec =
+      static_cast<int64_t>(std::time(nullptr));
+};
+
+const ProcessClock& GetProcessClock() {
+  static const ProcessClock clock;
+  return clock;
+}
+
+// Force the anchor to be captured during static initialization, not at
+// the first scrape minutes into the run.
+const ProcessClock& g_process_clock_init = GetProcessClock();
+
+/// The exported number for `units` of a family in `unit` scale.
+double Scaled(uint64_t units, Unit unit) {
+  return unit == Unit::kNanoseconds ? static_cast<double>(units) * 1e-9
+                                    : static_cast<double>(units);
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& label_key,
+                  const std::string& label_value,
+                  const std::string& extra_label, double value) {
+  *out += name;
+  if (!label_key.empty() || !extra_label.empty()) {
+    *out += '{';
+    if (!label_key.empty()) {
+      *out += label_key + "=\"" + label_value + "\"";
+      if (!extra_label.empty()) *out += ',';
+    }
+    *out += extra_label;
+    *out += '}';
+  }
+  *out += StrFormat(" %.10g\n", value);
+}
+
+bool ValidMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (alpha) continue;
+    if (i > 0 && c >= '0' && c <= '9') continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Histogram::Snapshot Histogram::Merge() const {
+  Snapshot out;
+  for (const Cell& c : cells_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      const uint64_t n = c.counts[i].load(std::memory_order_relaxed);
+      out.counts[i] += n;
+      out.count += n;
+    }
+    out.sum += c.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+int Histogram::BucketIndex(uint64_t units) {
+  if (units <= 1) return 0;
+  // Smallest i with units <= 2^i, i.e. bit_width(units - 1).
+#if defined(__GNUC__) || defined(__clang__)
+  const int width = 64 - __builtin_clzll(units - 1);
+#else
+  int width = 0;
+  for (uint64_t v = units - 1; v != 0; v >>= 1) ++width;
+#endif
+  return width < kBuckets - 1 ? width : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(int i) {
+  if (i >= kBuckets - 1 || i >= 63) return ~uint64_t{0};
+  return uint64_t{1} << i;
+}
+
+uint64_t Histogram::Quantile(const Snapshot& snap, double q) {
+  if (snap.count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based; ceil so q=0.5 of 2 samples
+  // answers the first (lower-median convention keeps estimates tight).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(snap.count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += snap.counts[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+Counter* Registry::GetCounter(const std::string& name, const std::string& help,
+                              const std::string& label_key,
+                              const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& f = families_[name];
+  if (f.type.empty()) {
+    f.type = "counter";
+    f.help = help;
+    f.label_key = label_key;
+  }
+  assert(f.type == "counter" && f.label_key == label_key);
+  auto& slot = f.counters[label_value];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const std::string& label_key,
+                          const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& f = families_[name];
+  if (f.type.empty()) {
+    f.type = "gauge";
+    f.help = help;
+    f.label_key = label_key;
+  }
+  assert(f.type == "gauge" && f.label_key == label_key);
+  auto& slot = f.gauges[label_value];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help, Unit unit,
+                                  const std::string& label_key,
+                                  const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& f = families_[name];
+  if (f.type.empty()) {
+    f.type = "histogram";
+    f.help = help;
+    f.label_key = label_key;
+    f.unit = unit;
+  }
+  assert(f.type == "histogram" && f.label_key == label_key);
+  auto& slot = f.histograms[label_value];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, f] : families_) {
+    if (!f.help.empty()) out += "# HELP " + name + " " + f.help + "\n";
+    out += "# TYPE " + name + " " + f.type + "\n";
+    for (const auto& [label, counter] : f.counters) {
+      AppendSample(&out, name, f.label_key, label, "",
+                   static_cast<double>(counter->Value()));
+    }
+    for (const auto& [label, gauge] : f.gauges) {
+      AppendSample(&out, name, f.label_key, label, "",
+                   static_cast<double>(gauge->Value()));
+    }
+    for (const auto& [label, histogram] : f.histograms) {
+      const Histogram::Snapshot snap = histogram->Merge();
+      uint64_t cumulative = 0;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        cumulative += snap.counts[i];
+        // Empty buckets below the data add nothing but noise; emit a
+        // bucket when it closes observations under it or is the first.
+        if (snap.counts[i] == 0 && i != Histogram::kBuckets - 1) continue;
+        const std::string le =
+            i == Histogram::kBuckets - 1
+                ? std::string("+Inf")
+                : StrFormat("%.10g",
+                            Scaled(Histogram::BucketUpperBound(i), f.unit));
+        AppendSample(&out, name + "_bucket", f.label_key, label,
+                     "le=\"" + le + "\"", static_cast<double>(cumulative));
+      }
+      AppendSample(&out, name + "_sum", f.label_key, label, "",
+                   Scaled(snap.sum, f.unit));
+      AppendSample(&out, name + "_count", f.label_key, label, "",
+                   static_cast<double>(snap.count));
+    }
+  }
+  return out;
+}
+
+Registry& Metrics() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;  // pointers stay valid through static teardown
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(SteadyClock::now() -
+                                       GetProcessClock().steady_start)
+      .count();
+}
+
+int64_t ProcessStartUnixSeconds() { return GetProcessClock().unix_start_sec; }
+
+bool ValidateMetricsText(const std::string& text, std::string* error) {
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      if (error) {
+        *error = StrFormat("line %zu: no value: %s", line_no, line.c_str());
+      }
+      return false;
+    }
+    double value = 0;
+    if (!ParseDouble(line.substr(space + 1), &value)) {
+      if (error) {
+        *error = StrFormat("line %zu: bad value: %s", line_no, line.c_str());
+      }
+      return false;
+    }
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') {
+        if (error) {
+          *error =
+              StrFormat("line %zu: unterminated labels: %s", line_no,
+                        line.c_str());
+        }
+        return false;
+      }
+      name = name.substr(0, brace);
+    }
+    if (!ValidMetricName(name)) {
+      if (error) {
+        *error = StrFormat("line %zu: bad metric name: %s", line_no,
+                           line.c_str());
+      }
+      return false;
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+std::map<std::string, double> ParseMetricFamily(const std::string& text,
+                                                const std::string& family) {
+  std::map<std::string, double> out;
+  for (const std::string& raw : Split(text, '\n')) {
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (!StartsWith(line, family)) continue;
+    // The family name must end exactly here (a space or a label block) —
+    // "gvex_requests_total" must not match "gvex_requests_total_sum".
+    const char next = line.size() > family.size() ? line[family.size()] : ' ';
+    if (next != ' ' && next != '{') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    double value = 0;
+    if (!ParseDouble(line.substr(space + 1), &value)) continue;
+    std::string label;
+    if (next == '{') {
+      const size_t open = line.find('"', family.size());
+      const size_t close =
+          open == std::string::npos ? std::string::npos
+                                    : line.find('"', open + 1);
+      if (close != std::string::npos) {
+        label = line.substr(open + 1, close - open - 1);
+      }
+    }
+    out[label] = value;
+  }
+  return out;
+}
+
+bool RateLimiter::Allow() {
+  const int64_t now = MonotonicNs();
+  int64_t last = last_ns_.load(std::memory_order_relaxed);
+  while (now - last >= interval_ns_) {
+    if (last_ns_.compare_exchange_weak(last, now,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+    // `last` was reloaded by the failed CAS; loop re-checks the window.
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace gvex

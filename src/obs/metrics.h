@@ -1,0 +1,214 @@
+// Process-wide metrics plane: counters, gauges, and fixed log-bucket
+// latency histograms behind one registry, exported as Prometheus-style
+// text by the `metrics` protocol verb and `gvex_netserve --metrics-dump`.
+//
+// The design constraint is the serving hot path: recording a request
+// latency or bumping a counter must cost ONE relaxed atomic add, never a
+// lock. Counters and histograms therefore accumulate into SHARDED cells
+// (cache-line-aligned, indexed by a per-thread slot) that are only merged
+// when somebody scrapes — the Galois Statistic/Timer idiom of thread-local
+// accumulation reconciled at report time. Merges read with relaxed loads
+// while writers keep adding; scraped values are monotone and each
+// individual add is atomic, which is exactly the contract a counter needs.
+//
+// Histograms use fixed power-of-2 buckets over integer units (nanoseconds
+// for durations): value v lands in the bucket with the smallest upper
+// bound 2^i >= v. Quantiles are derived from the cumulative bucket counts
+// and answer the bucket's UPPER bound, so an estimate always brackets the
+// true quantile within one power of 2 — p50/p90/p99/max all come from the
+// same 48 numbers, and recording stays branch-light (one clz).
+//
+// Naming: families are registered once with a stable name, an optional
+// single label pair (e.g. verb="admit"), and a help line; RenderPrometheus
+// emits one `# TYPE` per family plus `_bucket{le=...}`/`_sum`/`_count`
+// expansions for histograms. Metric pointers returned by Get* live as
+// long as the registry — hot call sites cache them in function-local
+// statics and never touch the registry lock again.
+
+#ifndef GVEX_OBS_METRICS_H_
+#define GVEX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace gvex {
+namespace obs {
+
+/// Accumulation shards per metric. More shards = less false sharing under
+/// many recording threads, at 64 bytes per shard of footprint.
+constexpr int kMetricShards = 16;
+
+namespace internal {
+/// This thread's accumulation slot (stable for the thread's lifetime).
+int ThreadShard();
+}  // namespace internal
+
+/// Monotone counter. Add() is one relaxed atomic add into this thread's
+/// shard; Value() merges the shards.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[internal::ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+/// Point-in-time value (live sessions, config knobs). Set/Add from any
+/// thread; last write wins.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed log-bucket histogram over non-negative integer units. Bucket i
+/// holds values in (2^(i-1), 2^i] (bucket 0: v <= 1); the last bucket is
+/// +Inf. Observe() is a clz + two relaxed adds into this thread's shard.
+class Histogram {
+ public:
+  /// 48 power-of-2 buckets: as nanoseconds, bucket 46's upper bound is
+  /// 2^46 ns ≈ 19.5 hours — nothing a request path produces overflows
+  /// into +Inf.
+  static constexpr int kBuckets = 48;
+
+  struct Snapshot {
+    uint64_t counts[kBuckets] = {0};  ///< per-bucket (NOT cumulative)
+    uint64_t count = 0;               ///< total observations
+    uint64_t sum = 0;                 ///< sum of raw units
+  };
+
+  void Observe(uint64_t units) {
+    Cell& c = cells_[internal::ThreadShard()];
+    c.counts[BucketIndex(units)].fetch_add(1, std::memory_order_relaxed);
+    c.sum.fetch_add(units, std::memory_order_relaxed);
+  }
+  /// Duration convenience: records integer nanoseconds.
+  void ObserveSeconds(double seconds) {
+    if (seconds < 0) seconds = 0;
+    Observe(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  /// Merges the shards. Concurrent Observe() calls may or may not be
+  /// included; every included observation is counted exactly once.
+  Snapshot Merge() const;
+
+  /// The bucket `units` lands in: smallest i with units <= 2^i (capped at
+  /// the +Inf bucket).
+  static int BucketIndex(uint64_t units);
+  /// Bucket i's inclusive upper bound in raw units (2^i; ~UINT64_MAX for
+  /// the +Inf bucket).
+  static uint64_t BucketUpperBound(int i);
+  /// Quantile estimate in raw units: the upper bound of the first bucket
+  /// whose cumulative count reaches q*count. Always >= the true quantile,
+  /// and the bucket's lower bound is always <= it (bracketing within one
+  /// power of 2). q=1 answers the max's bucket bound; 0 when empty.
+  static uint64_t Quantile(const Snapshot& snap, double q);
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> counts[kBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+/// Display scale of a histogram family: how raw units map to the exported
+/// numbers (`le` bounds and `_sum`).
+enum class Unit {
+  kNone,         ///< raw units (batch sizes, bytes)
+  kNanoseconds,  ///< exported in seconds (Prometheus convention)
+};
+
+/// Family registry. Get* registers on first use and returns the same
+/// metric for the same (name, label value) forever after; the returned
+/// pointers are valid for the registry's lifetime. A family has one TYPE
+/// and at most one label key — mixing types or label keys under one name
+/// is a programming error and fails loudly in debug builds (first
+/// registration wins otherwise).
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& label_key = "",
+                      const std::string& label_value = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::string& label_key = "",
+                  const std::string& label_value = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          Unit unit, const std::string& label_key = "",
+                          const std::string& label_value = "");
+
+  /// Prometheus exposition text: `# HELP` + `# TYPE` per family, then one
+  /// sample line per metric (histograms expand to cumulative
+  /// `_bucket{le=...}` lines plus `_sum`/`_count`). Families and label
+  /// values render in sorted order, so output is stable for tests.
+  std::string RenderPrometheus() const;
+
+ private:
+  struct Family {
+    std::string help;
+    std::string type;  ///< "counter" | "gauge" | "histogram"
+    std::string label_key;
+    Unit unit = Unit::kNone;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// The process-wide registry every instrumented layer records into.
+Registry& Metrics();
+
+/// Seconds since this process first touched the obs layer (initialized
+/// eagerly at static-init time, so effectively process start).
+double ProcessUptimeSeconds();
+/// Unix epoch seconds of that start moment.
+int64_t ProcessStartUnixSeconds();
+
+/// Checks that `text` is well-formed exposition text: every line is a
+/// `#` comment or `name[{key="value"}] <number>`. On failure returns
+/// false and describes the first offending line in *error.
+bool ValidateMetricsText(const std::string& text, std::string* error);
+
+/// Extracts one family's samples from exposition text: label value ->
+/// numeric value ("" for unlabeled lines). Histogram expansions of `name`
+/// (`name_bucket` etc.) are distinct families and are NOT matched.
+std::map<std::string, double> ParseMetricFamily(const std::string& text,
+                                                const std::string& family);
+
+/// Token-free rate limiter for log spam: Allow() is true at most once per
+/// `min_interval_sec` across all threads.
+class RateLimiter {
+ public:
+  explicit RateLimiter(double min_interval_sec)
+      : interval_ns_(static_cast<int64_t>(min_interval_sec * 1e9)) {}
+  bool Allow();
+
+ private:
+  int64_t interval_ns_;
+  std::atomic<int64_t> last_ns_{-(int64_t{1} << 62)};  ///< monotonic ns
+};
+
+}  // namespace obs
+}  // namespace gvex
+
+#endif  // GVEX_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace gvex {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_sample_every{0};
+std::atomic<uint64_t> g_sample_counter{0};
+std::atomic<int64_t> g_slow_threshold_us{0};
+
+RateLimiter& SlowLogLimiter() {
+  static RateLimiter limiter(1.0);
+  return limiter;
+}
+
+}  // namespace
+
+void TraceRing::Record(TraceSpans spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(spans));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  ++recorded_;
+}
+
+std::vector<TraceSpans> TraceRing::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceSpans>(ring_.begin(), ring_.end());
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+TraceRing& GlobalTraceRing() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+void SetTraceSampleEvery(int n) {
+  g_sample_every.store(n < 0 ? 0 : n, std::memory_order_relaxed);
+}
+
+int TraceSampleEvery() { return g_sample_every.load(std::memory_order_relaxed); }
+
+bool SampleTrace() {
+  const int every = g_sample_every.load(std::memory_order_relaxed);
+  if (every <= 0) return false;
+  return g_sample_counter.fetch_add(1, std::memory_order_relaxed) %
+             static_cast<uint64_t>(every) ==
+         0;
+}
+
+void SetSlowRequestThresholdMs(double ms) {
+  g_slow_threshold_us.store(ms <= 0 ? 0 : static_cast<int64_t>(ms * 1000.0),
+                            std::memory_order_relaxed);
+}
+
+double SlowRequestThresholdMs() {
+  return static_cast<double>(
+             g_slow_threshold_us.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+void MaybeLogSlowRequest(const std::string& verb, double execute_ms) {
+  const int64_t threshold_us =
+      g_slow_threshold_us.load(std::memory_order_relaxed);
+  if (threshold_us == 0 ||
+      execute_ms * 1000.0 < static_cast<double>(threshold_us)) {
+    return;
+  }
+  Metrics()
+      .GetCounter("gvex_slow_requests_total",
+                  "Requests whose execute span exceeded the slow threshold",
+                  "verb", verb)
+      ->Add(1);
+  if (SlowLogLimiter().Allow()) {
+    GVEX_LOG(kWarning) << "slow request: " << verb << " took " << execute_ms
+                       << " ms (threshold "
+                       << static_cast<double>(threshold_us) / 1000.0
+                       << " ms)";
+  }
+}
+
+}  // namespace obs
+}  // namespace gvex

@@ -1,0 +1,86 @@
+// Per-request pipeline tracing + the slow-request log.
+//
+// Trace mode samples every Nth request at the TCP session layer and
+// records where its wall time went as four spans:
+//
+//   frame_us    first byte buffered -> the complete frame popped (network
+//               reassembly AND any backpressure pause, which delays pops)
+//   queue_us    frame popped -> execution started (quota checks, verb
+//               dispatch)
+//   execute_us  parse + ViewService work (ServeText)
+//   flush_us    response appended -> its last byte handed to the kernel
+//
+// Records land in a bounded global ring (oldest evicted first) that the
+// `traces` protocol verb dumps; sampling is controlled by the `trace
+// on|off` verb or `--trace-sample N`, and costs one relaxed counter
+// increment per request when off. The stdin front end executes
+// synchronously (no framing or flush pipeline), so spans are a
+// net-session concept — `trace`/`traces` still work over stdin, they just
+// configure/dump the same global ring.
+//
+// The slow-request log is independent of sampling: any request whose
+// execute span exceeds the threshold is logged to stderr, rate-limited so
+// a pathological workload cannot flood the log.
+
+#ifndef GVEX_OBS_TRACE_H_
+#define GVEX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gvex {
+namespace obs {
+
+/// One sampled request's span timings (microseconds).
+struct TraceSpans {
+  std::string verb;
+  double frame_us = 0;
+  double queue_us = 0;
+  double execute_us = 0;
+  double flush_us = 0;
+};
+
+/// Bounded FIFO of sampled traces. Thread-safe; Record is mutex-guarded —
+/// acceptable because only sampled requests (1-in-N) pay it.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void Record(TraceSpans spans);
+  /// Oldest to newest.
+  std::vector<TraceSpans> Dump() const;
+  void Clear();
+  /// Total ever recorded (not just retained).
+  uint64_t recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceSpans> ring_;
+  uint64_t recorded_ = 0;
+};
+
+/// The ring the `traces` verb dumps.
+TraceRing& GlobalTraceRing();
+
+/// Sampling period: every Nth request is traced; 0 disables (default).
+void SetTraceSampleEvery(int n);
+int TraceSampleEvery();
+/// True when this request should be traced (one relaxed increment).
+bool SampleTrace();
+
+/// Slow-request log threshold in milliseconds over the execute span;
+/// 0 disables (default).
+void SetSlowRequestThresholdMs(double ms);
+double SlowRequestThresholdMs();
+/// Logs `verb took <ms>` to stderr when over the threshold, at most about
+/// once per second process-wide.
+void MaybeLogSlowRequest(const std::string& verb, double execute_ms);
+
+}  // namespace obs
+}  // namespace gvex
+
+#endif  // GVEX_OBS_TRACE_H_

@@ -1,9 +1,14 @@
 #include "serve/serve_protocol.h"
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <utility>
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace gvex {
@@ -65,6 +70,88 @@ std::string FormatPatterns(const std::vector<Pattern>& patterns) {
   return out;
 }
 
+// The observability verbs need no service (`metrics` renders only the
+// registry families without one), so both HandleServeRequest overloads —
+// and serviceless sessions — route them here.
+std::string HandleObservabilityRequest(const ViewService* service,
+                                       const ServeRequest& req) {
+  switch (req.kind) {
+    case ServeRequest::Kind::kMetrics: {
+      const std::string body = RenderMetricsText(service);
+      return StrFormat("ok metrics %zu\n",
+                       static_cast<size_t>(
+                           std::count(body.begin(), body.end(), '\n'))) +
+             body;
+    }
+    case ServeRequest::Kind::kTrace: {
+      if (!req.trace_on) {
+        obs::SetTraceSampleEvery(0);
+        return "ok trace off\n";
+      }
+      int every = req.trace_sample;
+      if (every <= 0) every = std::max(1, obs::TraceSampleEvery());
+      obs::SetTraceSampleEvery(every);
+      return StrFormat("ok trace on %d\n", every);
+    }
+    case ServeRequest::Kind::kTraces: {
+      const std::vector<obs::TraceSpans> dump = obs::GlobalTraceRing().Dump();
+      std::string out = StrFormat("ok traces %zu\n", dump.size());
+      for (const obs::TraceSpans& t : dump) {
+        out += StrFormat(
+            "trace %s frame_us %.1f queue_us %.1f execute_us %.1f "
+            "flush_us %.1f\n",
+            t.verb.c_str(), t.frame_us, t.queue_us, t.execute_us, t.flush_us);
+      }
+      return out;
+    }
+    default:
+      return "err unreachable\n";
+  }
+}
+
+/// The per-verb instruments ServeText records into. Looked up once per
+/// process (function-local static) so the hot path never touches the
+/// registry lock.
+struct VerbInstruments {
+  obs::Histogram* latency;
+  obs::Counter* total;
+  obs::Counter* errors;
+};
+
+const VerbInstruments& InstrumentsFor(ServeRequest::Kind kind) {
+  static const std::array<VerbInstruments, ServeRequest::kNumKinds>* table =
+      [] {
+        auto* t = new std::array<VerbInstruments, ServeRequest::kNumKinds>();
+        for (int i = 0; i < ServeRequest::kNumKinds; ++i) {
+          const char* verb =
+              ServeVerbName(static_cast<ServeRequest::Kind>(i));
+          (*t)[i].latency = obs::Metrics().GetHistogram(
+              "gvex_request_seconds",
+              "Request execute latency (parse excluded), per verb",
+              obs::Unit::kNanoseconds, "verb", verb);
+          (*t)[i].total = obs::Metrics().GetCounter(
+              "gvex_requests_total", "Requests executed, per verb", "verb",
+              verb);
+          (*t)[i].errors = obs::Metrics().GetCounter(
+              "gvex_request_errors_total",
+              "Requests answered with an err line, per verb (verb=\"parse\" "
+              "counts requests that never parsed)",
+              "verb", verb);
+        }
+        return t;
+      }();
+  return (*table)[static_cast<int>(kind)];
+}
+
+obs::Counter* ParseErrorCounter() {
+  static obs::Counter* counter = obs::Metrics().GetCounter(
+      "gvex_request_errors_total",
+      "Requests answered with an err line, per verb (verb=\"parse\" counts "
+      "requests that never parsed)",
+      "verb", "parse");
+  return counter;
+}
+
 }  // namespace
 
 int ServeRequestShape(const std::vector<std::string>& head,
@@ -106,6 +193,39 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
   }
   if (kw == "stats") {
     req.kind = ServeRequest::Kind::kStats;
+    return req;
+  }
+  if (kw == "metrics") {
+    req.kind = ServeRequest::Kind::kMetrics;
+    return req;
+  }
+  if (kw == "traces") {
+    req.kind = ServeRequest::Kind::kTraces;
+    return req;
+  }
+  if (kw == "trace") {
+    if (head.size() < 2 || (head[1] != "on" && head[1] != "off")) {
+      return Status::InvalidArgument("'trace' needs on or off");
+    }
+    req.kind = ServeRequest::Kind::kTrace;
+    req.trace_on = head[1] == "on";
+    if (!req.trace_on && head.size() > 2) {
+      return Status::InvalidArgument("'trace off' takes no arguments");
+    }
+    if (req.trace_on) {
+      if (head.size() > 3) {
+        return Status::InvalidArgument(
+            "'trace on' takes at most one sample period");
+      }
+      if (head.size() == 3) {
+        int n = 0;
+        if (!ParseInt(head[2], &n) || n < 1) {
+          return Status::InvalidArgument("bad trace sample period '" +
+                                         head[2] + "'");
+        }
+        req.trace_sample = n;
+      }
+    }
     return req;
   }
   if (kw == "save") {
@@ -256,6 +376,14 @@ std::string HandleServeRequest(ServeSession* session,
                          session->service->epoch()),
                      session->service->Labels().size());
   }
+  // The observability verbs work without a service (`metrics` then renders
+  // only the registry families), so a fresh session can be scraped before
+  // its first `open`.
+  if (req.kind == ServeRequest::Kind::kMetrics ||
+      req.kind == ServeRequest::Kind::kTrace ||
+      req.kind == ServeRequest::Kind::kTraces) {
+    return HandleObservabilityRequest(session->service, req);
+  }
   // A session may legitimately start with no service and issue `open`
   // first; every other verb except `quit` needs one.
   if (session->service == nullptr) {
@@ -303,13 +431,20 @@ std::string HandleServeRequest(ViewService* service,
       const ViewServiceStats s = service->stats();
       return StrFormat(
           "ok stats epoch %llu labels %d codes %d admitted %llu "
-          "batches %llu cache_hits %llu cache_misses %llu hit_rate %.4f\n",
+          "batches %llu cache_hits %llu cache_misses %llu hit_rate %.4f "
+          "uptime_sec %.1f started_unix %lld\n",
           static_cast<unsigned long long>(s.epoch), s.num_labels,
           s.num_codes, static_cast<unsigned long long>(s.admitted_views),
           static_cast<unsigned long long>(s.admitted_batches),
           static_cast<unsigned long long>(s.cache_hits),
-          static_cast<unsigned long long>(s.cache_misses), s.hit_rate());
+          static_cast<unsigned long long>(s.cache_misses), s.hit_rate(),
+          obs::ProcessUptimeSeconds(),
+          static_cast<long long>(obs::ProcessStartUnixSeconds()));
     }
+    case ServeRequest::Kind::kMetrics:
+    case ServeRequest::Kind::kTrace:
+    case ServeRequest::Kind::kTraces:
+      return HandleObservabilityRequest(service, req);
     case ServeRequest::Kind::kSave: {
       auto saved = service->Save(req.save_kind);
       if (!saved.ok()) return "err " + saved.status().ToString() + "\n";
@@ -334,6 +469,98 @@ std::string HandleServeRequest(ViewService* service,
   return "err unreachable\n";
 }
 
+const char* ServeVerbName(ServeRequest::Kind kind) {
+  switch (kind) {
+    case ServeRequest::Kind::kLabels:
+      return "labels";
+    case ServeRequest::Kind::kPatterns:
+      return "patterns";
+    case ServeRequest::Kind::kGraphs:
+      return "graphs";
+    case ServeRequest::Kind::kLabelsOf:
+      return "labelsof";
+    case ServeRequest::Kind::kDbGraphs:
+      return "dbgraphs";
+    case ServeRequest::Kind::kDiscriminative:
+      return "discriminative";
+    case ServeRequest::Kind::kGraphsAll:
+      return "graphsall";
+    case ServeRequest::Kind::kMcs:
+      return "mcs";
+    case ServeRequest::Kind::kAdmit:
+      return "admit";
+    case ServeRequest::Kind::kStats:
+      return "stats";
+    case ServeRequest::Kind::kMetrics:
+      return "metrics";
+    case ServeRequest::Kind::kTrace:
+      return "trace";
+    case ServeRequest::Kind::kTraces:
+      return "traces";
+    case ServeRequest::Kind::kOpen:
+      return "open";
+    case ServeRequest::Kind::kSave:
+      return "save";
+    case ServeRequest::Kind::kCompact:
+      return "compact";
+    case ServeRequest::Kind::kQuit:
+      return "quit";
+  }
+  return "unknown";
+}
+
+std::string RenderMetricsText(const ViewService* service) {
+  std::string out = obs::Metrics().RenderPrometheus();
+  const auto emit = [&out](const char* name, const char* type,
+                           const char* help, double v) {
+    out += StrFormat("# HELP %s %s\n# TYPE %s %s\n%s %.10g\n", name, help,
+                     name, type, name, v);
+  };
+  if (service != nullptr) {
+    // The service section reads ONE consistent stats() snapshot at scrape
+    // time instead of double-counting into the registry on the hot path.
+    const ViewServiceStats s = service->stats();
+    emit("gvex_service_epoch", "gauge", "Published snapshot epoch",
+         static_cast<double>(s.epoch));
+    emit("gvex_service_labels", "gauge", "Labels in the current snapshot",
+         s.num_labels);
+    emit("gvex_service_codes", "gauge",
+         "Indexed canonical codes in the current snapshot", s.num_codes);
+    emit("gvex_service_admitted_views_total", "counter",
+         "Views admitted since this service was constructed",
+         static_cast<double>(s.admitted_views));
+    emit("gvex_service_admitted_batches_total", "counter",
+         "Admission batches folded into published snapshots",
+         static_cast<double>(s.admitted_batches));
+    emit("gvex_service_cache_hits_total", "counter", "Result cache hits",
+         static_cast<double>(s.cache_hits));
+    emit("gvex_service_cache_misses_total", "counter", "Result cache misses",
+         static_cast<double>(s.cache_misses));
+    emit("gvex_service_index_fallback_scans_total", "counter",
+         "Index lookups that fell back to a full scan",
+         static_cast<double>(s.index_fallback_scans));
+    emit("gvex_service_index_inconsistent_postings_total", "counter",
+         "Index postings found inconsistent and re-verified",
+         static_cast<double>(s.index_inconsistent_postings));
+    emit("gvex_service_index_filtered_rejects_total", "counter",
+         "Index candidates rejected by the verification filter",
+         static_cast<double>(s.index_filtered_rejects));
+    emit("gvex_service_compactions_total", "counter",
+         "Compactions completed successfully",
+         static_cast<double>(s.compactions));
+    emit("gvex_service_compaction_failures_total", "counter",
+         "Compactions that failed (see the rate-limited warning log)",
+         static_cast<double>(s.compaction_failures));
+  }
+  emit("gvex_process_uptime_seconds", "gauge",
+       "Seconds since process start (anchors the process-lifetime counters)",
+       obs::ProcessUptimeSeconds());
+  emit("gvex_process_start_time_seconds", "gauge",
+       "Process start as unix epoch seconds",
+       static_cast<double>(obs::ProcessStartUnixSeconds()));
+  return out;
+}
+
 std::string ServeText(ServeSession* session, const std::string& text,
                       bool* quit) {
   if (quit) *quit = false;
@@ -345,10 +572,23 @@ std::string ServeText(ServeSession* session, const std::string& text,
     if (!req.ok()) {
       if (req.status().code() == StatusCode::kNotFound) break;
       out += "err " + req.status().message() + "\n";
+      ParseErrorCounter()->Add(1);
       continue;
     }
-    out += HandleServeRequest(session, req.value());
-    if (req.value().kind == ServeRequest::Kind::kQuit) {
+    const ServeRequest::Kind kind = req.value().kind;
+    const auto start = std::chrono::steady_clock::now();
+    const std::string response = HandleServeRequest(session, req.value());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const VerbInstruments& vi = InstrumentsFor(kind);
+    vi.latency->ObserveSeconds(seconds);
+    vi.total->Add(1);
+    if (StartsWith(response, "err")) vi.errors->Add(1);
+    obs::MaybeLogSlowRequest(ServeVerbName(kind), seconds * 1e3);
+    out += response;
+    if (kind == ServeRequest::Kind::kQuit) {
       if (quit) *quit = true;
       break;
     }

@@ -36,7 +36,8 @@
 //   stats                          -> ok stats epoch <e> labels <n> codes <c>
 //                                       admitted <v> batches <b>
 //                                       cache_hits <h> cache_misses <m>
-//                                       hit_rate <r>
+//                                       hit_rate <r> uptime_sec <u>
+//                                       started_unix <t>
 //                                      (r = hits / (hits + misses), 0 when
 //                                       the cache has seen no lookups;
 //                                       epoch/labels/codes/admitted/batches
@@ -45,7 +46,24 @@
 //                                       admitted/batches count since this
 //                                       service was constructed/Opened,
 //                                       like the cache counters — they are
-//                                       not persisted across restarts)
+//                                       not persisted across restarts;
+//                                       uptime_sec/started_unix anchor the
+//                                       process-lifetime counters: u =
+//                                       seconds since process start, t =
+//                                       that start as a unix epoch)
+//   metrics                        -> ok metrics <n> / n lines of
+//                                      Prometheus-style exposition text
+//                                      (per-verb latency histograms, WAL +
+//                                      admission + net counters; see
+//                                      docs/OBSERVABILITY.md for names)
+//   trace on [N] | trace off       -> ok trace on <N> / ok trace off
+//                                      (samples every Nth request into the
+//                                       global trace ring; on without N
+//                                       keeps the configured period, or 1)
+//   traces                         -> ok traces <n> / n x ("trace <verb>
+//                                      frame_us <f> queue_us <q>
+//                                      execute_us <e> flush_us <w>"),
+//                                      oldest first
 //   open <dir>                     -> ok open <dir> epoch <e> labels <n>
 //                                      (switches the SESSION onto a durable
 //                                       ViewService::Open(dir) service;
@@ -94,11 +112,16 @@ struct ServeRequest {
     kMcs,
     kAdmit,
     kStats,
+    kMetrics,
+    kTrace,
+    kTraces,
     kOpen,
     kSave,
     kCompact,
     kQuit,
   };
+  /// One past the largest Kind value (for per-verb instrument tables).
+  static constexpr int kNumKinds = static_cast<int>(Kind::kQuit) + 1;
   Kind kind = Kind::kLabels;
   int label = -1;
   Pattern pattern;       ///< For kGraphs / kLabelsOf / kDbGraphs.
@@ -112,6 +135,10 @@ struct ServeRequest {
   /// full vs delta), `save --delta` forces an incremental snapshot,
   /// `save --full` a whole-epoch one.
   SaveKind save_kind = SaveKind::kAuto;
+  /// For kTrace: enable sampling, and the period (0 = keep the configured
+  /// period, enabling with 1 if none was set).
+  bool trace_on = false;
+  int trace_sample = 0;
 };
 
 /// Per-connection protocol state. `service` is the current target; the
@@ -126,6 +153,17 @@ struct ServeSession {
   const GraphDatabase* db = nullptr;
   ViewServiceOptions options;
 };
+
+/// Stable lowercase name of a verb for metric labels ("labels", "admit",
+/// ...). Never null.
+const char* ServeVerbName(ServeRequest::Kind kind);
+
+/// The full Prometheus-style exposition text the `metrics` verb and
+/// `gvex_netserve --metrics-dump` emit: every registered obs family plus
+/// a service section (epoch, label/code counts, admission + cache + index
+/// + compaction counters read from `service->stats()`) and process
+/// uptime/start gauges. `service` may be null (registry families only).
+std::string RenderMetricsText(const ViewService* service);
 
 /// How many payload blocks follow `head`'s keyword line (the
 /// whitespace-split first line of a request), and which line closes each

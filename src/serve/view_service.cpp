@@ -5,11 +5,14 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "store/recovery.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +50,76 @@ std::string CacheKey(uint64_t epoch, const ViewQuery& q) {
                               static_cast<int>(q.kind), q.label);
   key += q.pattern.canonical_code();
   return key;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Store-layer instruments, registered once; hot paths then cost only
+// relaxed atomic adds (never the registry lock).
+struct StoreInstruments {
+  obs::Histogram* batch_callers;
+  obs::Histogram* batch_views;
+  obs::Histogram* leader_tenure;
+  obs::Histogram* index_rebuild;
+  obs::Histogram* save_seconds_full;
+  obs::Histogram* save_seconds_delta;
+  obs::Counter* saves_full;
+  obs::Counter* saves_delta;
+  obs::Counter* save_failures_full;
+  obs::Counter* save_failures_delta;
+  obs::Histogram* compaction_seconds;
+};
+
+const StoreInstruments& StoreObs() {
+  static const StoreInstruments* instruments = [] {
+    auto* si = new StoreInstruments();
+    obs::Registry& m = obs::Metrics();
+    si->batch_callers = m.GetHistogram(
+        "gvex_admit_batch_callers",
+        "AdmitViews callers combined into one published batch",
+        obs::Unit::kNone);
+    si->batch_views = m.GetHistogram(
+        "gvex_admit_batch_views", "Views folded into one published batch",
+        obs::Unit::kNone);
+    si->leader_tenure = m.GetHistogram(
+        "gvex_admit_leader_tenure_seconds",
+        "Time one caller spent leading the combining queue",
+        obs::Unit::kNanoseconds);
+    si->index_rebuild = m.GetHistogram(
+        "gvex_index_rebuild_seconds",
+        "PatternIndex build time per published admission batch",
+        obs::Unit::kNanoseconds);
+    si->save_seconds_full = m.GetHistogram(
+        "gvex_snapshot_save_seconds", "Snapshot write duration, per kind",
+        obs::Unit::kNanoseconds, "kind", "full");
+    si->save_seconds_delta = m.GetHistogram(
+        "gvex_snapshot_save_seconds", "Snapshot write duration, per kind",
+        obs::Unit::kNanoseconds, "kind", "delta");
+    si->saves_full =
+        m.GetCounter("gvex_snapshot_saves_total",
+                     "Snapshot writes that succeeded, per kind", "kind",
+                     "full");
+    si->saves_delta =
+        m.GetCounter("gvex_snapshot_saves_total",
+                     "Snapshot writes that succeeded, per kind", "kind",
+                     "delta");
+    si->save_failures_full =
+        m.GetCounter("gvex_snapshot_save_failures_total",
+                     "Snapshot writes that failed, per kind", "kind", "full");
+    si->save_failures_delta =
+        m.GetCounter("gvex_snapshot_save_failures_total",
+                     "Snapshot writes that failed, per kind", "kind",
+                     "delta");
+    si->compaction_seconds = m.GetHistogram(
+        "gvex_compaction_seconds", "Compact() duration, failures included",
+        obs::Unit::kNanoseconds);
+    return si;
+  }();
+  return *instruments;
 }
 
 }  // namespace
@@ -118,6 +191,7 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
   if (!me.done) {
     // No active leader and our admission is still queued: lead.
     admit_leader_active_ = true;
+    const auto tenure_start = std::chrono::steady_clock::now();
     constexpr int kLeaderExtraRounds = 2;
     int extra_rounds = 0;
     while (!admit_queue_.empty()) {
@@ -139,6 +213,7 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
       admit_cv_.notify_all();
     }
     admit_leader_active_ = false;
+    StoreObs().leader_tenure->ObserveSeconds(SecondsSince(tenure_start));
     if (!admit_queue_.empty()) {
       // Tenure expired with work still queued: wake the waiters so one
       // of them takes over as leader.
@@ -167,6 +242,8 @@ Status ViewService::AdmitCombined(const std::vector<AdmitWaiter*>& batch,
   record.epoch = *published;
   size_t total = 0;
   for (const AdmitWaiter* waiter : batch) total += waiter->views.size();
+  StoreObs().batch_callers->Observe(batch.size());
+  StoreObs().batch_views->Observe(total);
   record.views.reserve(total);
   for (AdmitWaiter* waiter : batch) {
     for (ExplanationView& v : waiter->views) {
@@ -199,7 +276,9 @@ Status ViewService::AdmitCombined(const std::vector<AdmitWaiter*>& batch,
   auto next = std::make_shared<Snapshot>();
   next->epoch = *published;
   next->views = std::move(next_views);
+  const auto build_start = std::chrono::steady_clock::now();
   next->index = PatternIndex::Build(next->views, db_, options_.index);
+  StoreObs().index_rebuild->ObserveSeconds(SecondsSince(build_start));
   next->admitted_views = cur->admitted_views + total;
   next->admitted_batches = cur->admitted_batches + batch.size();
   Publish(std::move(next));
@@ -461,14 +540,21 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
 }
 
 Status ViewService::SaveLocked(const Snapshot& snap) {
+  const auto start = std::chrono::steady_clock::now();
   SnapshotData data;
   data.epoch = snap.epoch;
   data.match = snap.index.match_options();
   data.database_indexed = snap.index.database_indexed();
   data.views = *snap.views;
   data.postings = snap.index.ExportPostings();
-  GVEX_RETURN_NOT_OK(
-      SaveSnapshot(store_->dir + "/" + SnapshotFileName(snap.epoch), data));
+  const Status status =
+      SaveSnapshot(store_->dir + "/" + SnapshotFileName(snap.epoch), data);
+  StoreObs().save_seconds_full->ObserveSeconds(SecondsSince(start));
+  if (!status.ok()) {
+    StoreObs().save_failures_full->Add(1);
+    return status;
+  }
+  StoreObs().saves_full->Add(1);
   // A full snapshot roots a fresh chain: everything up to this epoch is
   // covered by one file again.
   store_->base_epoch = snap.epoch;
@@ -480,6 +566,7 @@ Status ViewService::SaveLocked(const Snapshot& snap) {
 }
 
 Status ViewService::SaveDeltaLocked(const Snapshot& snap) {
+  const auto start = std::chrono::steady_clock::now();
   DeltaData data;
   data.epoch = snap.epoch;
   data.parent_epoch = store_->persisted_epoch;
@@ -487,8 +574,14 @@ Status ViewService::SaveDeltaLocked(const Snapshot& snap) {
     auto it = snap.views->find(label);
     if (it != snap.views->end()) data.views.emplace(label, it->second);
   }
-  GVEX_RETURN_NOT_OK(
-      SaveDelta(store_->dir + "/" + DeltaFileName(snap.epoch), data));
+  const Status status =
+      SaveDelta(store_->dir + "/" + DeltaFileName(snap.epoch), data);
+  StoreObs().save_seconds_delta->ObserveSeconds(SecondsSince(start));
+  if (!status.ok()) {
+    StoreObs().save_failures_delta->Add(1);
+    return status;
+  }
+  StoreObs().saves_delta->Add(1);
   store_->persisted_epoch = snap.epoch;
   ++store_->chain_length;
   store_->dirty_labels.clear();
@@ -553,6 +646,7 @@ Result<uint64_t> ViewService::Compact() {
   // The outcome is also recorded in the store (stats() exposes it):
   // background compaction has no caller to return its status to, and a
   // silent persistent failure would just grow the WAL forever.
+  const auto start = std::chrono::steady_clock::now();
   Result<uint64_t> result = [&]() -> Result<uint64_t> {
     std::lock_guard<std::mutex> lock(writer_mu_);
     std::shared_ptr<const Snapshot> snap = Load();
@@ -573,10 +667,24 @@ Result<uint64_t> ViewService::Compact() {
     }
     return snap->epoch;
   }();
+  StoreObs().compaction_seconds->ObserveSeconds(SecondsSince(start));
   {
     std::lock_guard<std::mutex> lock(store_->status_mu);
     store_->last_compact_error =
         result.ok() ? "" : result.status().ToString();
+  }
+  if (result.ok()) {
+    store_->compactions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // The monotone counter keeps the failure visible after a later
+    // success clears last_compact_error; the warning is rate-limited so a
+    // persistently failing background compactor cannot flood stderr.
+    store_->compaction_failures.fetch_add(1, std::memory_order_relaxed);
+    static obs::RateLimiter* warn_limiter = new obs::RateLimiter(5.0);
+    if (warn_limiter->Allow()) {
+      GVEX_LOG(kWarning) << "compaction failed: "
+                         << result.status().ToString();
+    }
   }
   return result;
 }
@@ -634,6 +742,9 @@ ViewServiceStats ViewService::stats() const {
     out.cache_misses += shard->misses;
   }
   if (store_ != nullptr) {
+    out.compactions = store_->compactions.load(std::memory_order_relaxed);
+    out.compaction_failures =
+        store_->compaction_failures.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(store_->status_mu);
     out.last_compact_error = store_->last_compact_error;
   }

@@ -192,6 +192,11 @@ struct ViewServiceStats {
   uint64_t index_fallback_scans = 0;
   uint64_t index_inconsistent_postings = 0;
   uint64_t index_filtered_rejects = 0;
+  /// Compactions completed/failed since this service was constructed
+  /// (monotone, unlike last_compact_error which a later success clears —
+  /// so a transient background-compaction failure stays visible).
+  uint64_t compactions = 0;
+  uint64_t compaction_failures = 0;
   /// Last Compact() failure ("" when compaction never failed or succeeded
   /// since) — the only visible signal when BACKGROUND compaction fails.
   std::string last_compact_error;
@@ -376,6 +381,11 @@ class ViewService {
     /// background compaction has no caller to return its status to.
     std::mutex status_mu;
     std::string last_compact_error;
+    /// Monotone compaction outcome counters (stats().compactions /
+    /// .compaction_failures) — failures stay visible after a later
+    /// success clears last_compact_error.
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> compaction_failures{0};
   };
 
   std::shared_ptr<const Snapshot> Load() const;

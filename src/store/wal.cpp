@@ -4,11 +4,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "store/codec.h"
 #include "store/snapshot.h"  // SyncParentDir
 #include "util/string_util.h"
@@ -18,6 +20,42 @@ namespace gvex {
 namespace {
 
 constexpr uint8_t kAdmitTag = 1;
+
+// WAL instruments, registered once (appends then never touch the registry
+// lock). Append covers the whole call — framing, fwrite, and any fsync its
+// sync_every policy triggered — so batched-sync configurations show their
+// bimodal latency.
+struct WalInstruments {
+  obs::Histogram* append_seconds;
+  obs::Histogram* fsync_seconds;
+  obs::Counter* appended_bytes;
+};
+
+const WalInstruments& WalObs() {
+  static const WalInstruments* instruments = [] {
+    auto* wi = new WalInstruments();
+    obs::Registry& m = obs::Metrics();
+    wi->append_seconds = m.GetHistogram(
+        "gvex_wal_append_seconds",
+        "WAL append duration, including any fsync the batching policy "
+        "triggered",
+        obs::Unit::kNanoseconds);
+    wi->fsync_seconds =
+        m.GetHistogram("gvex_wal_fsync_seconds", "WAL flush+fsync duration",
+                       obs::Unit::kNanoseconds);
+    wi->appended_bytes = m.GetCounter(
+        "gvex_wal_appended_bytes_total",
+        "Bytes appended to the WAL (successful appends only)");
+    return wi;
+  }();
+  return *instruments;
+}
+
+double WalSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 std::string EncodeWalRecord(const WalRecord& record) {
   std::string payload(1, static_cast<char>(kAdmitTag));
@@ -213,6 +251,7 @@ Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL is not open");
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const uint64_t start = bytes_;
   std::string framed;
   PutFramedRecord(&framed, EncodeWalRecord(record));
@@ -224,7 +263,12 @@ Status WalWriter::Append(const WalRecord& record) {
   ++unsynced_;
   if (unsynced_ >= sync_every_) {
     Status synced = Sync();
-    if (!synced.ok()) RestoreTo(start);
+    if (!synced.ok()) {
+      RestoreTo(start);
+      return synced;
+    }
+    WalObs().append_seconds->ObserveSeconds(WalSecondsSince(t0));
+    WalObs().appended_bytes->Add(framed.size());
     return synced;
   }
   // Batched: push to the OS now (a process crash loses nothing), defer the
@@ -233,6 +277,8 @@ Status WalWriter::Append(const WalRecord& record) {
     RestoreTo(start);
     return Status::IOError("WAL flush failed for " + path_);
   }
+  WalObs().append_seconds->ObserveSeconds(WalSecondsSince(t0));
+  WalObs().appended_bytes->Add(framed.size());
   return Status::OK();
 }
 
@@ -244,6 +290,7 @@ Status WalWriter::Sync() {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("WAL is not open");
   }
+  const auto t0 = std::chrono::steady_clock::now();
   if (std::fflush(file_) != 0) {
     return Status::IOError("WAL flush failed for " + path_);
   }
@@ -251,6 +298,7 @@ Status WalWriter::Sync() {
     return Status::IOError(StrFormat("WAL fsync failed for %s: %s",
                                      path_.c_str(), std::strerror(errno)));
   }
+  WalObs().fsync_seconds->ObserveSeconds(WalSecondsSince(t0));
   unsynced_ = 0;
   return Status::OK();
 }

@@ -13,10 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "net/net_test_util.h"
+#include "obs/metrics.h"
 #include "serve/serve_protocol.h"
 #include "util/string_util.h"
 
@@ -26,6 +28,15 @@ namespace {
 using testing::BlockingClient;
 using testing::TestServer;
 using testing::TinyNetStore;
+
+// Current value of an unlabeled counter in the process-wide registry (0
+// when it has not been registered yet).
+double RegistryCounter(const std::string& name) {
+  const std::map<std::string, double> fam =
+      obs::ParseMetricFamily(obs::Metrics().RenderPrometheus(), name);
+  auto it = fam.find("");
+  return it == fam.end() ? 0.0 : it->second;
+}
 
 class FaultInjectionTest : public ::testing::Test {
  protected:
@@ -67,6 +78,8 @@ TEST_F(FaultInjectionTest, SlowLorisClosedByIdleTimeout) {
   server.server().Drain();
   server.server().Wait();
   EXPECT_GE(server.server().stats().idle_closed, 1u);
+  // The registry's idle-close counter moved with the per-server stat.
+  EXPECT_GE(RegistryCounter("gvex_net_idle_closed_total"), 1.0);
 }
 
 // Disconnect in the middle of an admit's view block: the partial frame is
@@ -155,6 +168,8 @@ TEST_F(FaultInjectionTest, HardCapKillsConnection) {
   TcpServerOptions opts;
   opts.session.write_soft_cap = 64;
   opts.session.write_hard_cap = 256;
+  const double kills_before =
+      RegistryCounter("gvex_net_backpressure_kills_total");
   TestServer server(service.get(), &store_.db, opts);
   ASSERT_TRUE(server.ok());
 
@@ -169,6 +184,9 @@ TEST_F(FaultInjectionTest, HardCapKillsConnection) {
   server.server().Drain();
   server.server().Wait();
   EXPECT_GE(server.server().stats().killed_by_backpressure, 1u);
+  // The kill also lands in the metrics plane, as exactly one increment.
+  EXPECT_EQ(RegistryCounter("gvex_net_backpressure_kills_total"),
+            kills_before + 1.0);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "net/frame.h"
 #include "net/net_test_util.h"
 #include "net/workload.h"
+#include "obs/metrics.h"
 #include "serve/serve_protocol.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -25,6 +26,31 @@ namespace {
 using testing::BlockingClient;
 using testing::TestServer;
 using testing::TinyNetStore;
+
+// stats responses carry a wall-clock field (uptime_sec) that ticks
+// between the oracle run and the framed run; pin it so byte-for-byte
+// comparisons stay deterministic. started_unix is process-constant.
+std::string NormalizeUptime(std::string text) {
+  size_t pos = 0;
+  while ((pos = text.find("uptime_sec ", pos)) != std::string::npos) {
+    const size_t start = pos + 11;
+    size_t end = start;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\n') ++end;
+    text.replace(start, end - start, "X");
+    pos = start;
+  }
+  return text;
+}
+
+// Current value of a frame-error counter (satellite assertions check the
+// error path also INCREMENTS the matching counter, not just answers err).
+uint64_t FrameErrors(const std::string& reason) {
+  return obs::Metrics()
+      .GetCounter("gvex_net_frame_errors_total",
+                  "Connections closed by the incremental framer, per reason",
+                  "reason", reason)
+      ->Value();
+}
 
 class FrameFuzzTest : public ::testing::Test {
  protected:
@@ -93,7 +119,8 @@ TEST_F(FrameFuzzTest, RandomChunkingMatchesStdinPathByteForByte) {
         responses += ServeText(service.get(), frame);
       }
     }
-    EXPECT_EQ(responses, expected) << "chunking seed " << seed;
+    EXPECT_EQ(NormalizeUptime(responses), NormalizeUptime(expected))
+        << "chunking seed " << seed;
     EXPECT_TRUE(framer.idle()) << "chunking seed " << seed;
   }
 }
@@ -180,7 +207,7 @@ TEST_F(FrameFuzzTest, OneByteDripOverSocket) {
   }
   std::string got;
   ASSERT_TRUE(client.RecvUntilClosed(&got));  // quit closes the connection
-  EXPECT_EQ(got, expected);
+  EXPECT_EQ(NormalizeUptime(got), NormalizeUptime(expected));
 }
 
 // Jumbo batch: hundreds of pipelined requests in a single send; the
@@ -200,7 +227,7 @@ TEST_F(FrameFuzzTest, JumboPipelinedBatchOverSocket) {
   client.ShutdownWrite();  // EOF flushes everything framed, then closes
   std::string got;
   ASSERT_TRUE(client.RecvUntilClosed(&got));
-  EXPECT_EQ(got, expected);
+  EXPECT_EQ(NormalizeUptime(got), NormalizeUptime(expected));
 }
 
 // A complete frame whose payload carries malformed numerics must answer
@@ -228,7 +255,8 @@ TEST_F(FrameFuzzTest, MalformedNumericPayloadAnswersErrAndStreamSurvives) {
 }
 
 // An oversized line over the socket: the server answers "err ..." and
-// closes, and the service is untouched.
+// closes, the service is untouched, and the matching frame-error counter
+// increments.
 TEST_F(FrameFuzzTest, OversizedLineOverSocketAnswersErrAndCloses) {
   auto service = FreshService();
   TcpServerOptions opts;
@@ -236,6 +264,7 @@ TEST_F(FrameFuzzTest, OversizedLineOverSocketAnswersErrAndCloses) {
   TestServer server(service.get(), &store_.db, opts);
   ASSERT_TRUE(server.ok());
   const uint64_t epoch_before = service->epoch();
+  const uint64_t errors_before = FrameErrors("oversized_line");
 
   BlockingClient client(server.port());
   ASSERT_TRUE(client.ok());
@@ -244,6 +273,28 @@ TEST_F(FrameFuzzTest, OversizedLineOverSocketAnswersErrAndCloses) {
   ASSERT_TRUE(client.RecvUntilClosed(&got));
   EXPECT_EQ(got, "err line exceeds 128 bytes\n");
   EXPECT_EQ(service->epoch(), epoch_before);
+  EXPECT_EQ(FrameErrors("oversized_line"), errors_before + 1);
+}
+
+// A payload block that never terminates over the socket: "err ...", a
+// close, and the runaway_frame counter increments.
+TEST_F(FrameFuzzTest, RunawayBlockOverSocketIncrementsFrameErrorCounter) {
+  auto service = FreshService();
+  TcpServerOptions opts;
+  opts.session.frame.max_frame_bytes = 256;
+  TestServer server(service.get(), &store_.db, opts);
+  ASSERT_TRUE(server.ok());
+  const uint64_t errors_before = FrameErrors("runaway_frame");
+
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  std::string stream = "admit\n";
+  for (int i = 0; i < 64; ++i) stream += "view 0 0.5 0 0\n";
+  ASSERT_TRUE(client.SendAll(stream));
+  std::string got;
+  ASSERT_TRUE(client.RecvUntilClosed(&got));
+  EXPECT_EQ(got, "err request exceeds 256 bytes\n");
+  EXPECT_EQ(FrameErrors("runaway_frame"), errors_before + 1);
 }
 
 }  // namespace

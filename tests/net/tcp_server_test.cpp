@@ -13,6 +13,8 @@
 #include "net/loadgen.h"
 #include "net/net_test_util.h"
 #include "net/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serve_protocol.h"
 #include "util/string_util.h"
 
@@ -199,6 +201,104 @@ TEST_F(TcpServerTest, LoadgenMixedWorkloadZeroDivergence) {
   server.server().Drain();
   server.server().Wait();
   EXPECT_GE(server.server().stats().frames_executed, 16u * 40u);
+}
+
+// Trace mode over a live socket: `trace on 1` samples every request, the
+// session records frame/queue/execute/flush spans as responses flush, and
+// `traces` dumps them. Requests go one-at-a-time so each response is
+// flushed (completing its spans) before the dump executes.
+TEST_F(TcpServerTest, TraceSpansRecordedOverSocket) {
+  auto service = FreshService();
+  TestServer server(service.get(), &store_.db);
+  ASSERT_TRUE(server.ok());
+
+  obs::GlobalTraceRing().Clear();
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.SendAll("trace on 1\n"));
+  EXPECT_EQ(client.RecvLines(1), "ok trace on 1\n");
+  ASSERT_TRUE(client.SendAll("labels\n"));
+  client.RecvLines(2);
+  ASSERT_TRUE(client.SendAll("stats\n"));
+  client.RecvLines(1);
+
+  ASSERT_TRUE(client.SendAll("traces\n"));
+  const std::string header = client.RecvLines(1);
+  ASSERT_TRUE(StartsWith(header, "ok traces ")) << header;
+  int count = 0;
+  ASSERT_TRUE(ParseInt(SplitWhitespace(header)[2], &count));
+  ASSERT_GE(count, 2) << "labels + stats spans should have completed";
+  const std::string body = client.RecvLines(count);
+  EXPECT_NE(body.find("trace labels "), std::string::npos) << body;
+  EXPECT_NE(body.find("trace stats "), std::string::npos) << body;
+  // Every dumped record carries all four spans.
+  for (const auto& line : Split(body, '\n')) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(StartsWith(line, "trace ")) << line;
+    EXPECT_NE(line.find(" frame_us "), std::string::npos) << line;
+    EXPECT_NE(line.find(" queue_us "), std::string::npos) << line;
+    EXPECT_NE(line.find(" execute_us "), std::string::npos) << line;
+    EXPECT_NE(line.find(" flush_us "), std::string::npos) << line;
+  }
+
+  ASSERT_TRUE(client.SendAll("trace off\n"));
+  EXPECT_EQ(client.RecvLines(1), "ok trace off\n");
+  EXPECT_EQ(obs::TraceSampleEvery(), 0);
+}
+
+// The --scrape contract in-process: the server's per-verb
+// gvex_requests_total deltas across a loadgen run equal the client's own
+// completed response counts, and the export validates. (The registry is
+// process-global, so deltas — not absolute values — are compared.)
+TEST_F(TcpServerTest, ScrapeCrossCheckMatchesClientCounts) {
+  auto service = FreshService();
+  TestServer server(service.get(), &store_.db);
+  ASSERT_TRUE(server.ok());
+
+  SyntheticWorkloadOptions wopts;
+  wopts.read_weight = 0.8;
+  wopts.admit_weight = 0.1;
+  wopts.stats_weight = 0.1;
+  // Build the mix BEFORE the baseline scrape: rendering expected
+  // responses drives a mirror service through ServeText, which records
+  // into the same process-global registry.
+  const auto mix = BuildSyntheticMix(store_, wopts);
+
+  auto baseline = FetchMetrics("127.0.0.1", server.port());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  LoadgenOptions lopts;
+  lopts.port = server.port();
+  lopts.connections = 8;
+  lopts.requests_per_conn = 32;
+  lopts.pipeline_depth = 4;
+  lopts.seed = 11;
+  auto report = RunLoadgen(lopts, mix);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report.value().aborted_connections, 0u);
+  ASSERT_FALSE(report.value().responses_by_verb.empty());
+
+  auto final_text = FetchMetrics("127.0.0.1", server.port());
+  ASSERT_TRUE(final_text.ok()) << final_text.status().ToString();
+  std::string error;
+  EXPECT_TRUE(obs::ValidateMetricsText(final_text.value(), &error)) << error;
+
+  const auto before =
+      obs::ParseMetricFamily(baseline.value(), "gvex_requests_total");
+  const auto after =
+      obs::ParseMetricFamily(final_text.value(), "gvex_requests_total");
+  uint64_t client_total = 0;
+  for (const auto& [verb, count] : report.value().responses_by_verb) {
+    double delta = 0;
+    auto it = after.find(verb);
+    if (it != after.end()) delta = it->second;
+    auto bit = before.find(verb);
+    if (bit != before.end()) delta -= bit->second;
+    EXPECT_EQ(static_cast<uint64_t>(delta + 0.5), count)
+        << "verb " << verb << " server/client count divergence";
+    client_total += count;
+  }
+  EXPECT_EQ(client_total, report.value().requests);
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// Correctness tests for the metrics plane (src/obs): log-bucket histogram
+// boundaries and quantile bracketing, lossless concurrent recording into
+// the sharded cells (run under --tsan as well — this is the suite that
+// pins the relaxed-atomics contract), exposition-text round-tripping
+// through the validator/parser, and the trace ring / sampling knobs.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gvex {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram buckets
+
+TEST(HistogramBuckets, BoundariesArePowersOfTwo) {
+  // Bucket i holds (2^(i-1), 2^i]; bucket 0 holds v <= 1.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3);
+  EXPECT_EQ(Histogram::BucketIndex(9), 4);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 20), 20);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 20) + 1), 21);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  // Everything at or past the last bucket is +Inf.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1),
+            ~uint64_t{0});
+}
+
+TEST(HistogramBuckets, EveryValueLandsInsideItsBucket) {
+  for (uint64_t v : {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{1000},
+                     uint64_t{1024}, uint64_t{1025}, uint64_t{1} << 33}) {
+    const int i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << "v=" << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << "v=" << v;
+    }
+  }
+}
+
+TEST(HistogramBuckets, ObserveFillsTheRightBucket) {
+  Histogram h;
+  h.Observe(1000);  // bucket 10 (512 < 1000 <= 1024)
+  h.Observe(1024);  // same bucket
+  h.Observe(1025);  // bucket 11
+  const Histogram::Snapshot snap = h.Merge();
+  EXPECT_EQ(snap.counts[10], 2u);
+  EXPECT_EQ(snap.counts[11], 1u);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 1000u + 1024u + 1025u);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+
+TEST(HistogramQuantile, BracketsTheTrueQuantileWithinOnePowerOfTwo) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(100);
+  for (int i = 0; i < 10; ++i) h.Observe(100000);
+  const Histogram::Snapshot snap = h.Merge();
+
+  // True p50 = 100: the estimate answers its bucket's upper bound, and the
+  // bucket's lower bound (half the upper) must not exceed the true value.
+  const uint64_t p50 = Histogram::Quantile(snap, 0.5);
+  EXPECT_GE(p50, 100u);
+  EXPECT_LE(p50 / 2, 100u);
+
+  // True p99 = 100000 (rank 99 of 100 falls in the tail).
+  const uint64_t p99 = Histogram::Quantile(snap, 0.99);
+  EXPECT_GE(p99, 100000u);
+  EXPECT_LE(p99 / 2, 100000u);
+
+  // q=1 answers the max's bucket bound.
+  const uint64_t p100 = Histogram::Quantile(snap, 1.0);
+  EXPECT_GE(p100, 100000u);
+  EXPECT_LE(p100 / 2, 100000u);
+}
+
+TEST(HistogramQuantile, EmptyAndClampedInputs) {
+  Histogram::Snapshot empty;
+  EXPECT_EQ(Histogram::Quantile(empty, 0.5), 0u);
+
+  Histogram h;
+  h.Observe(7);
+  const Histogram::Snapshot snap = h.Merge();
+  EXPECT_EQ(Histogram::Quantile(snap, -1.0), Histogram::Quantile(snap, 0.0));
+  EXPECT_EQ(Histogram::Quantile(snap, 2.0), Histogram::Quantile(snap, 1.0));
+  EXPECT_EQ(Histogram::Quantile(snap, 0.5), 8u);  // ub of bucket 3
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent recording (the contract the serving hot path relies on; the
+// --tsan lane runs this binary to check the relaxed-atomic claims)
+
+TEST(ConcurrentRecording, EightThreadsLoseNoObservations) {
+  Histogram h;
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<uint64_t>(i % 1000) + 1);
+        c.Add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  uint64_t per_thread_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) {
+    per_thread_sum += static_cast<uint64_t>(i % 1000) + 1;
+  }
+
+  const Histogram::Snapshot snap = h.Merge();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.sum, uint64_t{kThreads} * per_thread_sum);
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * kPerThread);
+
+  uint64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) bucket_total += snap.counts[i];
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(Gauges, SetAndAddFromAnyThread) {
+  Gauge g;
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition text round trip
+
+TEST(Exposition, RenderValidateParseRoundTrip) {
+  Registry r;
+  r.GetCounter("test_requests_total", "requests", "verb", "admit")->Add(3);
+  r.GetCounter("test_requests_total", "requests", "verb", "stats")->Add(7);
+  r.GetGauge("test_live", "live now")->Set(5);
+  Histogram* h = r.GetHistogram("test_latency_seconds", "latency",
+                                Unit::kNanoseconds);
+  h->ObserveSeconds(0.0015);  // 1.5e6 ns -> bucket ub 2^21 ns = 0.002097152 s
+
+  const std::string text = r.RenderPrometheus();
+  std::string error;
+  EXPECT_TRUE(ValidateMetricsText(text, &error)) << error;
+
+  EXPECT_NE(text.find("# TYPE test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_latency_seconds histogram"),
+            std::string::npos);
+  // Nanosecond histograms export in seconds (Prometheus convention).
+  EXPECT_NE(text.find("le=\"0.002097152\""), std::string::npos);
+
+  const std::map<std::string, double> counters =
+      ParseMetricFamily(text, "test_requests_total");
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.at("admit"), 3.0);
+  EXPECT_EQ(counters.at("stats"), 7.0);
+
+  const std::map<std::string, double> count =
+      ParseMetricFamily(text, "test_latency_seconds_count");
+  ASSERT_EQ(count.size(), 1u);
+  EXPECT_EQ(count.at(""), 1.0);
+}
+
+TEST(Exposition, ValidatorRejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(ValidateMetricsText("metric_without_value\n", &error));
+  EXPECT_FALSE(ValidateMetricsText("some_metric not_a_number\n", &error));
+  EXPECT_FALSE(ValidateMetricsText("9starts_with_digit 3\n", &error));
+  EXPECT_FALSE(ValidateMetricsText("unterminated{le=\"1\" 3\n", &error));
+  EXPECT_TRUE(ValidateMetricsText("# just a comment\n\nok_metric 1\n",
+                                  &error))
+      << error;
+}
+
+TEST(Exposition, ParseMetricFamilyMatchesExactNameOnly) {
+  const std::string text =
+      "gvex_x 1\n"
+      "gvex_x_sum 2\n"
+      "gvex_x_bucket{le=\"+Inf\"} 3\n";
+  const std::map<std::string, double> fam = ParseMetricFamily(text, "gvex_x");
+  ASSERT_EQ(fam.size(), 1u);
+  EXPECT_EQ(fam.at(""), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rate limiter
+
+TEST(RateLimiterTest, AllowsAtMostOncePerInterval) {
+  RateLimiter limiter(0.05);
+  EXPECT_TRUE(limiter.Allow());
+  EXPECT_FALSE(limiter.Allow());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(limiter.Allow());
+  EXPECT_FALSE(limiter.Allow());
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring + sampling
+
+TEST(TraceRingTest, BoundedFifoEvictsOldestFirst) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpans spans;
+    spans.verb = std::to_string(i);
+    spans.execute_us = i;
+    ring.Record(std::move(spans));
+  }
+  const std::vector<TraceSpans> dump = ring.Dump();
+  ASSERT_EQ(dump.size(), 4u);
+  EXPECT_EQ(dump.front().verb, "6");
+  EXPECT_EQ(dump.back().verb, "9");
+  EXPECT_EQ(ring.recorded(), 10u);
+
+  ring.Clear();
+  EXPECT_TRUE(ring.Dump().empty());
+}
+
+TEST(TraceSampling, EveryNthRequestExactly) {
+  SetTraceSampleEvery(3);
+  int sampled = 0;
+  for (int i = 0; i < 300; ++i) sampled += SampleTrace() ? 1 : 0;
+  EXPECT_EQ(sampled, 100);
+
+  SetTraceSampleEvery(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(SampleTrace());
+  // Negative periods clamp to off rather than tripping the modulo.
+  SetTraceSampleEvery(-5);
+  EXPECT_EQ(TraceSampleEvery(), 0);
+  EXPECT_FALSE(SampleTrace());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gvex

@@ -7,6 +7,8 @@
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/synthetic_store.h"
 #include "store/store_test_util.h"
 #include "util/string_util.h"
@@ -410,6 +412,122 @@ TEST_F(ServeProtocolTest, StreamEndingMidBlockAnswersErrNotPartialExecute) {
   EXPECT_EQ(service_->epoch(), 1u);
   const auto labels = service_->Labels();
   EXPECT_TRUE(std::find(labels.begin(), labels.end(), 7) == labels.end());
+}
+
+// ---------------------------------------------------------------------------
+// Observability verbs (metrics / trace / traces) + stats uptime fields
+
+TEST_F(ServeProtocolTest, StatsReportsUptimeAndStartEpoch) {
+  const std::string out = ServeText(service_.get(), "stats\n");
+  const auto words = SplitWhitespace(out);
+  // ... hit_rate X uptime_sec Y started_unix Z — appended at the end so
+  // prefix-checking clients keep working.
+  ASSERT_GE(words.size(), 4u);
+  EXPECT_EQ(words[words.size() - 4], "uptime_sec");
+  EXPECT_EQ(words[words.size() - 2], "started_unix");
+  double uptime = -1;
+  ASSERT_TRUE(ParseDouble(words[words.size() - 3], &uptime));
+  EXPECT_GE(uptime, 0.0);
+  double started = 0;
+  ASSERT_TRUE(ParseDouble(words[words.size() - 1], &started));
+  // A sane Unix epoch (after 2020-01-01, i.e. the clock isn't garbage).
+  EXPECT_GT(started, 1577836800.0);
+}
+
+TEST_F(ServeProtocolTest, MetricsVerbExportsWellFormedText) {
+  // Serve a couple of requests first so per-verb families exist.
+  ServeText(service_.get(), "labels\nstats\n");
+  const std::string out = ServeText(service_.get(), "metrics\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_FALSE(lines.empty());
+  ASSERT_TRUE(StartsWith(lines[0], "ok metrics ")) << lines[0];
+  // The advertised line count frames the body exactly.
+  int advertised = 0;
+  ASSERT_TRUE(ParseInt(SplitWhitespace(lines[0])[2], &advertised));
+  const std::string body = out.substr(out.find('\n') + 1);
+  EXPECT_EQ(static_cast<int>(std::count(body.begin(), body.end(), '\n')),
+            advertised);
+
+  std::string error;
+  EXPECT_TRUE(obs::ValidateMetricsText(body, &error)) << error;
+  // Per-verb request counters, service-level counters folded from stats,
+  // and process gauges are all present.
+  EXPECT_FALSE(obs::ParseMetricFamily(body, "gvex_requests_total").empty());
+  EXPECT_FALSE(obs::ParseMetricFamily(body, "gvex_service_epoch").empty());
+  EXPECT_FALSE(
+      obs::ParseMetricFamily(body, "gvex_process_uptime_seconds").empty());
+  EXPECT_NE(body.find("# TYPE gvex_request_seconds histogram"),
+            std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, MetricsCountsItself) {
+  ServeText(service_.get(), "metrics\n");  // ensure the family exists
+  const std::string first = ServeText(service_.get(), "metrics\n");
+  const std::string second = ServeText(service_.get(), "metrics\n");
+  const auto strip = [](const std::string& out) {
+    return out.substr(out.find('\n') + 1);
+  };
+  const double a = obs::ParseMetricFamily(strip(first),
+                                          "gvex_requests_total")["metrics"];
+  const double b = obs::ParseMetricFamily(strip(second),
+                                          "gvex_requests_total")["metrics"];
+  // Each scrape renders BEFORE its own count lands, so the next scrape
+  // sees at least one more metrics request (other suites may add more).
+  EXPECT_GE(b, a + 1.0);
+}
+
+TEST_F(ServeProtocolTest, TraceVerbTogglesSamplingAndRecovers) {
+  obs::SetTraceSampleEvery(0);
+  std::string out = ServeText(service_.get(), "trace on 5\n");
+  EXPECT_EQ(out, "ok trace on 5\n");
+  EXPECT_EQ(obs::TraceSampleEvery(), 5);
+
+  // Bare "trace on" keeps a previously-set period.
+  out = ServeText(service_.get(), "trace on\n");
+  EXPECT_EQ(out, "ok trace on 5\n");
+
+  out = ServeText(service_.get(), "trace off\n");
+  EXPECT_EQ(out, "ok trace off\n");
+  EXPECT_EQ(obs::TraceSampleEvery(), 0);
+
+  // Parse errors answer "err ..." and leave the stream in sync.
+  out = ServeText(service_.get(),
+                  "trace\ntrace sideways\ntrace on x\ntrace on 0\n"
+                  "trace off now\nlabels\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(StartsWith(lines[i], "err ")) << lines[i];
+  }
+  EXPECT_EQ(lines[5], "ok 2");
+  EXPECT_EQ(obs::TraceSampleEvery(), 0);
+}
+
+TEST_F(ServeProtocolTest, TracesVerbDumpsTheRing) {
+  obs::TraceSpans spans;
+  spans.verb = "labels";
+  spans.frame_us = 1.5;
+  spans.queue_us = 0.25;
+  spans.execute_us = 10.0;
+  spans.flush_us = 2.0;
+  obs::GlobalTraceRing().Record(spans);
+
+  const std::string out = ServeText(service_.get(), "traces\n");
+  const auto lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  ASSERT_TRUE(StartsWith(lines[0], "ok traces ")) << lines[0];
+  int count = 0;
+  ASSERT_TRUE(ParseInt(SplitWhitespace(lines[0])[2], &count));
+  ASSERT_GE(count, 1);
+  // Our record is in there, with every span labeled.
+  bool found = false;
+  for (const auto& line : lines) {
+    if (line.find("trace labels frame_us 1.5 queue_us 0.2 "
+                  "execute_us 10.0 flush_us 2.0") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << out;
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //                [--requests 256] [--pipeline 8] [--qps 0]
 //                [--synthetic 42] [--labels 4] [--admit-frac 0]
 //                [--stats-frac 0] [--save-frac 0] [--seed 1] [--timeout 60]
+//                [--scrape 1]
 //
 // --synthetic/--labels must match the server's flags: the loadgen builds
 // the SAME deterministic store locally and verifies every read response
@@ -15,12 +16,21 @@
 // epochs move). Divergences, protocol errors, and aborted connections are
 // reported and make the exit status nonzero, so scripts can gate on a
 // clean run.
+//
+// --scrape 1 additionally pulls the server's `metrics` export before and
+// after the run, validates the exposition text, and cross-checks the
+// per-verb gvex_requests_total deltas against the client's own completed
+// response counts — any divergence (or an unparsable export) fails the
+// run. Only valid when this loadgen is the server's sole client.
 
+#include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "net/loadgen.h"
 #include "net/workload.h"
+#include "obs/metrics.h"
 #include "tool_args.h"
 
 using namespace gvex;
@@ -34,8 +44,36 @@ int Usage() {
       "                    [--requests 256] [--pipeline 8] [--qps 0]\n"
       "                    [--synthetic 42] [--labels 4] [--admit-frac 0]\n"
       "                    [--stats-frac 0] [--save-frac 0] [--seed 1]\n"
-      "                    [--timeout 60]\n");
+      "                    [--timeout 60] [--scrape 1]\n");
   return 1;
+}
+
+// Cross-checks the server's per-verb gvex_requests_total deltas
+// (final - baseline exposition text) against the client-side completion
+// counts. Returns the number of divergent verbs, printing each one.
+uint64_t CrossCheckScrape(const std::string& baseline, const std::string& final_text,
+                          const std::map<std::string, uint64_t>& client) {
+  const std::map<std::string, double> before =
+      obs::ParseMetricFamily(baseline, "gvex_requests_total");
+  const std::map<std::string, double> after =
+      obs::ParseMetricFamily(final_text, "gvex_requests_total");
+  uint64_t mismatched = 0;
+  for (const auto& [verb, count] : client) {
+    double delta = 0;
+    auto it = after.find(verb);
+    if (it != after.end()) delta = it->second;
+    auto bit = before.find(verb);
+    if (bit != before.end()) delta -= bit->second;
+    const auto server_count = static_cast<uint64_t>(delta + 0.5);
+    if (server_count != count) {
+      std::fprintf(stderr,
+                   "scrape: verb %s server saw %" PRIu64
+                   " requests, client completed %" PRIu64 "\n",
+                   verb.c_str(), server_count, count);
+      ++mismatched;
+    }
+  }
+  return mismatched;
 }
 
 }  // namespace
@@ -74,18 +112,58 @@ int main(int argc, char** argv) {
   opts.timeout_sec = args.GetFloat("timeout", 60.0f);
   opts.seed = static_cast<unsigned>(args.GetInt("seed", 1));
 
+  const bool scrape = args.GetInt("scrape", 0) != 0;
+  std::string baseline;
+  if (scrape) {
+    auto fetched = FetchMetrics(opts.host, opts.port, opts.timeout_sec);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "error: baseline scrape: %s\n",
+                   fetched.status().ToString().c_str());
+      return 1;
+    }
+    baseline = std::move(fetched).value();
+  }
+
   auto report = RunLoadgen(opts, mix);
   if (!report.ok()) {
     std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
     return 1;
   }
   const LoadgenReport& r = report.value();
+
+  uint64_t scrape_mismatches = 0;
+  if (scrape) {
+    auto fetched = FetchMetrics(opts.host, opts.port, opts.timeout_sec);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "error: final scrape: %s\n",
+                   fetched.status().ToString().c_str());
+      return 1;
+    }
+    const std::string final_text = std::move(fetched).value();
+    std::string parse_error;
+    if (!obs::ValidateMetricsText(final_text, &parse_error)) {
+      std::fprintf(stderr, "error: metrics export malformed: %s\n",
+                   parse_error.c_str());
+      return 1;
+    }
+    scrape_mismatches =
+        CrossCheckScrape(baseline, final_text, r.responses_by_verb);
+  }
+
   std::printf(
       "requests %llu qps %.1f p50_ms %.3f p99_ms %.3f errors %llu "
-      "divergences %llu aborted %llu elapsed_sec %.3f\n",
+      "divergences %llu aborted %llu elapsed_sec %.3f",
       static_cast<unsigned long long>(r.requests), r.qps, r.p50_ms, r.p99_ms,
       static_cast<unsigned long long>(r.errors),
       static_cast<unsigned long long>(r.divergences),
       static_cast<unsigned long long>(r.aborted_connections), r.elapsed_sec);
-  return (r.divergences == 0 && r.aborted_connections == 0) ? 0 : 1;
+  if (scrape) {
+    std::printf(" scrape_mismatches %llu",
+                static_cast<unsigned long long>(scrape_mismatches));
+  }
+  std::printf("\n");
+  return (r.divergences == 0 && r.aborted_connections == 0 &&
+          scrape_mismatches == 0)
+             ? 0
+             : 1;
 }

@@ -21,17 +21,33 @@
 // trigger a graceful drain: stop accepting, finish in-flight requests,
 // flush within --drain-timeout seconds, and (for a durable --store
 // service) fold everything admitted into one final save.
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --metrics-dump FILE            periodically write the Prometheus-style
+//                                  export to FILE (tmp + rename, so readers
+//                                  never see a torn file); a final dump is
+//                                  written after drain.
+//   --metrics-dump-interval SEC    dump period (default 5)
+//   --trace-sample N               record pipeline spans for every Nth
+//                                  request (the `trace on` verb can change
+//                                  this at runtime; dump with `traces`)
+//   --slow-ms MS                   log requests slower than MS to stderr
+//                                  (rate-limited)
 
 #include <signal.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "serve/synthetic_store.h"
 #include "serve/view_service.h"
 #include "tool_args.h"
@@ -54,6 +70,8 @@ int Usage() {
       "                     [--graphs file] [--synthetic SEED] [--labels 4]\n"
       "                     [--threads N] [--cache N] [--wal-sync N]\n"
       "                     [--port-file path] [--stats 1]\n"
+      "                     [--metrics-dump file] [--metrics-dump-interval 5]\n"
+      "                     [--trace-sample N] [--slow-ms MS]\n"
       "       (one of --views / --store / --synthetic is required)\n");
   return 1;
 }
@@ -65,6 +83,65 @@ TcpServer* g_server = nullptr;
 void HandleSignal(int) {
   if (g_server != nullptr) g_server->Drain();
 }
+
+// Writes one metrics export to `path` atomically: render to path.tmp, then
+// rename over the target so a concurrently-reading scraper never sees a
+// torn file. Best-effort — dump failures must never take the server down.
+void DumpMetrics(const ViewService* service, const std::string& path) {
+  const std::string body = RenderMetricsText(service);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+// Background metrics dumper: wakes every `interval_sec` to refresh the
+// dump file, and writes one final export when stopped (post-drain state).
+class MetricsDumper {
+ public:
+  MetricsDumper(const ViewService* service, std::string path,
+                double interval_sec)
+      : service_(service), path_(std::move(path)), interval_sec_(interval_sec) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    DumpMetrics(service_, path_);
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      DumpMetrics(service_, path_);
+      lock.lock();
+      cv_.wait_for(lock,
+                   std::chrono::milliseconds(
+                       static_cast<int64_t>(interval_sec_ * 1000)),
+                   [this] { return stop_; });
+    }
+  }
+
+  const ViewService* service_;
+  const std::string path_;
+  const double interval_sec_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -121,6 +198,13 @@ int main(int argc, char** argv) {
     if (!admitted.ok()) return Fail(admitted.status().ToString());
   }
 
+  if (args.Has("trace-sample")) {
+    obs::SetTraceSampleEvery(args.GetInt("trace-sample", 0));
+  }
+  if (args.Has("slow-ms")) {
+    obs::SetSlowRequestThresholdMs(args.GetFloat("slow-ms", 0.0f));
+  }
+
   TcpServerOptions topts;
   topts.port = args.GetInt("port", 0);
   topts.workers = args.GetInt("workers", 2);
@@ -137,6 +221,13 @@ int main(int argc, char** argv) {
   ::signal(SIGTERM, HandleSignal);
   ::signal(SIGINT, HandleSignal);
 
+  std::unique_ptr<MetricsDumper> dumper;
+  if (args.Has("metrics-dump")) {
+    dumper = std::make_unique<MetricsDumper>(
+        service.get(), args.Get("metrics-dump", ""),
+        args.GetFloat("metrics-dump-interval", 5.0f));
+  }
+
   if (args.Has("port-file")) {
     std::ofstream f(args.Get("port-file", ""));
     f << server.port() << "\n";
@@ -150,6 +241,7 @@ int main(int argc, char** argv) {
 
   server.Wait();
   g_server = nullptr;
+  dumper.reset();  // stops the dump thread and writes the final export
 
   if (args.GetInt("stats", 0) != 0) {
     const TcpServerStats s = server.stats();

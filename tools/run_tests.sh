@@ -47,10 +47,11 @@ if [[ "${sanitize}" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=address \
     -DGVEX_BUILD_BENCH=OFF -DGVEX_BUILD_EXAMPLES=OFF
   cmake --build "${asan_dir}" -j "${jobs}" \
-    --target gvex_serve_test gvex_store_test gvex_net_test
+    --target gvex_serve_test gvex_store_test gvex_net_test gvex_obs_test
   "${asan_dir}/tests/gvex_serve_test"
   "${asan_dir}/tests/gvex_store_test"
   "${asan_dir}/tests/gvex_net_test"
+  "${asan_dir}/tests/gvex_obs_test"
   exit 0
 fi
 
@@ -64,9 +65,10 @@ if [[ "${tsan}" == 1 ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=thread \
     -DGVEX_BUILD_BENCH=OFF -DGVEX_BUILD_EXAMPLES=OFF
   cmake --build "${tsan_dir}" -j "${jobs}" \
-    --target gvex_net_test gvex_serve_test
+    --target gvex_net_test gvex_serve_test gvex_obs_test
   "${tsan_dir}/tests/gvex_net_test"
   "${tsan_dir}/tests/gvex_serve_test"
+  "${tsan_dir}/tests/gvex_obs_test"
   exit 0
 fi
 
@@ -82,6 +84,35 @@ store_scratch="$(mktemp -d)"
 trap 'rm -rf "${store_scratch}"' EXIT
 "${build_dir}/tools/gvex_store" selftest "${store_scratch}"
 "${build_dir}/tools/gvex_store" verify "${store_scratch}"
+
+# Metrics smoke: a synthetic netserve scraped by loadgen --scrape. Gates on
+# (a) the loadgen's own checks — byte-for-byte response verification AND
+# zero divergence between the server's gvex_requests_total{verb=} deltas
+# and the client's completed counts — and (b) the --metrics-dump file
+# containing a well-formed export with the per-verb histogram family.
+"${build_dir}/tools/gvex_netserve" --synthetic 42 --labels 4 --port 0 \
+  --port-file "${store_scratch}/port.txt" \
+  --metrics-dump "${store_scratch}/metrics.prom" --metrics-dump-interval 1 \
+  2>"${store_scratch}/netserve.log" &
+netserve_pid=$!
+for _ in $(seq 100); do
+  [[ -s "${store_scratch}/port.txt" ]] && break
+  sleep 0.1
+done
+if [[ ! -s "${store_scratch}/port.txt" ]]; then
+  echo "metrics smoke: netserve never wrote its port file" >&2
+  cat "${store_scratch}/netserve.log" >&2
+  kill "${netserve_pid}" 2>/dev/null || true
+  exit 1
+fi
+"${build_dir}/tools/gvex_loadgen" --port "$(cat "${store_scratch}/port.txt")" \
+  --synthetic 42 --labels 4 --connections 8 --requests 64 --pipeline 4 \
+  --admit-frac 0.1 --stats-frac 0.1 --scrape 1
+kill -TERM "${netserve_pid}"
+wait "${netserve_pid}"
+grep -q '^# TYPE gvex_request_seconds histogram$' "${store_scratch}/metrics.prom"
+grep -q '^gvex_requests_total{verb="labels"}' "${store_scratch}/metrics.prom"
+echo "metrics smoke: ok"
 
 if [[ "${with_bench}" == 1 ]]; then
   "${repo_root}/tools/run_bench_baseline.sh"
