@@ -11,7 +11,10 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/rate_limiter.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace gvex {
@@ -42,6 +45,7 @@ struct ServerInstruments {
   obs::Counter* rejected_full;
   obs::Counter* closed;
   obs::Counter* idle_closed;
+  obs::Counter* watchdog_stalls;
   obs::Histogram* accept_assign_seconds;
   obs::Histogram* drain_seconds;
 };
@@ -60,6 +64,9 @@ const ServerInstruments& ServerObs() {
     si->closed = m.GetCounter("gvex_net_closed_total", "Connections closed");
     si->idle_closed = m.GetCounter("gvex_net_idle_closed_total",
                                    "Connections closed by the idle timeout");
+    si->watchdog_stalls =
+        m.GetCounter("gvex_watchdog_stalls_total",
+                     "Worker event-loop stalls detected by the watchdog");
     si->accept_assign_seconds = m.GetHistogram(
         "gvex_net_accept_assign_seconds",
         "accept() to worker-loop adoption latency",
@@ -138,16 +145,98 @@ Status TcpServer::Start(ViewService* service, const GraphDatabase* db,
     GVEX_RETURN_NOT_OK(SetNonBlocking(w->wake_read));
     GVEX_RETURN_NOT_OK(SetNonBlocking(w->wake_write));
     GVEX_RETURN_NOT_OK(w->poller.Add(w->wake_read, true, false));
+    // Seed the heartbeat so a worker wedged before its FIRST iteration
+    // (e.g. a blocking tick hook) reads as "stalled since Start", not as
+    // an absurd lag against steady-clock zero.
+    w->heartbeat_ms.store(NowMs(), std::memory_order_relaxed);
     workers_.push_back(std::move(w));
   }
 
+  const int64_t stall_ms =
+      static_cast<int64_t>(options.watchdog_stall_sec * 1000.0);
+  for (int i = 0; i < options.workers; ++i) {
+    Worker* w = workers_[static_cast<size_t>(i)].get();
+    health_handles_.push_back(obs::RegisterHealthCheck(
+        "net_worker_" + std::to_string(i), [w, stall_ms] {
+          obs::HealthCheckResult r;
+          if (w->exited.load(std::memory_order_relaxed)) {
+            r.reason = "stopped (drain complete)";
+            return r;
+          }
+          const int64_t lag =
+              NowMs() - w->heartbeat_ms.load(std::memory_order_relaxed);
+          if (lag >= stall_ms) {
+            r.status = obs::HealthStatus::kFail;
+            r.reason = "event loop stalled (" + std::to_string(lag) +
+                       " ms since heartbeat)";
+          } else {
+            r.reason = "heartbeat " + std::to_string(lag) + " ms ago";
+          }
+          return r;
+        }));
+  }
+
   started_.store(true);
-  for (auto& w : workers_) {
-    Worker* raw = w.get();
-    w->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  for (int i = 0; i < options.workers; ++i) {
+    Worker* raw = workers_[static_cast<size_t>(i)].get();
+    raw->thread = std::thread([this, raw, i] { WorkerLoop(raw, i); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.watchdog_interval_sec > 0) {
+    watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
+  obs::RecordFlight(obs::FlightKind::kServer,
+                    "listening on port %d (%d workers)", port_,
+                    options.workers);
   return Status::OK();
+}
+
+void TcpServer::WatchdogLoop() {
+  obs::RateLimiter warn_limiter(5.0, 2);
+  const int64_t stall_ms =
+      static_cast<int64_t>(options_.watchdog_stall_sec * 1000.0);
+  const auto interval = std::chrono::milliseconds(
+      static_cast<int64_t>(options_.watchdog_interval_sec * 1000.0));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    if (watchdog_cv_.wait_for(lock, interval,
+                              [this] { return watchdog_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    const int64_t now = NowMs();
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Worker* w = workers_[i].get();
+      if (w->exited.load(std::memory_order_relaxed)) {
+        w->stalled.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      const int64_t lag =
+          now - w->heartbeat_ms.load(std::memory_order_relaxed);
+      if (lag >= stall_ms) {
+        if (!w->stalled.exchange(true)) {
+          w->stalls.fetch_add(1, std::memory_order_relaxed);
+          ServerObs().watchdog_stalls->Add(1);
+          obs::RecordFlight(
+              obs::FlightKind::kWatchdog,
+              "worker %zu event loop stalled (%lld ms since heartbeat)", i,
+              static_cast<long long>(lag));
+          if (warn_limiter.Allow()) {
+            GVEX_LOG(kWarning)
+                << "watchdog: worker " << i << " event loop stalled ("
+                << lag << " ms since last heartbeat)";
+          }
+        }
+      } else if (w->stalled.exchange(false)) {
+        obs::RecordFlight(obs::FlightKind::kWatchdog,
+                          "worker %zu event loop recovered", i);
+      }
+    }
+    // One registry pass per tick so stall/recovery (and wedged-admit-
+    // leader) transitions are recorded even when nobody polls `health`.
+    obs::Health().Evaluate();
+    lock.lock();
+  }
 }
 
 void TcpServer::Drain() {
@@ -156,6 +245,9 @@ void TcpServer::Drain() {
   drain_start_ms_.store(NowMs());
   drain_deadline_ms_.store(
       NowMs() + static_cast<int64_t>(options_.drain_timeout_sec * 1000.0));
+  obs::RecordFlight(obs::FlightKind::kDrain,
+                    "drain begun (%d live sessions, %.1f s budget)",
+                    live_sessions_.load(), options_.drain_timeout_sec);
   // Wake every worker so the drain is noticed without waiting for a tick.
   for (auto& w : workers_) {
     const char b = 1;
@@ -170,9 +262,23 @@ void TcpServer::Wait() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  // The per-worker health checks capture Worker pointers; dropping the
+  // handles here (after the loops are gone, before anything else is torn
+  // down) guarantees no check runs against a dead worker.
+  health_handles_.clear();
   if (drain_start_ms_.load() > 0) {
+    const int64_t drain_ms = NowMs() - drain_start_ms_.load();
     ServerObs().drain_seconds->ObserveSeconds(
-        static_cast<double>(NowMs() - drain_start_ms_.load()) / 1e3);
+        static_cast<double>(drain_ms) / 1e3);
+    obs::RecordFlight(obs::FlightKind::kDrain,
+                      "drain complete in %lld ms (workers joined)",
+                      static_cast<long long>(drain_ms));
   }
   // Everything acknowledged before the drain is already published in the
   // service; one final save folds it all into the durable store.
@@ -183,7 +289,11 @@ void TcpServer::Wait() {
 
 TcpServerStats TcpServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  TcpServerStats out = stats_;
+  for (const auto& w : workers_) {
+    out.watchdog_stalls += w->stalls.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void TcpServer::AcceptLoop() {
@@ -204,10 +314,14 @@ void TcpServer::AcceptLoop() {
         // clients can distinguish "full" from a network failure.
         static const char kFull[] = "err server full\n";
         (void)!::send(fd, kFull, sizeof(kFull) - 1, MSG_NOSIGNAL);
-        ::close(fd);
+        // Count BEFORE close: a client polling stats right after it sees
+        // the refusal + EOF must find the rejection already recorded.
         ServerObs().rejected_full->Add(1);
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.rejected_full;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.rejected_full;
+        }
+        ::close(fd);
         continue;
       }
       if (!SetNonBlocking(fd).ok()) {
@@ -259,11 +373,13 @@ void TcpServer::CloseSession(Worker* w, int fd) {
   ServerObs().closed->Add(1);
 }
 
-void TcpServer::WorkerLoop(Worker* w) {
+void TcpServer::WorkerLoop(Worker* w, int index) {
   std::vector<Poller::Event> events;
   std::vector<int> to_close;
   bool drain_seen = false;
   while (true) {
+    if (options_.worker_tick_hook) options_.worker_tick_hook(index);
+    w->heartbeat_ms.store(NowMs(), std::memory_order_relaxed);
     w->poller.Wait(100, &events);
 
     // Adopt connections the accept thread handed over.
@@ -377,6 +493,7 @@ void TcpServer::WorkerLoop(Worker* w) {
   w->incoming.clear();
   ::close(w->wake_read);
   ::close(w->wake_write);
+  w->exited.store(true, std::memory_order_relaxed);
 }
 
 }  // namespace gvex

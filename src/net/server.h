@@ -32,6 +32,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +44,7 @@
 
 #include "net/poller.h"
 #include "net/session.h"
+#include "obs/health.h"
 #include "serve/serve_protocol.h"
 #include "util/status.h"
 
@@ -55,6 +58,18 @@ struct TcpServerOptions {
   double idle_timeout_sec = 0;   ///< close idle sessions (0 = never)
   double drain_timeout_sec = 5;  ///< flush budget for graceful drain
   bool save_on_drain = true;     ///< final Save(kAuto) on a durable service
+  /// How often the watchdog thread checks worker heartbeats (0 disables
+  /// the watchdog entirely — no thread is spawned).
+  double watchdog_interval_sec = 0.5;
+  /// A worker whose event loop has not stamped its heartbeat for this
+  /// long is declared stalled: stall counter + flight event + rate-limited
+  /// warning, and its net_worker_<i> health check reports fail until the
+  /// loop ticks again.
+  double watchdog_stall_sec = 5.0;
+  /// Test-only: invoked by each worker at the top of every loop iteration
+  /// with the worker index, BEFORE the heartbeat is stamped — a blocking
+  /// hook wedges that worker exactly like a stuck request handler would.
+  std::function<void(int)> worker_tick_hook;
   NetSessionLimits session;
 };
 
@@ -68,7 +83,8 @@ struct TcpServerStats {
   uint64_t killed_by_backpressure = 0;
   uint64_t backpressure_engaged = 0;  ///< sessions that ever hit the soft cap
   uint64_t frames_executed = 0;
-  uint64_t admits_refused = 0;  ///< quota rejections
+  uint64_t admits_refused = 0;   ///< quota rejections
+  uint64_t watchdog_stalls = 0;  ///< stalled-loop detections across workers
 };
 
 class TcpServer {
@@ -115,10 +131,17 @@ class TcpServer {
         incoming;
     std::unordered_map<int, std::unique_ptr<NetSession>> sessions;
     std::thread thread;
+    /// Stamped (steady-clock ms) at the top of every loop iteration; the
+    /// watchdog and the per-worker health check read it lock-free.
+    std::atomic<int64_t> heartbeat_ms{0};
+    std::atomic<bool> exited{false};  ///< loop returned (drain complete)
+    std::atomic<bool> stalled{false};
+    std::atomic<uint64_t> stalls{0};  ///< stall transitions detected
   };
 
   void AcceptLoop();
-  void WorkerLoop(Worker* w);
+  void WorkerLoop(Worker* w, int index);
+  void WatchdogLoop();
   /// Closes a worker-owned session, folding its counters into stats.
   void CloseSession(Worker* w, int fd);
 
@@ -131,6 +154,11 @@ class TcpServer {
   int port_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::vector<obs::HealthCheckHandle> health_handles_;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> waited_{false};

@@ -6,6 +6,7 @@
 
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -94,6 +95,11 @@ void NetSession::Respond(const std::string& text) {
     killed_ = true;
     killed_by_backpressure_ = true;
     SessionObs().kills->Add(1);
+    obs::RecordFlight(obs::FlightKind::kBackpressure,
+                      "session fd %d killed: %zu bytes unflushed past the "
+                      "hard cap (%zu)",
+                      fd_, write_buf_.size() - write_off_,
+                      limits_.write_hard_cap);
   }
 }
 
@@ -140,10 +146,12 @@ void NetSession::ProcessFrames() {
     if (next == RequestFramer::Next::kBroken) {
       // Oversized line/frame: answer err, then close — resyncing inside
       // an abandoned payload block would misparse payload as requests.
-      (error.find("line exceeds") != std::string::npos
-           ? SessionObs().oversized_line
-           : SessionObs().runaway_frame)
+      const bool oversized = error.find("line exceeds") != std::string::npos;
+      (oversized ? SessionObs().oversized_line : SessionObs().runaway_frame)
           ->Add(1);
+      obs::RecordFlight(obs::FlightKind::kFrameError,
+                        "session fd %d closed by framer: %s", fd_,
+                        oversized ? "oversized_line" : "runaway_frame");
       Respond(error);
       close_after_flush_ = true;
       return;

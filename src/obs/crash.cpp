@@ -1,0 +1,162 @@
+#include "obs/crash.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "obs/flight.h"
+
+namespace gvex {
+namespace obs {
+
+namespace {
+
+using internal::I64ToDec;
+using internal::U64ToDec;
+using internal::WriteAll;
+
+constexpr size_t kDirBytes = 512;
+constexpr size_t kBuildBytes = 256;
+constexpr size_t kSnapshotBytes = 256 * 1024;
+
+char g_dir[kDirBytes] = ".";
+char g_build[kBuildBytes] = "";
+
+struct SnapshotBuffer {
+  char data[kSnapshotBytes];
+  size_t len = 0;
+};
+// Double buffer: updaters (serialized by g_update_mu) fill the
+// non-published half, then flip g_published. The handler reads whichever
+// half is published; the worst case — a crash racing the flip — reads a
+// snapshot that is stale or (vanishingly rarely) torn, never unmapped
+// memory.
+SnapshotBuffer* g_snapshots[2] = {nullptr, nullptr};
+std::atomic<int> g_published{-1};
+std::mutex g_update_mu;
+
+std::atomic<bool> g_installed{false};
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+  }
+  return "SIGNAL";
+}
+
+void WriteLiteral(int fd, const char* s) { WriteAll(fd, s, std::strlen(s)); }
+
+void CrashHandler(int sig) {
+  // Build "<dir>/crash-<pid>.log" by hand (no snprintf in a handler).
+  char path[kDirBytes + 48];
+  size_t n = 0;
+  const size_t dir_len = std::strlen(g_dir);
+  std::memcpy(path + n, g_dir, dir_len);
+  n += dir_len;
+  std::memcpy(path + n, "/crash-", 7);
+  n += 7;
+  n += U64ToDec(static_cast<uint64_t>(::getpid()), path + n);
+  std::memcpy(path + n, ".log", 4);
+  n += 4;
+  path[n] = '\0';
+
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    char num[24];
+    WriteLiteral(fd, "gvex-crash-log version 1\n");
+    WriteLiteral(fd, "pid ");
+    WriteAll(fd, num, U64ToDec(static_cast<uint64_t>(::getpid()), num));
+    WriteLiteral(fd, " signal ");
+    WriteAll(fd, num, U64ToDec(static_cast<uint64_t>(sig), num));
+    WriteLiteral(fd, " ");
+    WriteLiteral(fd, SignalName(sig));
+    WriteLiteral(fd, "\n");
+    struct timespec ts;
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    WriteLiteral(fd, "unix-sec ");
+    WriteAll(fd, num, I64ToDec(static_cast<int64_t>(ts.tv_sec), num));
+    WriteLiteral(fd, "\nbuild ");
+    WriteLiteral(fd, g_build[0] != '\0' ? g_build : "unknown");
+    WriteLiteral(fd, "\nflight-events\n");
+    Flight().WriteTo(fd);
+    const int published = g_published.load(std::memory_order_acquire);
+    const SnapshotBuffer* snap =
+        published >= 0 ? g_snapshots[published] : nullptr;
+    WriteLiteral(fd, "metrics-snapshot bytes ");
+    WriteAll(fd, num,
+             U64ToDec(snap != nullptr ? snap->len : 0, num));
+    WriteLiteral(fd, "\n");
+    if (snap != nullptr && snap->len > 0) {
+      WriteAll(fd, snap->data, snap->len);
+      if (snap->data[snap->len - 1] != '\n') WriteLiteral(fd, "\n");
+    }
+    WriteLiteral(fd, "end-crash-log\n");
+    ::close(fd);
+  }
+
+  // Die with the original signal so exit status / core behavior match an
+  // unhandled crash. The signal is blocked during the handler, so the
+  // re-raise is delivered (with default disposition) on return.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool InstallCrashLogger(const CrashLoggerOptions& options) {
+  if (options.dir.size() >= kDirBytes) return false;
+  {
+    std::lock_guard<std::mutex> lock(g_update_mu);
+    std::memcpy(g_dir, options.dir.c_str(), options.dir.size() + 1);
+    const size_t build_len =
+        options.build_info.size() < kBuildBytes - 1 ? options.build_info.size()
+                                                    : kBuildBytes - 1;
+    std::memcpy(g_build, options.build_info.c_str(), build_len);
+    g_build[build_len] = '\0';
+    for (SnapshotBuffer*& buf : g_snapshots) {
+      if (buf == nullptr) buf = new SnapshotBuffer();  // never freed
+    }
+  }
+  if (!g_installed.exchange(true)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &CrashHandler;
+    sigemptyset(&sa.sa_mask);
+    const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+    for (const int sig : signals) ::sigaction(sig, &sa, nullptr);
+  }
+  return true;
+}
+
+void UpdateCrashMetricsSnapshot(const std::string& text) {
+  std::lock_guard<std::mutex> lock(g_update_mu);
+  if (g_snapshots[0] == nullptr) return;  // logger not installed yet
+  // Write the half the handler is NOT reading; before the first publish
+  // (g_published == -1) either half works, use 0.
+  const int target = g_published.load(std::memory_order_relaxed) == 0 ? 1 : 0;
+  SnapshotBuffer* buf = g_snapshots[target];
+  buf->len = text.size() < kSnapshotBytes ? text.size() : kSnapshotBytes;
+  std::memcpy(buf->data, text.data(), buf->len);
+  g_published.store(target, std::memory_order_release);
+}
+
+std::string CrashLogPath(const std::string& dir, int pid) {
+  return dir + "/crash-" + std::to_string(pid) + ".log";
+}
+
+}  // namespace obs
+}  // namespace gvex

@@ -1,0 +1,48 @@
+// Crash-time post-mortem: an async-signal-safe SIGSEGV/SIGABRT (plus
+// SIGBUS/SIGFPE/SIGILL) handler that writes `crash-<pid>.log` into a
+// configured directory before letting the process die with the original
+// signal. The log carries:
+//
+//   * a header (pid, signal, wall-clock seconds, build info),
+//   * the flight-recorder tail (`event ...` lines, oldest first), and
+//   * the most recent metrics snapshot pushed by the serving loop.
+//
+// Everything the handler touches is pre-allocated at install time: the
+// directory/path prefix, the build string, and a double-buffered metrics
+// snapshot published through an atomic index. Inside the handler the only
+// calls are open/write/close, clock_gettime, getpid, sigaction, and
+// raise — all async-signal-safe. The metrics snapshot is refreshed from
+// the normal path via UpdateCrashMetricsSnapshot (the periodic dumper
+// calls it), so the crash log shows the world as of the last scrape, not
+// of the crash instant — a deliberate trade for signal safety.
+
+#ifndef GVEX_OBS_CRASH_H_
+#define GVEX_OBS_CRASH_H_
+
+#include <string>
+
+namespace gvex {
+namespace obs {
+
+struct CrashLoggerOptions {
+  std::string dir = ".";       ///< where crash-<pid>.log lands
+  std::string build_info;      ///< one line, e.g. tool name + compiler
+};
+
+/// Installs the handler (idempotent; the last install's options win).
+/// Returns false when `dir` exceeds the pre-allocated path buffer.
+bool InstallCrashLogger(const CrashLoggerOptions& options);
+
+/// Publishes `text` (Prometheus exposition text, truncated to 256 KiB) as
+/// the snapshot the crash handler will embed. Safe from any thread; the
+/// handler always reads a fully published buffer.
+void UpdateCrashMetricsSnapshot(const std::string& text);
+
+/// The path the handler would write for `pid` under `dir` — for tests and
+/// smoke scripts.
+std::string CrashLogPath(const std::string& dir, int pid);
+
+}  // namespace obs
+}  // namespace gvex
+
+#endif  // GVEX_OBS_CRASH_H_

@@ -1,0 +1,77 @@
+#include "obs/dump.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace gvex {
+namespace obs {
+
+bool AtomicWriteTextFile(const std::string& path, const std::string& body,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "open '" + tmp + "' failed: " + std::strerror(errno);
+    }
+    return false;
+  }
+  const size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (wrote != body.size() || !flushed) {
+    if (error != nullptr) *error = "short write to '" + tmp + "'";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename to '" + path + "' failed: " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+PeriodicDumper::PeriodicDumper(double interval_sec,
+                               std::function<void()> dump)
+    : dump_(std::move(dump)) {
+  if (interval_sec > 0) {
+    const auto interval =
+        std::chrono::milliseconds(static_cast<int64_t>(interval_sec * 1000));
+    thread_ = std::thread([this, interval] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+        lock.unlock();
+        dump_();
+        lock.lock();
+      }
+    });
+  }
+}
+
+PeriodicDumper::~PeriodicDumper() { Final(); }
+
+void PeriodicDumper::Final() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finaled_) return;
+    finaled_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // The final dump runs here, on the caller's thread, AFTER the periodic
+  // thread is gone — so it reflects end state and cannot be lost to a
+  // wedged background dump.
+  dump_();
+}
+
+}  // namespace obs
+}  // namespace gvex

@@ -1,0 +1,185 @@
+#include "obs/flight.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace gvex {
+namespace obs {
+
+namespace internal {
+
+size_t U64ToDec(uint64_t v, char* buf) {
+  char tmp[24];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+size_t I64ToDec(int64_t v, char* buf) {
+  if (v >= 0) return U64ToDec(static_cast<uint64_t>(v), buf);
+  buf[0] = '-';
+  // Negate via unsigned arithmetic so INT64_MIN doesn't overflow.
+  return 1 + U64ToDec(~static_cast<uint64_t>(v) + 1, buf + 1);
+}
+
+void WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return;  // nothing safe to do about a failing crash-log fd
+    }
+    data += wrote;
+    n -= static_cast<size_t>(wrote);
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+int64_t WallClockMs() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+}  // namespace
+
+const char* FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kEpoch:
+      return "epoch";
+    case FlightKind::kSave:
+      return "save";
+    case FlightKind::kCompact:
+      return "compact";
+    case FlightKind::kDrain:
+      return "drain";
+    case FlightKind::kFrameError:
+      return "frame_error";
+    case FlightKind::kBackpressure:
+      return "backpressure";
+    case FlightKind::kHealth:
+      return "health";
+    case FlightKind::kWatchdog:
+      return "watchdog";
+    case FlightKind::kServer:
+      return "server";
+    case FlightKind::kCrash:
+      return "crash";
+    case FlightKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+void FlightRecorder::Record(FlightKind kind, const char* text) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(ticket - 1) % kCapacity];
+  // Invalidate first so a concurrent reader never pairs the old sequence
+  // number with a half-written payload.
+  slot.seq.store(0, std::memory_order_release);
+  slot.unix_ms.store(WallClockMs(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  size_t i = 0;
+  if (text != nullptr) {
+    for (; text[i] != '\0' && i < kTextBytes - 1; ++i) {
+      const char c = (text[i] == '\n' || text[i] == '\r') ? ' ' : text[i];
+      slot.text[i].store(c, std::memory_order_relaxed);
+    }
+  }
+  slot.text[i].store('\0', std::memory_order_relaxed);
+  slot.seq.store(ticket, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Dump() const {
+  std::vector<FlightEvent> out;
+  const uint64_t latest = next_.load(std::memory_order_acquire);
+  const uint64_t first = latest > kCapacity ? latest - kCapacity + 1 : 1;
+  if (latest == 0) return out;
+  out.reserve(static_cast<size_t>(latest - first + 1));
+  for (uint64_t ticket = first; ticket <= latest; ++ticket) {
+    const Slot& slot = slots_[(ticket - 1) % kCapacity];
+    if (slot.seq.load(std::memory_order_acquire) != ticket) continue;
+    FlightEvent ev;
+    ev.seq = ticket;
+    ev.unix_ms = slot.unix_ms.load(std::memory_order_relaxed);
+    uint8_t raw_kind = slot.kind.load(std::memory_order_relaxed);
+    if (raw_kind >= static_cast<uint8_t>(FlightKind::kNumKinds)) raw_kind = 0;
+    ev.kind = static_cast<FlightKind>(raw_kind);
+    char buf[kTextBytes];
+    for (size_t i = 0; i < kTextBytes; ++i) {
+      buf[i] = slot.text[i].load(std::memory_order_relaxed);
+    }
+    buf[kTextBytes - 1] = '\0';
+    // Drop the copy when a wrapping writer raced us mid-read.
+    if (slot.seq.load(std::memory_order_acquire) != ticket) continue;
+    ev.text = buf;
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+void FlightRecorder::WriteTo(int fd) const {
+  using internal::I64ToDec;
+  using internal::U64ToDec;
+  using internal::WriteAll;
+  const uint64_t latest = next_.load(std::memory_order_acquire);
+  const uint64_t first = latest > kCapacity ? latest - kCapacity + 1 : 1;
+  if (latest == 0) return;
+  for (uint64_t ticket = first; ticket <= latest; ++ticket) {
+    const Slot& slot = slots_[(ticket - 1) % kCapacity];
+    if (slot.seq.load(std::memory_order_acquire) != ticket) continue;
+    char line[kTextBytes + 96];
+    size_t n = 0;
+    std::memcpy(line + n, "event ", 6);
+    n += 6;
+    n += U64ToDec(ticket, line + n);
+    line[n++] = ' ';
+    n += I64ToDec(slot.unix_ms.load(std::memory_order_relaxed), line + n);
+    line[n++] = ' ';
+    uint8_t raw_kind = slot.kind.load(std::memory_order_relaxed);
+    if (raw_kind >= static_cast<uint8_t>(FlightKind::kNumKinds)) raw_kind = 0;
+    const char* kind_name = FlightKindName(static_cast<FlightKind>(raw_kind));
+    const size_t kind_len = std::strlen(kind_name);
+    std::memcpy(line + n, kind_name, kind_len);
+    n += kind_len;
+    line[n++] = ' ';
+    for (size_t i = 0; i < kTextBytes - 1; ++i) {
+      const char c = slot.text[i].load(std::memory_order_relaxed);
+      if (c == '\0') break;
+      line[n++] = c;
+    }
+    line[n++] = '\n';
+    WriteAll(fd, line, n);
+  }
+}
+
+FlightRecorder& Flight() {
+  // Never destroyed: the crash handler may consult it during any other
+  // static object's teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void RecordFlight(FlightKind kind, const char* fmt, ...) {
+  char buf[FlightRecorder::kTextBytes];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  Flight().Record(kind, buf);
+}
+
+}  // namespace obs
+}  // namespace gvex

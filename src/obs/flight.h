@@ -1,0 +1,115 @@
+// Flight recorder: a bounded lock-free ring of structured events — epoch
+// publishes, saves/compactions, drains, frame errors, backpressure kills,
+// health transitions, watchdog stalls — recorded from the store, serve,
+// and net tiers. Two consumers:
+//
+//   * the `events` protocol verb dumps the live ring (oldest first), and
+//   * the crash logger replays the tail into `crash-<pid>.log` from a
+//     SIGSEGV/SIGABRT handler.
+//
+// The second consumer sets the design constraints. Record() must be safe
+// to call from any thread with no locks (so a wedged logger can never
+// wedge the recorder), and WriteTo() must be async-signal-safe: it may
+// only load atomics, format integers by hand, and call write(2). Each
+// slot carries a publication sequence number (0 = being written) and an
+// all-atomic payload; readers skip slots whose sequence changed while
+// copying. That makes the ring simultaneously lock-free, TSan-clean (no
+// non-atomic access races, unlike a bare seqlock payload), and readable
+// mid-crash. Events can be dropped under extreme wrap races — the ring is
+// a diagnostic tail, not an audit log.
+
+#ifndef GVEX_OBS_FLIGHT_H_
+#define GVEX_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gvex {
+namespace obs {
+
+enum class FlightKind : uint8_t {
+  kEpoch = 0,      ///< snapshot epoch published by admission
+  kSave,           ///< durable snapshot written (full or delta)
+  kCompact,        ///< chain compaction outcome
+  kDrain,          ///< server drain lifecycle
+  kFrameError,     ///< protocol framing violation on a connection
+  kBackpressure,   ///< session killed at the hard write cap
+  kHealth,         ///< aggregated health status transition
+  kWatchdog,       ///< worker event-loop stall / recovery
+  kServer,         ///< server lifecycle (start, stop, config)
+  kCrash,          ///< crash-test / crash-path markers
+  kNumKinds,
+};
+
+/// Stable lowercase token for the event kind ("epoch", "frame_error", ...).
+const char* FlightKindName(FlightKind kind);
+
+struct FlightEvent {
+  uint64_t seq = 0;      ///< 1-based global sequence number
+  int64_t unix_ms = 0;   ///< wall-clock milliseconds at record time
+  FlightKind kind = FlightKind::kServer;
+  std::string text;      ///< one line, truncated to the slot size
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity (events retained) — power of two so wrap indexing is a
+  /// mask.
+  static constexpr size_t kCapacity = 256;
+  /// Per-event text bytes including the terminating NUL.
+  static constexpr size_t kTextBytes = 120;
+
+  /// Records one event; truncates `text` to the slot and replaces newlines
+  /// with spaces so every event renders as exactly one line.
+  void Record(FlightKind kind, const char* text);
+
+  /// Snapshot of the surviving ring contents, oldest first. Slots being
+  /// overwritten concurrently are skipped.
+  std::vector<FlightEvent> Dump() const;
+
+  /// Total events ever recorded (recorded - surviving = overwritten).
+  uint64_t recorded() const { return next_.load(std::memory_order_relaxed); }
+
+  /// Async-signal-safe dump: writes `event <seq> <unix_ms> <kind> <text>`
+  /// lines to `fd` using only atomic loads and write(2).
+  void WriteTo(int fd) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  ///< 0 = empty/being written, else ticket
+    std::atomic<int64_t> unix_ms{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<char> text[kTextBytes];
+  };
+  std::atomic<uint64_t> next_{0};
+  Slot slots_[kCapacity];
+};
+
+/// The process-wide recorder every instrumented layer records into.
+FlightRecorder& Flight();
+
+/// printf-style convenience over Flight().Record (formats on the caller's
+/// stack; NOT async-signal-safe — normal-path use only).
+#if defined(__GNUC__) || defined(__clang__)
+void RecordFlight(FlightKind kind, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+#else
+void RecordFlight(FlightKind kind, const char* fmt, ...);
+#endif
+
+namespace internal {
+/// Async-signal-safe helpers shared with the crash logger. The ToDec
+/// functions render into `buf` (>= 24 bytes) and return the length
+/// written; WriteAll retries write(2) across short writes and EINTR.
+size_t U64ToDec(uint64_t v, char* buf);
+size_t I64ToDec(int64_t v, char* buf);
+void WriteAll(int fd, const char* data, size_t n);
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace gvex
+
+#endif  // GVEX_OBS_FLIGHT_H_

@@ -1,0 +1,175 @@
+#include "obs/health.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace gvex {
+namespace obs {
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+int HealthRegistry::Register(const std::string& name, CheckFn check) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.id = next_id_++;
+  entry.name = name;
+  entry.check = std::move(check);
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+void HealthRegistry::Unregister(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+HealthReport HealthRegistry::Evaluate() {
+  HealthReport report;
+  bool transitioned = false;
+  HealthStatus prev = HealthStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.checks.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      HealthCheckRow row;
+      row.name = entry.name;
+      const HealthCheckResult result = entry.check();
+      row.status = result.status;
+      row.reason = result.reason;
+      if (row.status > report.overall) report.overall = row.status;
+      report.checks.push_back(std::move(row));
+    }
+    prev = last_overall_;
+    transitioned = evaluated_ && prev != report.overall;
+    // The very first evaluation reports a transition only when unhealthy,
+    // so a clean startup doesn't log a spurious "ok -> ok".
+    if (!evaluated_ && report.overall != HealthStatus::kOk) {
+      transitioned = true;
+    }
+    evaluated_ = true;
+    last_overall_ = report.overall;
+  }
+
+  Registry& metrics = Metrics();
+  metrics
+      .GetGauge("gvex_health_status",
+                "Aggregated health: 0 ok, 1 degraded, 2 fail")
+      ->Set(static_cast<int64_t>(report.overall));
+  for (const HealthCheckRow& row : report.checks) {
+    metrics
+        .GetGauge("gvex_health_check_status",
+                  "Per-check health: 0 ok, 1 degraded, 2 fail", "check",
+                  row.name)
+        ->Set(static_cast<int64_t>(row.status));
+  }
+  if (transitioned) {
+    metrics
+        .GetCounter("gvex_health_transitions_total",
+                    "Aggregated health verdict changes")
+        ->Add(1);
+    // Name the first non-ok culprit so the flight line is actionable on
+    // its own.
+    const char* culprit = "";
+    std::string culprit_text;
+    if (report.overall != HealthStatus::kOk) {
+      for (const HealthCheckRow& row : report.checks) {
+        if (row.status == report.overall) {
+          culprit_text = ": " + row.name + " (" + row.reason + ")";
+          culprit = culprit_text.c_str();
+          break;
+        }
+      }
+    }
+    RecordFlight(FlightKind::kHealth, "health %s -> %s%s",
+                 HealthStatusName(prev), HealthStatusName(report.overall),
+                 culprit);
+  }
+  return report;
+}
+
+HealthStatus HealthRegistry::last_overall() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_overall_;
+}
+
+size_t HealthRegistry::check_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+HealthRegistry& Health() {
+  // Never destroyed: subsystems unregister from arbitrary teardown order.
+  static HealthRegistry* registry = new HealthRegistry();
+  return *registry;
+}
+
+HealthCheckHandle RegisterHealthCheck(const std::string& name,
+                                      HealthRegistry::CheckFn check) {
+  HealthRegistry& registry = Health();
+  return HealthCheckHandle(&registry, registry.Register(name, std::move(check)));
+}
+
+std::string RenderHealthText(const HealthReport& report) {
+  std::string out = "health ";
+  out += HealthStatusName(report.overall);
+  out += " checks ";
+  out += std::to_string(report.checks.size());
+  out += '\n';
+  for (const HealthCheckRow& row : report.checks) {
+    out += "check ";
+    out += row.name;
+    out += ' ';
+    out += HealthStatusName(row.status);
+    out += ' ';
+    out += row.reason.empty() ? "-" : row.reason;
+    out += '\n';
+  }
+  return out;
+}
+
+HealthCheckResult CheckDirectoryWritable(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    return {HealthStatus::kFail,
+            "stat('" + dir + "') failed: " + std::strerror(errno)};
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    return {HealthStatus::kFail, "'" + dir + "' is not a directory"};
+  }
+  mode_t bit = S_IWOTH;
+  if (st.st_uid == ::geteuid()) {
+    bit = S_IWUSR;
+  } else if (st.st_gid == ::getegid()) {
+    bit = S_IWGRP;
+  }
+  if ((st.st_mode & bit) == 0) {
+    return {HealthStatus::kDegraded,
+            "directory '" + dir + "' is not writable (mode bits)"};
+  }
+  return {HealthStatus::kOk, "writable"};
+}
+
+}  // namespace obs
+}  // namespace gvex

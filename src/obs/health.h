@@ -1,0 +1,156 @@
+// Health registry: per-subsystem liveness/readiness checks aggregated
+// into one ok/degraded/fail verdict with machine-readable reasons.
+// Subsystems register a named check (WAL appendable, store LOCK held,
+// worker heartbeat fresh, combining-queue leader not wedged, compaction
+// backlog bounded, ...) and the `health` protocol verb, the
+// `--health-file` dump, and the `gvex_health_status` gauge all read the
+// same Evaluate() pass.
+//
+// Semantics: `ok` = fully servable; `degraded` = servable but something
+// needs operator attention (e.g. durability at risk — WAL directory not
+// writable, compaction backlog growing); `fail` = a router should stop
+// sending traffic (wedged event loop, wedged admit leader, lost store
+// lock). The aggregate is the worst individual verdict.
+//
+// Concurrency contract: checks run UNDER the registry mutex, so they must
+// be fast and non-blocking (read atomics, try-lock at most). In exchange,
+// Unregister() returning guarantees the check is not and will never again
+// be running — captured state may be destroyed immediately after, which
+// is what lets ViewService / TcpServer register checks bound to `this`.
+
+#ifndef GVEX_OBS_HEALTH_H_
+#define GVEX_OBS_HEALTH_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gvex {
+namespace obs {
+
+enum class HealthStatus : int {
+  kOk = 0,
+  kDegraded = 1,
+  kFail = 2,
+};
+
+/// Stable lowercase token: "ok" | "degraded" | "fail".
+const char* HealthStatusName(HealthStatus status);
+
+struct HealthCheckResult {
+  HealthStatus status = HealthStatus::kOk;
+  std::string reason = "ok";  ///< one line, machine-readable-ish
+};
+
+struct HealthCheckRow {
+  std::string name;
+  HealthStatus status = HealthStatus::kOk;
+  std::string reason;
+};
+
+struct HealthReport {
+  HealthStatus overall = HealthStatus::kOk;
+  std::vector<HealthCheckRow> checks;  ///< registration order
+};
+
+class HealthRegistry {
+ public:
+  using CheckFn = std::function<HealthCheckResult()>;
+
+  /// Registers a named check; returns a handle id for Unregister. Names
+  /// need not be unique (two services in one process each report their
+  /// own row).
+  int Register(const std::string& name, CheckFn check);
+
+  /// Removes the check. On return the check is guaranteed not to be
+  /// executing and never will again.
+  void Unregister(int id);
+
+  /// Runs every check (registration order), aggregates worst-of, updates
+  /// the `gvex_health_status` / per-check gauges, and records a flight
+  /// event + transition counter when the aggregate verdict changes.
+  HealthReport Evaluate();
+
+  /// The aggregate from the most recent Evaluate (ok before the first).
+  HealthStatus last_overall() const;
+
+  size_t check_count() const;
+
+ private:
+  struct Entry {
+    int id = 0;
+    std::string name;
+    CheckFn check;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  int next_id_ = 1;
+  bool evaluated_ = false;
+  HealthStatus last_overall_ = HealthStatus::kOk;
+};
+
+/// The process-wide registry the serving tiers register into.
+HealthRegistry& Health();
+
+/// RAII registration on a registry (the global one via the free helper
+/// below). Move-only; unregisters on destruction or Reset().
+class HealthCheckHandle {
+ public:
+  HealthCheckHandle() = default;
+  HealthCheckHandle(HealthRegistry* registry, int id)
+      : registry_(registry), id_(id) {}
+  ~HealthCheckHandle() { Reset(); }
+  HealthCheckHandle(HealthCheckHandle&& other) noexcept
+      : registry_(other.registry_), id_(other.id_) {
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  HealthCheckHandle& operator=(HealthCheckHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      registry_ = other.registry_;
+      id_ = other.id_;
+      other.registry_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  HealthCheckHandle(const HealthCheckHandle&) = delete;
+  HealthCheckHandle& operator=(const HealthCheckHandle&) = delete;
+
+  void Reset() {
+    if (registry_ != nullptr) registry_->Unregister(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  HealthRegistry* registry_ = nullptr;
+  int id_ = 0;
+};
+
+/// Registers `check` with the global registry, unregistering when the
+/// returned handle dies.
+HealthCheckHandle RegisterHealthCheck(const std::string& name,
+                                      HealthRegistry::CheckFn check);
+
+/// Protocol/text rendering shared by the `health` verb and
+/// `--health-file`:
+///   health <overall> checks <n>
+///   check <name> <status> <reason>
+std::string RenderHealthText(const HealthReport& report);
+
+/// Directory-writability probe for the WAL check. Deliberately inspects
+/// the permission BITS from stat(2) instead of access(2): access()
+/// reports everything writable when running as root, but a store
+/// directory with its write bit stripped is a misconfiguration signal
+/// worth surfacing even in privileged deployments (and it is what lets
+/// fault-injection tests run under root CI). Supplementary groups are
+/// ignored — a conservative false "not writable" degrades, never fails.
+HealthCheckResult CheckDirectoryWritable(const std::string& dir);
+
+}  // namespace obs
+}  // namespace gvex
+
+#endif  // GVEX_OBS_HEALTH_H_

@@ -28,12 +28,6 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-int64_t MonotonicNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             SteadyClock::now().time_since_epoch())
-      .count();
-}
-
 /// Captured once at load time: the anchor for uptime / start-epoch.
 struct ProcessClock {
   SteadyClock::time_point steady_start = SteadyClock::now();
@@ -310,19 +304,6 @@ std::map<std::string, double> ParseMetricFamily(const std::string& text,
     out[label] = value;
   }
   return out;
-}
-
-bool RateLimiter::Allow() {
-  const int64_t now = MonotonicNs();
-  int64_t last = last_ns_.load(std::memory_order_relaxed);
-  while (now - last >= interval_ns_) {
-    if (last_ns_.compare_exchange_weak(last, now,
-                                       std::memory_order_relaxed)) {
-      return true;
-    }
-    // `last` was reloaded by the failed CAS; loop re-checks the window.
-  }
-  return false;
 }
 
 }  // namespace obs

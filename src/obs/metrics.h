@@ -195,19 +195,6 @@ bool ValidateMetricsText(const std::string& text, std::string* error);
 std::map<std::string, double> ParseMetricFamily(const std::string& text,
                                                 const std::string& family);
 
-/// Token-free rate limiter for log spam: Allow() is true at most once per
-/// `min_interval_sec` across all threads.
-class RateLimiter {
- public:
-  explicit RateLimiter(double min_interval_sec)
-      : interval_ns_(static_cast<int64_t>(min_interval_sec * 1e9)) {}
-  bool Allow();
-
- private:
-  int64_t interval_ns_;
-  std::atomic<int64_t> last_ns_{-(int64_t{1} << 62)};  ///< monotonic ns
-};
-
 }  // namespace obs
 }  // namespace gvex
 

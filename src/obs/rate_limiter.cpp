@@ -1,0 +1,38 @@
+#include "obs/rate_limiter.h"
+
+#include <chrono>
+
+namespace gvex {
+namespace obs {
+
+int64_t RateLimiter::MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RateLimiter::RateLimiter(double min_interval_sec, int burst)
+    : interval_ns_(static_cast<int64_t>(min_interval_sec * 1e9)),
+      burst_depth_ns_((burst < 1 ? 0 : burst - 1) * interval_ns_),
+      // Seeding the arrival time at "now" leaves the bucket full: the
+      // GCRA admit test below passes for the first `burst` calls made at
+      // construction time.
+      tat_ns_(MonotonicNowNs()) {}
+
+bool RateLimiter::AllowAt(int64_t now_ns) {
+  int64_t tat = tat_ns_.load(std::memory_order_relaxed);
+  for (;;) {
+    // A call conforms when it arrives no earlier than the theoretical
+    // arrival time minus the burst allowance.
+    if (now_ns < tat - burst_depth_ns_) return false;
+    const int64_t base = tat > now_ns ? tat : now_ns;
+    if (tat_ns_.compare_exchange_weak(tat, base + interval_ns_,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+    // `tat` was reloaded by the failed CAS; loop re-checks the window.
+  }
+}
+
+}  // namespace obs
+}  // namespace gvex

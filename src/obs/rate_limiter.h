@@ -1,0 +1,50 @@
+// The one rate limiter every throttled warning in the stack shares:
+// compaction-failure warnings in the store path, slow-request logs in the
+// trace plane, watchdog stall reports. Token-bucket semantics: the bucket
+// holds `burst` tokens and refills one per `min_interval_sec`; Allow()
+// spends a token when one is available. With the default burst of 1 this
+// degenerates to "at most once per interval" — what a log throttle wants —
+// while a larger burst lets the first N events of an incident through
+// before throttling engages.
+//
+// Implementation is the GCRA / virtual-scheduling formulation: the whole
+// bucket state is ONE atomic "theoretical arrival time", advanced by CAS.
+// Deny is a single relaxed load + compare; grant is a CAS loop. No locks,
+// safe from any thread, cheap enough for hot paths.
+
+#ifndef GVEX_OBS_RATE_LIMITER_H_
+#define GVEX_OBS_RATE_LIMITER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gvex {
+namespace obs {
+
+class RateLimiter {
+ public:
+  /// A bucket of `burst` tokens refilling one per `min_interval_sec`.
+  /// Starts full, so the first `burst` calls always pass.
+  explicit RateLimiter(double min_interval_sec, int burst = 1);
+
+  /// Spends a token against the monotonic clock; true when one was
+  /// available.
+  bool Allow() { return AllowAt(MonotonicNowNs()); }
+
+  /// Deterministic-clock variant for tests. `now_ns` must be
+  /// non-decreasing across calls for bucket semantics to hold.
+  bool AllowAt(int64_t now_ns);
+
+  /// The process monotonic clock in integer nanoseconds.
+  static int64_t MonotonicNowNs();
+
+ private:
+  int64_t interval_ns_;
+  int64_t burst_depth_ns_;       ///< (burst - 1) * interval
+  std::atomic<int64_t> tat_ns_;  ///< next theoretical arrival time
+};
+
+}  // namespace obs
+}  // namespace gvex
+
+#endif  // GVEX_OBS_RATE_LIMITER_H_

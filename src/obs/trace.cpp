@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/rate_limiter.h"
 #include "util/logging.h"
 
 namespace gvex {

@@ -7,6 +7,8 @@
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -101,6 +103,21 @@ std::string HandleObservabilityRequest(const ViewService* service,
             "trace %s frame_us %.1f queue_us %.1f execute_us %.1f "
             "flush_us %.1f\n",
             t.verb.c_str(), t.frame_us, t.queue_us, t.execute_us, t.flush_us);
+      }
+      return out;
+    }
+    case ServeRequest::Kind::kHealth: {
+      const obs::HealthReport report = obs::Health().Evaluate();
+      return "ok " + obs::RenderHealthText(report);
+    }
+    case ServeRequest::Kind::kEvents: {
+      const std::vector<obs::FlightEvent> dump = obs::Flight().Dump();
+      std::string out = StrFormat("ok events %zu\n", dump.size());
+      for (const obs::FlightEvent& ev : dump) {
+        out += StrFormat("event %llu %lld %s %s\n",
+                         static_cast<unsigned long long>(ev.seq),
+                         static_cast<long long>(ev.unix_ms),
+                         obs::FlightKindName(ev.kind), ev.text.c_str());
       }
       return out;
     }
@@ -201,6 +218,14 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
   }
   if (kw == "traces") {
     req.kind = ServeRequest::Kind::kTraces;
+    return req;
+  }
+  if (kw == "health") {
+    req.kind = ServeRequest::Kind::kHealth;
+    return req;
+  }
+  if (kw == "events") {
+    req.kind = ServeRequest::Kind::kEvents;
     return req;
   }
   if (kw == "trace") {
@@ -381,7 +406,9 @@ std::string HandleServeRequest(ServeSession* session,
   // its first `open`.
   if (req.kind == ServeRequest::Kind::kMetrics ||
       req.kind == ServeRequest::Kind::kTrace ||
-      req.kind == ServeRequest::Kind::kTraces) {
+      req.kind == ServeRequest::Kind::kTraces ||
+      req.kind == ServeRequest::Kind::kHealth ||
+      req.kind == ServeRequest::Kind::kEvents) {
     return HandleObservabilityRequest(session->service, req);
   }
   // A session may legitimately start with no service and issue `open`
@@ -444,6 +471,8 @@ std::string HandleServeRequest(ViewService* service,
     case ServeRequest::Kind::kMetrics:
     case ServeRequest::Kind::kTrace:
     case ServeRequest::Kind::kTraces:
+    case ServeRequest::Kind::kHealth:
+    case ServeRequest::Kind::kEvents:
       return HandleObservabilityRequest(service, req);
     case ServeRequest::Kind::kSave: {
       auto saved = service->Save(req.save_kind);
@@ -497,6 +526,10 @@ const char* ServeVerbName(ServeRequest::Kind kind) {
       return "trace";
     case ServeRequest::Kind::kTraces:
       return "traces";
+    case ServeRequest::Kind::kHealth:
+      return "health";
+    case ServeRequest::Kind::kEvents:
+      return "events";
     case ServeRequest::Kind::kOpen:
       return "open";
     case ServeRequest::Kind::kSave:
@@ -510,6 +543,10 @@ const char* ServeVerbName(ServeRequest::Kind kind) {
 }
 
 std::string RenderMetricsText(const ViewService* service) {
+  // Refresh the health gauges first so every export carries a current
+  // `gvex_health_status` (scrapers get health + metrics in one pass; the
+  // evaluation itself is a handful of atomic reads / try-locks).
+  obs::Health().Evaluate();
   std::string out = obs::Metrics().RenderPrometheus();
   const auto emit = [&out](const char* name, const char* type,
                            const char* help, double v) {

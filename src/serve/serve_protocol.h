@@ -64,6 +64,20 @@
 //                                      frame_us <f> queue_us <q>
 //                                      execute_us <e> flush_us <w>"),
 //                                      oldest first
+//   health                         -> ok health <ok|degraded|fail>
+//                                      checks <n> / n x ("check <name>
+//                                      <ok|degraded|fail> <reason>")
+//                                      (one Evaluate() pass over the
+//                                       process health registry: WAL
+//                                       appendable, store LOCK held, worker
+//                                       heartbeats fresh, admit leader not
+//                                       wedged, compaction backlog bounded)
+//   events                         -> ok events <n> / n x ("event <seq>
+//                                      <unix_ms> <kind> <text>"), the
+//                                      flight-recorder ring oldest first
+//                                      (kinds: epoch save compact drain
+//                                       frame_error backpressure health
+//                                       watchdog server crash)
 //   open <dir>                     -> ok open <dir> epoch <e> labels <n>
 //                                      (switches the SESSION onto a durable
 //                                       ViewService::Open(dir) service;
@@ -115,6 +129,8 @@ struct ServeRequest {
     kMetrics,
     kTrace,
     kTraces,
+    kHealth,
+    kEvents,
     kOpen,
     kSave,
     kCompact,

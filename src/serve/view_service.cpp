@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 
 #include <atomic>
 #include <cerrno>
@@ -10,7 +11,10 @@
 #include <functional>
 #include <utility>
 
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/rate_limiter.h"
 #include "store/recovery.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -56,6 +60,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+int64_t SteadyNowMs() {
+  return obs::RateLimiter::MonotonicNowNs() / 1000000;
 }
 
 // Store-layer instruments, registered once; hot paths then cost only
@@ -125,6 +133,10 @@ const StoreInstruments& StoreObs() {
 }  // namespace
 
 ViewService::~ViewService() {
+  // First: the health checks capture `this` and the store. Unregister
+  // returning guarantees none is mid-run, so everything they read may now
+  // be torn down.
+  health_handles_.clear();
   if (store_ != nullptr) {
     std::lock_guard<std::mutex> lock(store_->compact_mu);
     if (store_->compactor.joinable()) store_->compactor.join();
@@ -146,6 +158,84 @@ ViewService::ViewService(const GraphDatabase* db, ViewServiceOptions options)
   if (options_.batch_workers > 0) {
     batch_pool_ = std::make_unique<ThreadPool>(options_.batch_workers);
   }
+  RegisterHealthChecks();
+}
+
+void ViewService::RegisterHealthChecks() {
+  health_handles_.push_back(obs::RegisterHealthCheck(
+      "admit_queue", [this]() -> obs::HealthCheckResult {
+        const int64_t since =
+            admit_leader_since_ms_.load(std::memory_order_relaxed);
+        if (since == 0) return {obs::HealthStatus::kOk, "idle"};
+        const double held_sec =
+            static_cast<double>(SteadyNowMs() - since) / 1000.0;
+        if (held_sec > options_.admit_wedge_warn_sec) {
+          return {obs::HealthStatus::kFail,
+                  StrFormat("combining-queue leader wedged for %.1f s",
+                            held_sec)};
+        }
+        return {obs::HealthStatus::kOk, "leader active"};
+      }));
+}
+
+void ViewService::RegisterDurableHealthChecks() {
+  DurableStore* store = store_.get();
+  health_handles_.push_back(obs::RegisterHealthCheck(
+      "store_lock", [store]() -> obs::HealthCheckResult {
+        if (store->lock_fd < 0) {
+          return {obs::HealthStatus::kFail, "store LOCK not held"};
+        }
+        struct stat st;
+        if (::fstat(store->lock_fd, &st) != 0) {
+          return {obs::HealthStatus::kFail, "store LOCK fd unusable"};
+        }
+        return {obs::HealthStatus::kOk, "flock held on " + store->dir + "/LOCK"};
+      }));
+  health_handles_.push_back(obs::RegisterHealthCheck(
+      "wal", [this, store]() -> obs::HealthCheckResult {
+        // try-lock only: health evaluation must never stall behind a save
+        // or compaction holding the writer lock.
+        std::unique_lock<std::mutex> lock(writer_mu_, std::try_to_lock);
+        if (!lock.owns_lock()) {
+          return {obs::HealthStatus::kOk,
+                  "writer busy (admission/save/compaction in flight)"};
+        }
+        if (!store->wal.is_open()) {
+          return {obs::HealthStatus::kFail,
+                  "WAL writer not open (latched append/reset failure)"};
+        }
+        const obs::HealthCheckResult dir_check =
+            obs::CheckDirectoryWritable(store->dir);
+        if (dir_check.status != obs::HealthStatus::kOk) return dir_check;
+        return {obs::HealthStatus::kOk,
+                StrFormat("appendable (%llu bytes)",
+                          static_cast<unsigned long long>(
+                              store->wal.file_bytes()))};
+      }));
+  health_handles_.push_back(obs::RegisterHealthCheck(
+      "compaction", [this, store]() -> obs::HealthCheckResult {
+        {
+          std::lock_guard<std::mutex> status_lock(store->status_mu);
+          if (!store->last_compact_error.empty()) {
+            return {obs::HealthStatus::kDegraded,
+                    "last compaction failed: " + store->last_compact_error};
+          }
+        }
+        const uint64_t threshold = options_.store.compact_wal_bytes;
+        if (threshold > 0) {
+          std::unique_lock<std::mutex> lock(writer_mu_, std::try_to_lock);
+          if (lock.owns_lock() && store->wal.is_open()) {
+            const uint64_t bytes = store->wal.file_bytes();
+            if (bytes > 4 * threshold) {
+              return {obs::HealthStatus::kDegraded,
+                      StrFormat("WAL backlog %llu bytes exceeds 4x the "
+                                "compact threshold",
+                                static_cast<unsigned long long>(bytes))};
+            }
+          }
+        }
+        return {obs::HealthStatus::kOk, "backlog bounded"};
+      }));
 }
 
 std::shared_ptr<const ViewService::Snapshot> ViewService::Load() const {
@@ -191,6 +281,7 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
   if (!me.done) {
     // No active leader and our admission is still queued: lead.
     admit_leader_active_ = true;
+    admit_leader_since_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
     const auto tenure_start = std::chrono::steady_clock::now();
     constexpr int kLeaderExtraRounds = 2;
     int extra_rounds = 0;
@@ -213,6 +304,7 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
       admit_cv_.notify_all();
     }
     admit_leader_active_ = false;
+    admit_leader_since_ms_.store(0, std::memory_order_relaxed);
     StoreObs().leader_tenure->ObserveSeconds(SecondsSince(tenure_start));
     if (!admit_queue_.empty()) {
       // Tenure expired with work still queued: wake the waiters so one
@@ -231,6 +323,7 @@ Status ViewService::AdmitCombined(const std::vector<AdmitWaiter*>& batch,
   // WAL append, the views-map copy, and the index rebuild — happens on the
   // NEXT snapshot, off to the side of the published one.
   std::lock_guard<std::mutex> lock(writer_mu_);
+  if (options_.admit_test_hook) options_.admit_test_hook();
   std::shared_ptr<const Snapshot> cur = Load();
   *published = cur->epoch + 1;
   *wal_bytes = 0;
@@ -282,6 +375,10 @@ Status ViewService::AdmitCombined(const std::vector<AdmitWaiter*>& batch,
   next->admitted_views = cur->admitted_views + total;
   next->admitted_batches = cur->admitted_batches + batch.size();
   Publish(std::move(next));
+  obs::RecordFlight(obs::FlightKind::kEpoch,
+                    "epoch %llu published (%zu views, %zu callers)",
+                    static_cast<unsigned long long>(*published), total,
+                    batch.size());
   if (store_ != nullptr) *wal_bytes = store_->wal.file_bytes();
   return Status::OK();
 }
@@ -536,6 +633,7 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
   GVEX_RETURN_NOT_OK(store->wal.Open(dir + "/" + WalFileName(),
                                      plan.replay.valid_bytes));
   service->store_ = std::move(store);
+  service->RegisterDurableHealthChecks();
   return service;
 }
 
@@ -552,9 +650,17 @@ Status ViewService::SaveLocked(const Snapshot& snap) {
   StoreObs().save_seconds_full->ObserveSeconds(SecondsSince(start));
   if (!status.ok()) {
     StoreObs().save_failures_full->Add(1);
+    obs::RecordFlight(obs::FlightKind::kSave,
+                      "full snapshot epoch %llu failed: %s",
+                      static_cast<unsigned long long>(snap.epoch),
+                      status.ToString().c_str());
     return status;
   }
   StoreObs().saves_full->Add(1);
+  obs::RecordFlight(obs::FlightKind::kSave,
+                    "full snapshot epoch %llu saved (%zu labels)",
+                    static_cast<unsigned long long>(snap.epoch),
+                    snap.views->size());
   // A full snapshot roots a fresh chain: everything up to this epoch is
   // covered by one file again.
   store_->base_epoch = snap.epoch;
@@ -579,9 +685,17 @@ Status ViewService::SaveDeltaLocked(const Snapshot& snap) {
   StoreObs().save_seconds_delta->ObserveSeconds(SecondsSince(start));
   if (!status.ok()) {
     StoreObs().save_failures_delta->Add(1);
+    obs::RecordFlight(obs::FlightKind::kSave,
+                      "delta snapshot epoch %llu failed: %s",
+                      static_cast<unsigned long long>(snap.epoch),
+                      status.ToString().c_str());
     return status;
   }
   StoreObs().saves_delta->Add(1);
+  obs::RecordFlight(obs::FlightKind::kSave,
+                    "delta snapshot epoch %llu saved (%zu dirty labels)",
+                    static_cast<unsigned long long>(snap.epoch),
+                    data.views.size());
   store_->persisted_epoch = snap.epoch;
   ++store_->chain_length;
   store_->dirty_labels.clear();
@@ -675,12 +789,18 @@ Result<uint64_t> ViewService::Compact() {
   }
   if (result.ok()) {
     store_->compactions.fetch_add(1, std::memory_order_relaxed);
+    obs::RecordFlight(obs::FlightKind::kCompact,
+                      "compacted to epoch %llu",
+                      static_cast<unsigned long long>(result.value()));
   } else {
     // The monotone counter keeps the failure visible after a later
-    // success clears last_compact_error; the warning is rate-limited so a
-    // persistently failing background compactor cannot flood stderr.
+    // success clears last_compact_error; the warning is rate-limited (a
+    // small burst, then one per 5 s) so a persistently failing background
+    // compactor cannot flood stderr.
     store_->compaction_failures.fetch_add(1, std::memory_order_relaxed);
-    static obs::RateLimiter* warn_limiter = new obs::RateLimiter(5.0);
+    obs::RecordFlight(obs::FlightKind::kCompact, "compaction failed: %s",
+                      result.status().ToString().c_str());
+    static obs::RateLimiter* warn_limiter = new obs::RateLimiter(5.0, 2);
     if (warn_limiter->Allow()) {
       GVEX_LOG(kWarning) << "compaction failed: "
                          << result.status().ToString();

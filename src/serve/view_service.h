@@ -47,6 +47,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -60,6 +61,7 @@
 
 #include "explain/explanation.h"
 #include "graph/graph_database.h"
+#include "obs/health.h"
 #include "pattern/matcher.h"
 #include "pattern/pattern.h"
 #include "serve/pattern_index.h"
@@ -112,6 +114,14 @@ struct ViewServiceOptions {
   int batch_workers = 0;
   /// Durability knobs for Open-created services.
   DurableStoreOptions store;
+  /// The `admit_queue` health check reports FAIL when one combining-queue
+  /// leader has been active longer than this (a wedged leader starves
+  /// every admitter; see obs/health.h).
+  double admit_wedge_warn_sec = 30.0;
+  /// Test-only: run by the combining leader inside AdmitCombined (under
+  /// the writer lock, before anything is logged or published). Lets tests
+  /// wedge the admit path deterministically; never set in production.
+  std::function<void()> admit_test_hook;
 };
 
 /// The query kinds the service answers (mirrors the legacy ViewStore API).
@@ -408,6 +418,12 @@ class ViewService {
   /// Kicks off a background Compact when the WAL outgrew its threshold
   /// (`wal_bytes` is read under the writer lock by the caller).
   void MaybeScheduleCompact(uint64_t wal_bytes);
+  /// Registers the service-level health checks (admit_queue); the
+  /// constructor calls it, the destructor unregisters via health_handles_.
+  void RegisterHealthChecks();
+  /// Registers the durable-store checks (wal, store_lock, compaction);
+  /// Open calls it once store_ is attached.
+  void RegisterDurableHealthChecks();
 
   const GraphDatabase* db_;
   ViewServiceOptions options_;
@@ -424,6 +440,12 @@ class ViewService {
   std::condition_variable admit_cv_;
   std::vector<AdmitWaiter*> admit_queue_;
   bool admit_leader_active_ = false;
+  /// Monotonic ms when the current combining leader took over (0 = no
+  /// leader) — what the `admit_queue` health check and the net watchdog
+  /// read to detect a wedged leader without touching admit_mu_.
+  std::atomic<int64_t> admit_leader_since_ms_{0};
+  /// Unregistered (front of ~ViewService) before any state they read dies.
+  std::vector<obs::HealthCheckHandle> health_handles_;
 
   mutable std::vector<std::unique_ptr<CacheShard>> cache_;
   /// Persistent batch pool (null when options_.batch_workers == 0).

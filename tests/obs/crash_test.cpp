@@ -1,0 +1,138 @@
+// Crash-logger death test: a real SIGSEGV raised inside a death-test
+// child must leave a parseable crash-<pid>.log — header, flight-event
+// tail, metrics snapshot, end marker — before the process dies of the
+// original signal. Skipped under sanitizers, which install their own
+// fatal-signal handlers.
+
+#include "obs/crash.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GVEX_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GVEX_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace gvex {
+namespace obs {
+namespace {
+
+// The helpers below are only reachable from the death tests, which are
+// compiled out under the sanitizers.
+#ifndef GVEX_UNDER_SANITIZER
+std::vector<std::string> CrashLogsIn(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("crash-", 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".log") {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  return out;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+#endif  // GVEX_UNDER_SANITIZER
+
+TEST(CrashLogPathTest, Shape) {
+  EXPECT_EQ(CrashLogPath("/var/log", 123), "/var/log/crash-123.log");
+}
+
+TEST(UpdateCrashMetricsSnapshotTest, NoopBeforeInstall) {
+  // Must not crash when the logger was never installed in this process
+  // image (death tests install it only in their forked children).
+  UpdateCrashMetricsSnapshot("metric 1\n");
+}
+
+TEST(CrashLoggerDeathTest, SegvWritesParseablePostMortem) {
+#ifdef GVEX_UNDER_SANITIZER
+  GTEST_SKIP() << "sanitizers own the fatal-signal handlers";
+#else
+  char tmpl[] = "/tmp/gvex_crash_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  EXPECT_EXIT(
+      {
+        CrashLoggerOptions options;
+        options.dir = dir;
+        options.build_info = "crash_test build";
+        InstallCrashLogger(options);
+        RecordFlight(FlightKind::kCrash, "about to fault on purpose");
+        UpdateCrashMetricsSnapshot("test_counter_total 7\n");
+        ::raise(SIGSEGV);
+      },
+      ::testing::KilledBySignal(SIGSEGV), "");
+
+  const std::vector<std::string> logs = CrashLogsIn(dir);
+  ASSERT_EQ(logs.size(), 1u);
+  const std::string body = ReadFile(logs[0]);
+  EXPECT_EQ(body.rfind("gvex-crash-log version 1\n", 0), 0u) << body;
+  EXPECT_NE(body.find("signal 11 SIGSEGV"), std::string::npos) << body;
+  EXPECT_NE(body.find("build crash_test build"), std::string::npos);
+  EXPECT_NE(body.find("flight-events\n"), std::string::npos);
+  EXPECT_NE(body.find("about to fault on purpose"), std::string::npos);
+  EXPECT_NE(body.find("metrics-snapshot bytes "), std::string::npos);
+  EXPECT_NE(body.find("test_counter_total 7"), std::string::npos);
+  EXPECT_NE(body.find("end-crash-log\n"), std::string::npos);
+
+  for (const std::string& log : logs) ::unlink(log.c_str());
+  ::rmdir(dir.c_str());
+#endif
+}
+
+TEST(CrashLoggerDeathTest, AbortIsCoveredToo) {
+#ifdef GVEX_UNDER_SANITIZER
+  GTEST_SKIP() << "sanitizers own the fatal-signal handlers";
+#else
+  char tmpl[] = "/tmp/gvex_crash_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  EXPECT_EXIT(
+      {
+        CrashLoggerOptions options;
+        options.dir = dir;
+        options.build_info = "abort build";
+        InstallCrashLogger(options);
+        ::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+
+  const std::vector<std::string> logs = CrashLogsIn(dir);
+  ASSERT_EQ(logs.size(), 1u);
+  const std::string body = ReadFile(logs[0]);
+  EXPECT_NE(body.find("SIGABRT"), std::string::npos) << body;
+  EXPECT_NE(body.find("end-crash-log\n"), std::string::npos);
+
+  for (const std::string& log : logs) ::unlink(log.c_str());
+  ::rmdir(dir.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gvex

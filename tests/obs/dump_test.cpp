@@ -1,0 +1,108 @@
+// PeriodicDumper / AtomicWriteTextFile suite. The contract under test is
+// the drain-robustness fix: Final() joins the background thread FIRST and
+// then runs the dump on the caller's thread, so the final export always
+// lands and always reflects end state — even if the periodic thread never
+// got a turn or the process is mid-teardown.
+
+#include "obs/dump.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace gvex {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+class DumpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/gvex_dump_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    ::unlink((dir_ + "/out.txt").c_str());
+    ::unlink((dir_ + "/out.txt.tmp").c_str());
+    ::rmdir(dir_.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(DumpTest, AtomicWriteTextFileWritesAndReplaces) {
+  const std::string path = dir_ + "/out.txt";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteTextFile(path, "first\n", &error)) << error;
+  EXPECT_EQ(ReadFile(path), "first\n");
+  ASSERT_TRUE(AtomicWriteTextFile(path, "second\n", &error)) << error;
+  EXPECT_EQ(ReadFile(path), "second\n");
+  // No leftover temp file once the rename landed.
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+}
+
+TEST_F(DumpTest, AtomicWriteTextFileReportsUnwritableTarget) {
+  std::string error;
+  EXPECT_FALSE(AtomicWriteTextFile(dir_ + "/no/such/dir/out.txt", "x",
+                                   &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(DumpTest, FinalRunsTheDumpOnTheCallerThreadExactlyOnce) {
+  std::atomic<int> dumps{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> final_on_caller{false};
+  {
+    // interval 0: no background thread at all — the final dump is the
+    // only dump, which is exactly the forced-drain shape.
+    PeriodicDumper dumper(0, [&] {
+      dumps.fetch_add(1);
+      if (std::this_thread::get_id() == caller) final_on_caller.store(true);
+    });
+    EXPECT_EQ(dumps.load(), 0);
+    dumper.Final();
+    EXPECT_EQ(dumps.load(), 1);
+    EXPECT_TRUE(final_on_caller.load());
+    dumper.Final();  // idempotent
+    EXPECT_EQ(dumps.load(), 1);
+  }
+  // Destructor after Final() adds nothing either.
+  EXPECT_EQ(dumps.load(), 1);
+}
+
+TEST_F(DumpTest, DestructorActsAsFinal) {
+  std::atomic<int> dumps{0};
+  { PeriodicDumper dumper(0, [&] { dumps.fetch_add(1); }); }
+  EXPECT_EQ(dumps.load(), 1);
+}
+
+TEST_F(DumpTest, PeriodicThreadDumpsRepeatedly) {
+  std::atomic<int> dumps{0};
+  {
+    PeriodicDumper dumper(0.02, [&] { dumps.fetch_add(1); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (dumps.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(dumps.load(), 2);
+  }
+  // The final dump still ran on top of the periodic ones.
+  EXPECT_GE(dumps.load(), 3);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gvex

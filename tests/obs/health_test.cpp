@@ -1,0 +1,180 @@
+// Health-registry suite: worst-of aggregation, registration order and
+// RAII unregistration, transition flight events, the protocol text
+// rendering, and the stat()-based directory-writability probe (which is
+// what makes WAL fault injection work even under root CI).
+
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "obs/flight.h"
+
+namespace gvex {
+namespace obs {
+namespace {
+
+TEST(HealthStatusNames, StableTokens) {
+  EXPECT_STREQ(HealthStatusName(HealthStatus::kOk), "ok");
+  EXPECT_STREQ(HealthStatusName(HealthStatus::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStatusName(HealthStatus::kFail), "fail");
+}
+
+TEST(HealthRegistryTest, AggregatesWorstOfInRegistrationOrder) {
+  HealthRegistry registry;
+  registry.Register("alpha", [] { return HealthCheckResult(); });
+  registry.Register("beta", [] {
+    return HealthCheckResult{HealthStatus::kDegraded, "wal backlog"};
+  });
+
+  HealthReport report = registry.Evaluate();
+  EXPECT_EQ(report.overall, HealthStatus::kDegraded);
+  ASSERT_EQ(report.checks.size(), 2u);
+  EXPECT_EQ(report.checks[0].name, "alpha");
+  EXPECT_EQ(report.checks[0].status, HealthStatus::kOk);
+  EXPECT_EQ(report.checks[1].name, "beta");
+  EXPECT_EQ(report.checks[1].reason, "wal backlog");
+
+  registry.Register("gamma", [] {
+    return HealthCheckResult{HealthStatus::kFail, "loop wedged"};
+  });
+  report = registry.Evaluate();
+  EXPECT_EQ(report.overall, HealthStatus::kFail);
+  EXPECT_EQ(registry.last_overall(), HealthStatus::kFail);
+}
+
+TEST(HealthRegistryTest, EmptyRegistryIsOk) {
+  HealthRegistry registry;
+  const HealthReport report = registry.Evaluate();
+  EXPECT_EQ(report.overall, HealthStatus::kOk);
+  EXPECT_TRUE(report.checks.empty());
+  EXPECT_EQ(registry.check_count(), 0u);
+}
+
+TEST(HealthRegistryTest, UnregisterRemovesTheCheck) {
+  HealthRegistry registry;
+  const int id = registry.Register(
+      "doomed", [] { return HealthCheckResult{HealthStatus::kFail, "x"}; });
+  EXPECT_EQ(registry.Evaluate().overall, HealthStatus::kFail);
+  registry.Unregister(id);
+  EXPECT_EQ(registry.check_count(), 0u);
+  EXPECT_EQ(registry.Evaluate().overall, HealthStatus::kOk);
+}
+
+TEST(HealthRegistryTest, HandleUnregistersOnDestructionAndMove) {
+  HealthRegistry registry;
+  {
+    HealthCheckHandle handle(
+        &registry, registry.Register("scoped", [] {
+          return HealthCheckResult();
+        }));
+    EXPECT_EQ(registry.check_count(), 1u);
+    HealthCheckHandle moved = std::move(handle);
+    EXPECT_EQ(registry.check_count(), 1u);
+  }
+  EXPECT_EQ(registry.check_count(), 0u);
+}
+
+TEST(HealthRegistryTest, GlobalRegisterHealthCheckRoundTrip) {
+  const size_t before = Health().check_count();
+  {
+    HealthCheckHandle handle =
+        RegisterHealthCheck("test_probe", [] { return HealthCheckResult(); });
+    EXPECT_EQ(Health().check_count(), before + 1);
+  }
+  EXPECT_EQ(Health().check_count(), before);
+}
+
+TEST(HealthRegistryTest, TransitionsRecordFlightEvents) {
+  HealthRegistry registry;
+  std::atomic<int> status{0};
+  registry.Register("toggle", [&status] {
+    HealthCheckResult r;
+    r.status = static_cast<HealthStatus>(status.load());
+    r.reason = "toggled";
+    return r;
+  });
+
+  // First evaluation at ok: no transition, no event.
+  uint64_t baseline = Flight().recorded();
+  registry.Evaluate();
+  EXPECT_EQ(Flight().recorded(), baseline);
+
+  // ok -> fail records a health transition event naming the culprit.
+  status.store(static_cast<int>(HealthStatus::kFail));
+  baseline = Flight().recorded();
+  registry.Evaluate();
+  bool found = false;
+  for (const FlightEvent& ev : Flight().Dump()) {
+    if (ev.seq <= baseline || ev.kind != FlightKind::kHealth) continue;
+    EXPECT_NE(ev.text.find("ok -> fail"), std::string::npos) << ev.text;
+    EXPECT_NE(ev.text.find("toggle"), std::string::npos) << ev.text;
+    found = true;
+  }
+  EXPECT_TRUE(found);
+
+  // Recovery records the fail -> ok edge too.
+  status.store(static_cast<int>(HealthStatus::kOk));
+  baseline = Flight().recorded();
+  registry.Evaluate();
+  found = false;
+  for (const FlightEvent& ev : Flight().Dump()) {
+    if (ev.seq > baseline && ev.kind == FlightKind::kHealth &&
+        ev.text.find("fail -> ok") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RenderHealthTextTest, ProtocolShape) {
+  HealthReport report;
+  report.overall = HealthStatus::kDegraded;
+  report.checks.push_back({"wal", HealthStatus::kDegraded, "dir read-only"});
+  report.checks.push_back({"lock", HealthStatus::kOk, ""});
+  EXPECT_EQ(RenderHealthText(report),
+            "health degraded checks 2\n"
+            "check wal degraded dir read-only\n"
+            "check lock ok -\n");
+}
+
+class TempDirFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/gvex_health_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    ::chmod(dir_.c_str(), 0755);
+    ::rmdir(dir_.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(TempDirFixture, CheckDirectoryWritableFollowsModeBits) {
+  EXPECT_EQ(CheckDirectoryWritable(dir_).status, HealthStatus::kOk);
+
+  // Strip every write bit: degraded (mode bits are inspected directly, so
+  // this holds even when the test runs as root).
+  ASSERT_EQ(::chmod(dir_.c_str(), 0555), 0);
+  const HealthCheckResult degraded = CheckDirectoryWritable(dir_);
+  EXPECT_EQ(degraded.status, HealthStatus::kDegraded);
+  EXPECT_NE(degraded.reason.find("not writable"), std::string::npos);
+
+  ASSERT_EQ(::chmod(dir_.c_str(), 0755), 0);
+  EXPECT_EQ(CheckDirectoryWritable(dir_).status, HealthStatus::kOk);
+
+  EXPECT_EQ(CheckDirectoryWritable(dir_ + "/missing").status,
+            HealthStatus::kFail);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gvex

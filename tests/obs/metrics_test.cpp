@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/rate_limiter.h"
 #include "obs/trace.h"
 
 namespace gvex {
@@ -214,6 +216,69 @@ TEST(RateLimiterTest, AllowsAtMostOncePerInterval) {
   std::this_thread::sleep_for(std::chrono::milliseconds(80));
   EXPECT_TRUE(limiter.Allow());
   EXPECT_FALSE(limiter.Allow());
+}
+
+// The deterministic-clock tests drive AllowAt directly, so they pin the
+// GCRA arithmetic without sleeping.
+
+TEST(RateLimiterTest, BurstAllowsThatManyBackToBackThenRefuses) {
+  const int64_t interval = 100 * 1000 * 1000;  // 0.1 s in ns
+  RateLimiter limiter(0.1, /*burst=*/3);
+  // t0 taken AFTER construction: the ctor seeds its state with "now".
+  const int64_t t0 = RateLimiter::MonotonicNowNs();
+  EXPECT_TRUE(limiter.AllowAt(t0));
+  EXPECT_TRUE(limiter.AllowAt(t0));
+  EXPECT_TRUE(limiter.AllowAt(t0));
+  EXPECT_FALSE(limiter.AllowAt(t0));
+  EXPECT_FALSE(limiter.AllowAt(t0 + interval / 2));
+}
+
+TEST(RateLimiterTest, BurstRefillsOneSlotPerInterval) {
+  const int64_t interval = 100 * 1000 * 1000;
+  RateLimiter limiter(0.1, /*burst=*/2);
+  const int64_t t0 = RateLimiter::MonotonicNowNs();
+  EXPECT_TRUE(limiter.AllowAt(t0));
+  EXPECT_TRUE(limiter.AllowAt(t0));
+  EXPECT_FALSE(limiter.AllowAt(t0));
+  // One interval restores exactly one slot, not the whole burst.
+  EXPECT_TRUE(limiter.AllowAt(t0 + interval));
+  EXPECT_FALSE(limiter.AllowAt(t0 + interval));
+  // A long quiet period restores the full burst — and no more.
+  EXPECT_TRUE(limiter.AllowAt(t0 + 10 * interval));
+  EXPECT_TRUE(limiter.AllowAt(t0 + 10 * interval));
+  EXPECT_FALSE(limiter.AllowAt(t0 + 10 * interval));
+}
+
+TEST(RateLimiterTest, SteadyPacedCallsAllAllowed) {
+  const int64_t interval = 100 * 1000 * 1000;
+  RateLimiter limiter(0.1, /*burst=*/1);
+  const int64_t t0 = RateLimiter::MonotonicNowNs();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(limiter.AllowAt(t0 + i * interval)) << "i=" << i;
+  }
+}
+
+TEST(RateLimiterTest, BurstBelowOneBehavesLikeOne) {
+  RateLimiter limiter(0.1, /*burst=*/0);
+  const int64_t t0 = RateLimiter::MonotonicNowNs();
+  EXPECT_TRUE(limiter.AllowAt(t0));
+  EXPECT_FALSE(limiter.AllowAt(t0));
+}
+
+TEST(RateLimiterTest, ConcurrentCallersNeverExceedTheBudget) {
+  RateLimiter limiter(1000.0, /*burst=*/4);  // nothing refills mid-test
+  const int64_t t0 = RateLimiter::MonotonicNowNs();
+  std::atomic<int> allowed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&limiter, &allowed, t0] {
+      for (int i = 0; i < 100; ++i) {
+        if (limiter.AllowAt(t0 + i)) allowed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(allowed.load(), 4);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,177 @@
+// Health fault-injection suite for the durable ViewService: the "wal"
+// check must degrade when the store directory loses its write bits and
+// recover when they return, and the "admit_queue" check must FAIL while a
+// combining-queue leader is wedged (via the test-only admit hook) and
+// flip back to ok once it drains. Both drive the GLOBAL registry — the
+// same rows the `health` verb and --health-file export.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/health.h"
+#include "serve/synthetic_store.h"
+#include "serve/view_service.h"
+#include "store/store_test_util.h"
+
+namespace gvex {
+namespace {
+
+using testing::ScratchDir;
+
+// Latest row of the named check in the global registry (found=false when
+// no such check is registered).
+struct CheckProbe {
+  bool found = false;
+  obs::HealthStatus status = obs::HealthStatus::kOk;
+  std::string reason;
+};
+
+CheckProbe ProbeCheck(const std::string& name) {
+  CheckProbe probe;
+  const obs::HealthReport report = obs::Health().Evaluate();
+  for (const obs::HealthCheckRow& row : report.checks) {
+    if (row.name != name) continue;
+    probe.found = true;
+    probe.status = row.status;
+    probe.reason = row.reason;
+  }
+  return probe;
+}
+
+bool PollFor(const std::function<bool()>& pred, double timeout_sec = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(timeout_sec * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class HealthFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(dir_.ok());
+    synthetic::SyntheticStoreOptions opt;
+    opt.num_labels = 3;
+    opt.graphs_per_label = 4;
+    opt.patterns_per_label = 6;
+    store_ = synthetic::MakeSyntheticStore(71, opt);
+  }
+  void TearDown() override {
+    // In case a test left the scratch directory read-only.
+    ::chmod(dir_.path().c_str(), 0755);
+  }
+
+  std::unique_ptr<ViewService> OpenDurable(
+      ViewServiceOptions options = {}) {
+    auto opened = ViewService::Open(dir_.path(), &store_.db, options);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return opened.ok() ? std::move(opened).value() : nullptr;
+  }
+
+  ScratchDir dir_;
+  synthetic::SyntheticStore store_;
+};
+
+TEST_F(HealthFaultTest, DurableOpenRegistersTheStoreChecks) {
+  ASSERT_FALSE(ProbeCheck("wal").found);
+  {
+    auto service = OpenDurable();
+    ASSERT_NE(service, nullptr);
+    for (const char* name : {"admit_queue", "store_lock", "wal",
+                             "compaction"}) {
+      const CheckProbe probe = ProbeCheck(name);
+      EXPECT_TRUE(probe.found) << name;
+      EXPECT_EQ(probe.status, obs::HealthStatus::kOk)
+          << name << ": " << probe.reason;
+    }
+  }
+  // The destructor unregisters everything it registered.
+  EXPECT_FALSE(ProbeCheck("wal").found);
+  EXPECT_FALSE(ProbeCheck("admit_queue").found);
+}
+
+TEST_F(HealthFaultTest, WalDegradesWhenStoreDirUnwritableAndRecovers) {
+  auto service = OpenDurable();
+  ASSERT_NE(service, nullptr);
+  ASSERT_TRUE(service->AdmitView(store_.views[0]).ok());
+  EXPECT_EQ(ProbeCheck("wal").status, obs::HealthStatus::kOk);
+
+  // Fault: strip the write bits off the store directory. The mode-bit
+  // probe notices immediately (even under root, where access(2) lies).
+  ASSERT_EQ(::chmod(dir_.path().c_str(), 0555), 0);
+  const CheckProbe degraded = ProbeCheck("wal");
+  ASSERT_TRUE(degraded.found);
+  EXPECT_EQ(degraded.status, obs::HealthStatus::kDegraded);
+  EXPECT_NE(degraded.reason.find("not writable"), std::string::npos)
+      << degraded.reason;
+  EXPECT_NE(obs::Health().last_overall(), obs::HealthStatus::kOk);
+
+  // Restore: the next evaluation reports ok again — degradation is a
+  // live probe, not a latched flag.
+  ASSERT_EQ(::chmod(dir_.path().c_str(), 0755), 0);
+  const CheckProbe recovered = ProbeCheck("wal");
+  EXPECT_EQ(recovered.status, obs::HealthStatus::kOk) << recovered.reason;
+  EXPECT_EQ(obs::Health().last_overall(), obs::HealthStatus::kOk);
+
+  // The store still works after the round trip.
+  EXPECT_TRUE(service->AdmitView(store_.views[1]).ok());
+}
+
+TEST_F(HealthFaultTest, WedgedAdmitLeaderFailsHealthUntilReleased) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool wedged = true;
+
+  ViewServiceOptions options;
+  options.admit_wedge_warn_sec = 0.05;
+  options.admit_test_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (wedged) cv.wait(lock);
+  };
+  auto service = OpenDurable(options);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(ProbeCheck("admit_queue").status, obs::HealthStatus::kOk);
+
+  // The admitter elects itself leader, then blocks inside the hook with
+  // the leader tenure clock running.
+  std::thread admitter([&] {
+    auto result = service->AdmitViews({store_.views[0], store_.views[1]});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  });
+
+  EXPECT_TRUE(PollFor([] {
+    const CheckProbe probe = ProbeCheck("admit_queue");
+    return probe.found && probe.status == obs::HealthStatus::kFail;
+  }));
+  const CheckProbe failing = ProbeCheck("admit_queue");
+  EXPECT_NE(failing.reason.find("wedged"), std::string::npos)
+      << failing.reason;
+
+  // Release the hook: the admission completes and the check recovers.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    wedged = false;
+  }
+  cv.notify_all();
+  admitter.join();
+  EXPECT_TRUE(PollFor([] {
+    return ProbeCheck("admit_queue").status == obs::HealthStatus::kOk;
+  }));
+  EXPECT_GE(service->epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace gvex

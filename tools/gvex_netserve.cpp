@@ -26,27 +26,43 @@
 //   --metrics-dump FILE            periodically write the Prometheus-style
 //                                  export to FILE (tmp + rename, so readers
 //                                  never see a torn file); a final dump is
-//                                  written after drain.
+//                                  written after drain — even when the drain
+//                                  timed out and force-closed sessions.
 //   --metrics-dump-interval SEC    dump period (default 5)
+//   --health-file FILE             periodically write the health report
+//                                  (same text as the `health` verb, same
+//                                  tmp + rename discipline and cadence as
+//                                  --metrics-dump)
+//   --crash-dir DIR                where the crash post-mortem log goes
+//                                  (crash-<pid>.log; default ".")
 //   --trace-sample N               record pipeline spans for every Nth
 //                                  request (the `trace on` verb can change
 //                                  this at runtime; dump with `traces`)
 //   --slow-ms MS                   log requests slower than MS to stderr
 //                                  (rate-limited)
+//
+// On SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL an async-signal-safe handler
+// writes crash-<pid>.log (build line, flight-recorder tail, last metrics
+// snapshot) before re-raising the signal. --crash-test is a hidden test
+// flag: it raises SIGSEGV shortly after the port file is written, so the
+// smoke test can assert the post-mortem exists and parses.
 
 #include <signal.h>
 
-#include <condition_variable>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
 #include "net/server.h"
+#include "obs/crash.h"
+#include "obs/dump.h"
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "serve/synthetic_store.h"
 #include "serve/view_service.h"
@@ -71,6 +87,7 @@ int Usage() {
       "                     [--threads N] [--cache N] [--wal-sync N]\n"
       "                     [--port-file path] [--stats 1]\n"
       "                     [--metrics-dump file] [--metrics-dump-interval 5]\n"
+      "                     [--health-file file] [--crash-dir dir]\n"
       "                     [--trace-sample N] [--slow-ms MS]\n"
       "       (one of --views / --store / --synthetic is required)\n");
   return 1;
@@ -84,64 +101,24 @@ void HandleSignal(int) {
   if (g_server != nullptr) g_server->Drain();
 }
 
-// Writes one metrics export to `path` atomically: render to path.tmp, then
-// rename over the target so a concurrently-reading scraper never sees a
-// torn file. Best-effort — dump failures must never take the server down.
-void DumpMetrics(const ViewService* service, const std::string& path) {
-  const std::string body = RenderMetricsText(service);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (f == nullptr) return;
-  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  if (std::fclose(f) != 0 || !wrote) {
-    std::remove(tmp.c_str());
-    return;
+// One observability dump pass: metrics file, health file (each optional,
+// tmp + rename via AtomicWriteTextFile), and a refresh of the crash
+// handler's preallocated metrics snapshot so a post-mortem always carries
+// counters at most one dump interval stale. Best-effort — dump failures
+// must never take the server down.
+void DumpObservability(const ViewService* service,
+                       const std::string& metrics_path,
+                       const std::string& health_path) {
+  const std::string metrics = RenderMetricsText(service);
+  if (!metrics_path.empty()) {
+    (void)obs::AtomicWriteTextFile(metrics_path, metrics);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+  if (!health_path.empty()) {
+    (void)obs::AtomicWriteTextFile(
+        health_path, obs::RenderHealthText(obs::Health().Evaluate()));
+  }
+  obs::UpdateCrashMetricsSnapshot(metrics);
 }
-
-// Background metrics dumper: wakes every `interval_sec` to refresh the
-// dump file, and writes one final export when stopped (post-drain state).
-class MetricsDumper {
- public:
-  MetricsDumper(const ViewService* service, std::string path,
-                double interval_sec)
-      : service_(service), path_(std::move(path)), interval_sec_(interval_sec) {
-    thread_ = std::thread([this] { Loop(); });
-  }
-
-  ~MetricsDumper() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
-    DumpMetrics(service_, path_);
-  }
-
- private:
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      lock.unlock();
-      DumpMetrics(service_, path_);
-      lock.lock();
-      cv_.wait_for(lock,
-                   std::chrono::milliseconds(
-                       static_cast<int64_t>(interval_sec_ * 1000)),
-                   [this] { return stop_; });
-    }
-  }
-
-  const ViewService* service_;
-  const std::string path_;
-  const double interval_sec_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
-};
 
 }  // namespace
 
@@ -213,6 +190,11 @@ int main(int argc, char** argv) {
   topts.idle_timeout_sec = args.GetFloat("idle-timeout", 0.0f);
   topts.session.admit_quota = args.GetInt("admit-quota", 0);
 
+  obs::CrashLoggerOptions crash;
+  crash.dir = args.Get("crash-dir", ".");
+  crash.build_info = "gvex_netserve (" __VERSION__ ")";
+  obs::InstallCrashLogger(crash);
+
   TcpServer server;
   const Status started = server.Start(service.get(), have_db ? &db : nullptr,
                                       options, topts);
@@ -221,11 +203,19 @@ int main(int argc, char** argv) {
   ::signal(SIGTERM, HandleSignal);
   ::signal(SIGINT, HandleSignal);
 
-  std::unique_ptr<MetricsDumper> dumper;
-  if (args.Has("metrics-dump")) {
-    dumper = std::make_unique<MetricsDumper>(
-        service.get(), args.Get("metrics-dump", ""),
-        args.GetFloat("metrics-dump-interval", 5.0f));
+  const std::string metrics_path = args.Get("metrics-dump", "");
+  const std::string health_path = args.Get("health-file", "");
+  ViewService* service_ptr = service.get();
+  // Seed the crash snapshot (and the dump files) immediately so an early
+  // crash still carries a metrics section.
+  DumpObservability(service_ptr, metrics_path, health_path);
+  std::unique_ptr<obs::PeriodicDumper> dumper;
+  if (!metrics_path.empty() || !health_path.empty()) {
+    dumper = std::make_unique<obs::PeriodicDumper>(
+        args.GetFloat("metrics-dump-interval", 5.0f),
+        [service_ptr, metrics_path, health_path] {
+          DumpObservability(service_ptr, metrics_path, health_path);
+        });
   }
 
   if (args.Has("port-file")) {
@@ -239,9 +229,26 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(service->epoch()),
                service->durable() ? ", durable" : "");
 
+  std::thread crash_test_thread;
+  if (args.GetInt("crash-test", 0) != 0) {
+    // Hidden test hook: crash the process from a detached context shortly
+    // after startup, exercising the real signal path end to end.
+    crash_test_thread = std::thread([service_ptr, metrics_path, health_path] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      obs::RecordFlight(obs::FlightKind::kCrash,
+                        "crash-test: raising SIGSEGV");
+      DumpObservability(service_ptr, metrics_path, health_path);
+      ::raise(SIGSEGV);
+    });
+    crash_test_thread.detach();
+  }
+
   server.Wait();
   g_server = nullptr;
-  dumper.reset();  // stops the dump thread and writes the final export
+  if (dumper != nullptr) {
+    dumper->Final();  // joins the dump thread, then writes the final export
+    dumper.reset();
+  }
 
   if (args.GetInt("stats", 0) != 0) {
     const TcpServerStats s = server.stats();

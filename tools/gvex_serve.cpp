@@ -28,6 +28,7 @@
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
+#include "obs/crash.h"
 #include "serve/serve_protocol.h"
 #include "serve/view_service.h"
 #include "store/codec.h"
@@ -49,6 +50,7 @@ int Usage() {
                "                  [--store dir] [--threads N] [--cache N]\n"
                "                  [--wal-sync N] [--compact-bytes N]\n"
                "                  [--requests file] [--stats 1]\n"
+               "                  [--crash-dir dir]\n"
                "       (at least one of --views / --store is required)\n");
   return 1;
 }
@@ -105,6 +107,11 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (!args.Has("views") && !args.Has("store")) return Usage();
+
+  obs::CrashLoggerOptions crash;
+  crash.dir = args.Get("crash-dir", ".");
+  crash.build_info = "gvex_serve (" __VERSION__ ")";
+  obs::InstallCrashLogger(crash);
 
   GraphDatabase db;
   bool have_db = false;

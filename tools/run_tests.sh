@@ -85,6 +85,14 @@ trap 'rm -rf "${store_scratch}"' EXIT
 "${build_dir}/tools/gvex_store" selftest "${store_scratch}"
 "${build_dir}/tools/gvex_store" verify "${store_scratch}"
 
+# Health smoke over stdin: the durable store the selftest just built must
+# answer the `health` verb with per-check rows and an overall ok.
+health_out="$("${build_dir}/tools/gvex_serve" --store "${store_scratch}" \
+  <<< $'health\nquit\n')"
+grep -q '^ok health ok checks ' <<< "${health_out}"
+grep -q '^check wal ok ' <<< "${health_out}"
+echo "health smoke (stdin): ok"
+
 # Metrics smoke: a synthetic netserve scraped by loadgen --scrape. Gates on
 # (a) the loadgen's own checks — byte-for-byte response verification AND
 # zero divergence between the server's gvex_requests_total{verb=} deltas
@@ -93,6 +101,7 @@ trap 'rm -rf "${store_scratch}"' EXIT
 "${build_dir}/tools/gvex_netserve" --synthetic 42 --labels 4 --port 0 \
   --port-file "${store_scratch}/port.txt" \
   --metrics-dump "${store_scratch}/metrics.prom" --metrics-dump-interval 1 \
+  --health-file "${store_scratch}/health.txt" \
   2>"${store_scratch}/netserve.log" &
 netserve_pid=$!
 for _ in $(seq 100); do
@@ -108,11 +117,47 @@ fi
 "${build_dir}/tools/gvex_loadgen" --port "$(cat "${store_scratch}/port.txt")" \
   --synthetic 42 --labels 4 --connections 8 --requests 64 --pipeline 4 \
   --admit-frac 0.1 --stats-frac 0.1 --scrape 1
+# Health smoke over TCP: gvex_top scrapes the live server's metrics +
+# health verbs and must report the serving tiers healthy.
+top_out="$("${build_dir}/tools/gvex_top" \
+  --port-file "${store_scratch}/port.txt" --once 1)"
+grep -q 'health ok' <<< "${top_out}"
+grep -q '^check admit_queue ok ' <<< "${top_out}"
+grep -q '^check net_worker_0 ok ' <<< "${top_out}"
 kill -TERM "${netserve_pid}"
 wait "${netserve_pid}"
 grep -q '^# TYPE gvex_request_seconds histogram$' "${store_scratch}/metrics.prom"
 grep -q '^gvex_requests_total{verb="labels"}' "${store_scratch}/metrics.prom"
+grep -q '^gvex_health_status ' "${store_scratch}/metrics.prom"
+grep -q '^health ok checks ' "${store_scratch}/health.txt"
+echo "health smoke (tcp + gvex_top): ok"
 echo "metrics smoke: ok"
+
+# Crash smoke: a controlled SIGSEGV (hidden --crash-test flag) must leave
+# a parseable crash-<pid>.log — post-mortem header, flight-event tail,
+# metrics snapshot, end marker — before the process dies of the signal.
+crash_rc=0
+"${build_dir}/tools/gvex_netserve" --synthetic 7 --labels 2 --port 0 \
+  --port-file "${store_scratch}/crash_port.txt" \
+  --crash-dir "${store_scratch}" --crash-test 1 \
+  2>"${store_scratch}/crash_netserve.log" || crash_rc=$?
+if [[ "${crash_rc}" == 0 ]]; then
+  echo "crash smoke: netserve --crash-test exited 0 (expected a signal)" >&2
+  exit 1
+fi
+crash_log="$(ls "${store_scratch}"/crash-*.log 2>/dev/null | head -1)"
+if [[ -z "${crash_log}" ]]; then
+  echo "crash smoke: no crash-<pid>.log written" >&2
+  cat "${store_scratch}/crash_netserve.log" >&2
+  exit 1
+fi
+grep -q '^gvex-crash-log version 1$' "${crash_log}"
+grep -q 'signal 11 SIGSEGV' "${crash_log}"
+grep -q '^event ' "${crash_log}"
+grep -q 'crash-test: raising SIGSEGV' "${crash_log}"
+grep -q '^metrics-snapshot bytes ' "${crash_log}"
+grep -q '^end-crash-log$' "${crash_log}"
+echo "crash smoke: ok"
 
 if [[ "${with_bench}" == 1 ]]; then
   "${repo_root}/tools/run_bench_baseline.sh"
