@@ -1,0 +1,60 @@
+// TcpReplicationEndpoint: a ReplicationEndpoint (store/replication.h)
+// speaking the `replicate state|fetch|crc` verbs of the serve protocol
+// over one blocking TCP connection — the transport a warm standby's
+// ReplicaApplier pulls the primary through (`gvex_netserve
+// --replicate-from HOST:PORT`).
+//
+// Connection handling: lazily connected on first use; any I/O error or
+// malformed response closes the socket and surfaces the error to the
+// applier (which treats it as a transient, DEGRADED sync failure), and the
+// next call reconnects. There is no retry loop here — pacing retries is
+// the applier's job.
+//
+// Thread-safety: NONE (one socket, one in-flight request). The applier
+// calls it from a single sync thread, which is the intended shape.
+
+#ifndef GVEX_NET_REPL_CLIENT_H_
+#define GVEX_NET_REPL_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "store/replication.h"
+#include "util/status.h"
+
+namespace gvex {
+
+class TcpReplicationEndpoint : public ReplicationEndpoint {
+ public:
+  /// `host` is a numeric IPv4 address (as elsewhere in net/); no
+  /// connection is attempted until the first call.
+  TcpReplicationEndpoint(std::string host, int port);
+  ~TcpReplicationEndpoint() override;
+
+  TcpReplicationEndpoint(const TcpReplicationEndpoint&) = delete;
+  TcpReplicationEndpoint& operator=(const TcpReplicationEndpoint&) = delete;
+
+  Result<ReplManifest> Manifest() override;
+  Result<std::string> Fetch(const std::string& name, uint64_t offset,
+                            uint64_t max_len) override;
+  Result<uint32_t> PrefixCrc(const std::string& name, uint64_t bytes) override;
+
+  /// True when a connection is currently established (diagnostics only).
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Ensures the socket is connected; sends `request` (newline included).
+  Status Send(const std::string& request);
+  /// Reads one newline-terminated line (without the newline).
+  Result<std::string> ReadLine();
+  void Close();
+
+  std::string host_;
+  int port_ = 0;
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_NET_REPL_CLIENT_H_

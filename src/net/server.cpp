@@ -390,6 +390,8 @@ void TcpServer::WorkerLoop(Worker* w, int index) {
         state.service = service_;
         state.db = db_;
         state.options = view_options_;
+        state.promote = options_.promote_hook;
+        state.lag_probe = options_.lag_probe;
         auto session = std::make_unique<NetSession>(
             fd, std::move(state), options_.session, [this] { Drain(); });
         if (draining_.load()) {

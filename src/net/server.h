@@ -70,6 +70,13 @@ struct TcpServerOptions {
   /// with the worker index, BEFORE the heartbeat is stamped — a blocking
   /// hook wedges that worker exactly like a stuck request handler would.
   std::function<void(int)> worker_tick_hook;
+  /// Replica hosts: copied into every connection's ServeSession so the
+  /// `promote` verb routes through the replica applier (stop shipping,
+  /// release its LOCK, promote) instead of bare ViewService::Promote.
+  std::function<Result<uint64_t>()> promote_hook;
+  /// Replica hosts: copied into every connection's ServeSession; `stats`
+  /// then reports replication lag.
+  std::function<ReplicationLag()> lag_probe;
   NetSessionLimits session;
 };
 

@@ -160,6 +160,71 @@ const VerbInstruments& InstrumentsFor(ServeRequest::Kind kind) {
   return (*table)[static_cast<int>(kind)];
 }
 
+obs::Counter* ReplicaRefusedCounter() {
+  static obs::Counter* counter = obs::Metrics().GetCounter(
+      "gvex_replica_refused_total",
+      "Mutating requests refused because this service is a read-only "
+      "replica");
+  return counter;
+}
+
+/// The exact refusal every mutating verb answers on a replica — tests and
+/// clients match this string verbatim.
+std::string RefuseReadOnly() {
+  ReplicaRefusedCounter()->Add(1);
+  return "err read-only replica\n";
+}
+
+/// Hard ceiling on one `replicate fetch` answer (before hex doubling).
+constexpr uint64_t kMaxReplChunkBytes = 4ull << 20;
+
+std::string HandleReplicateRequest(ViewService* service,
+                                   const ServeRequest& req) {
+  const std::string& dir = service->replication_dir();
+  if (dir.empty()) {
+    return "err service has no store directory to replicate\n";
+  }
+  // A fresh source per request: replication state lives on disk, not in
+  // the session, so any number of replicas may stream concurrently.
+  ReplicationSource source(dir, [service] { return service->epoch(); });
+  switch (req.repl_op) {
+    case ServeRequest::ReplOp::kState: {
+      auto manifest = source.Manifest();
+      if (!manifest.ok()) {
+        return "err " + manifest.status().ToString() + "\n";
+      }
+      const ReplManifest& m = manifest.value();
+      std::string out = StrFormat(
+          "ok replstate epoch %llu wal_bytes %llu wal_has %d wal_first "
+          "%llu files %zu\n",
+          static_cast<unsigned long long>(m.epoch),
+          static_cast<unsigned long long>(m.wal_bytes),
+          m.wal_has_records ? 1 : 0,
+          static_cast<unsigned long long>(m.wal_first_epoch),
+          m.files.size());
+      for (const ReplFileInfo& f : m.files) {
+        out += StrFormat("file %s %llu\n", f.name.c_str(),
+                         static_cast<unsigned long long>(f.bytes));
+      }
+      return out;
+    }
+    case ServeRequest::ReplOp::kFetch: {
+      const uint64_t len = std::min(req.repl_len, kMaxReplChunkBytes);
+      auto chunk = source.Fetch(req.repl_name, req.repl_offset, len);
+      if (!chunk.ok()) return "err " + chunk.status().ToString() + "\n";
+      if (chunk.value().empty()) return "ok replchunk 0\n";
+      return StrFormat("ok replchunk %zu ", chunk.value().size()) +
+             HexEncode(chunk.value()) + "\n";
+    }
+    case ServeRequest::ReplOp::kCrc: {
+      auto crc = source.PrefixCrc(req.repl_name, req.repl_len);
+      if (!crc.ok()) return "err " + crc.status().ToString() + "\n";
+      return StrFormat("ok replcrc %08x\n", crc.value());
+    }
+  }
+  return "err unreachable\n";
+}
+
 obs::Counter* ParseErrorCounter() {
   static obs::Counter* counter = obs::Metrics().GetCounter(
       "gvex_request_errors_total",
@@ -284,6 +349,44 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
     req.dir = head[1];
     return req;
   }
+  if (kw == "replicate") {
+    req.kind = ServeRequest::Kind::kReplicate;
+    if (head.size() < 2) {
+      return Status::InvalidArgument(
+          "'replicate' needs an op: state, fetch, or crc");
+    }
+    if (head[1] == "state") {
+      if (head.size() > 2) {
+        return Status::InvalidArgument("'replicate state' takes no arguments");
+      }
+      req.repl_op = ServeRequest::ReplOp::kState;
+      return req;
+    }
+    if (head[1] == "fetch") {
+      if (head.size() != 5 || !ParseUint64(head[3], &req.repl_offset) ||
+          !ParseUint64(head[4], &req.repl_len)) {
+        return Status::InvalidArgument(
+            "usage: replicate fetch <file> <offset> <maxlen>");
+      }
+      req.repl_op = ServeRequest::ReplOp::kFetch;
+      req.repl_name = head[2];
+      return req;
+    }
+    if (head[1] == "crc") {
+      if (head.size() != 4 || !ParseUint64(head[3], &req.repl_len)) {
+        return Status::InvalidArgument("usage: replicate crc <file> <bytes>");
+      }
+      req.repl_op = ServeRequest::ReplOp::kCrc;
+      req.repl_name = head[2];
+      return req;
+    }
+    return Status::InvalidArgument("unknown replicate op '" + head[1] +
+                                   "' (use state, fetch, or crc)");
+  }
+  if (kw == "promote") {
+    req.kind = ServeRequest::Kind::kPromote;
+    return req;
+  }
   if (kw == "quit") {
     req.kind = ServeRequest::Kind::kQuit;
     return req;
@@ -381,7 +484,34 @@ Result<ServeRequest> ParseServeRequest(const std::vector<std::string>& lines,
 
 std::string HandleServeRequest(ServeSession* session,
                                const ServeRequest& req) {
+  if (req.kind == ServeRequest::Kind::kPromote) {
+    if (session->promote) {
+      auto epoch = session->promote();
+      if (!epoch.ok()) return "err " + epoch.status().ToString() + "\n";
+      return StrFormat("ok promoted epoch %llu\n",
+                       static_cast<unsigned long long>(epoch.value()));
+    }
+    // No applier hook: fall through to the bare-service promotion below.
+  }
+  if (req.kind == ServeRequest::Kind::kStats && session->service != nullptr &&
+      session->lag_probe) {
+    std::string response = HandleServeRequest(session->service, req);
+    if (StartsWith(response, "ok ") && !response.empty()) {
+      const ReplicationLag lag = session->lag_probe();
+      response.pop_back();  // the trailing newline
+      response += StrFormat(" lag_epochs %llu lag_bytes %llu\n",
+                            static_cast<unsigned long long>(lag.epochs),
+                            static_cast<unsigned long long>(lag.bytes));
+    }
+    return response;
+  }
   if (req.kind == ServeRequest::Kind::kOpen) {
+    // On a replica host, `open` would swap the session off the replica and
+    // onto a WRITABLE service over some directory — a mutation path, so it
+    // gets the same refusal as admit/save/compact until promotion.
+    if (session->service != nullptr && session->service->read_only()) {
+      return RefuseReadOnly();
+    }
     // Re-opening the directory this session already serves is a reload:
     // release our own store lock first, or Open would see it held and
     // blame "another process". If the reload then fails, the session is
@@ -422,6 +552,14 @@ std::string HandleServeRequest(ServeSession* session,
 
 std::string HandleServeRequest(ViewService* service,
                                const ServeRequest& req) {
+  // Replica refusal, checked PER REQUEST (not at connect time): Promote()
+  // flips read_only on the live service, so the same session that was
+  // refused a moment ago starts admitting the moment promotion lands.
+  if (service->read_only() && (req.kind == ServeRequest::Kind::kAdmit ||
+                               req.kind == ServeRequest::Kind::kSave ||
+                               req.kind == ServeRequest::Kind::kCompact)) {
+    return RefuseReadOnly();
+  }
   switch (req.kind) {
     case ServeRequest::Kind::kLabels:
       return FormatIds(service->Labels());
@@ -456,17 +594,20 @@ std::string HandleServeRequest(ViewService* service,
     }
     case ServeRequest::Kind::kStats: {
       const ViewServiceStats s = service->stats();
+      // `role` rides at the END of the line (prefix-matching clients keep
+      // working); the session overload appends replication lag after it.
       return StrFormat(
           "ok stats epoch %llu labels %d codes %d admitted %llu "
           "batches %llu cache_hits %llu cache_misses %llu hit_rate %.4f "
-          "uptime_sec %.1f started_unix %lld\n",
+          "uptime_sec %.1f started_unix %lld role %s\n",
           static_cast<unsigned long long>(s.epoch), s.num_labels,
           s.num_codes, static_cast<unsigned long long>(s.admitted_views),
           static_cast<unsigned long long>(s.admitted_batches),
           static_cast<unsigned long long>(s.cache_hits),
           static_cast<unsigned long long>(s.cache_misses), s.hit_rate(),
           obs::ProcessUptimeSeconds(),
-          static_cast<long long>(obs::ProcessStartUnixSeconds()));
+          static_cast<long long>(obs::ProcessStartUnixSeconds()),
+          service->read_only() ? "replica" : "primary");
     }
     case ServeRequest::Kind::kMetrics:
     case ServeRequest::Kind::kTrace:
@@ -487,6 +628,20 @@ std::string HandleServeRequest(ViewService* service,
       if (!epoch.ok()) return "err " + epoch.status().ToString() + "\n";
       return StrFormat("ok compacted epoch %llu\n",
                        static_cast<unsigned long long>(epoch.value()));
+    }
+    case ServeRequest::Kind::kReplicate:
+      return HandleReplicateRequest(service, req);
+    case ServeRequest::Kind::kPromote: {
+      if (!service->read_only()) {
+        return "err not a replica (already primary)\n";
+      }
+      // Direct service promotion: only valid when nothing else owns the
+      // store LOCK. Hosts running a replica applier install a session
+      // promote hook instead (the applier must release the LOCK first).
+      Status st = service->Promote();
+      if (!st.ok()) return "err " + st.ToString() + "\n";
+      return StrFormat("ok promoted epoch %llu\n",
+                       static_cast<unsigned long long>(service->epoch()));
     }
     case ServeRequest::Kind::kOpen:
       // `open` swaps which service a session talks to — only the session
@@ -536,6 +691,10 @@ const char* ServeVerbName(ServeRequest::Kind kind) {
       return "save";
     case ServeRequest::Kind::kCompact:
       return "compact";
+    case ServeRequest::Kind::kReplicate:
+      return "replicate";
+    case ServeRequest::Kind::kPromote:
+      return "promote";
     case ServeRequest::Kind::kQuit:
       return "quit";
   }
@@ -588,6 +747,9 @@ std::string RenderMetricsText(const ViewService* service) {
     emit("gvex_service_compaction_failures_total", "counter",
          "Compactions that failed (see the rate-limited warning log)",
          static_cast<double>(s.compaction_failures));
+    emit("gvex_service_replica", "gauge",
+         "1 when this service is a read-only replica, 0 once primary",
+         service->read_only() ? 1.0 : 0.0);
   }
   emit("gvex_process_uptime_seconds", "gauge",
        "Seconds since process start (anchors the process-lifetime counters)",

@@ -89,10 +89,44 @@
 //   compact                        -> ok compacted epoch <e>
 //                                      (save/compact answer "err ..." on a
 //                                       service without a store directory)
+//   replicate state                -> ok replstate epoch <e> wal_bytes <b>
+//                                      wal_has <0|1> wal_first <f> files <n>
+//                                      / n x ("file <name> <bytes>")
+//                                      (the primary's store manifest: WAL
+//                                       size + generation identity plus
+//                                       every snapshot/delta file — what a
+//                                       replica applier reconciles against)
+//   replicate fetch <name> <offset> <maxlen>
+//                                  -> ok replchunk <n> <hex>
+//                                      (up to maxlen bytes of the named
+//                                       store file from `offset`, hex on
+//                                       one line; n = 0 past EOF, and the
+//                                       server clamps maxlen to 4 MiB)
+//   replicate crc <name> <bytes>   -> ok replcrc <crc32-hex>
+//                                      (CRC32 of the file's first `bytes`
+//                                       bytes — the divergence probe: equal
+//                                       prefixes CRC equal, a mismatch over
+//                                       a shared WAL generation fail-stops
+//                                       the replica)
+//                                      (all three replicate ops are READ
+//                                       ONLY, so replicas can chain)
+//   promote                        -> ok promoted epoch <e>
+//                                      (flips a read-only replica writable
+//                                       after the recovery verdict; via the
+//                                       session's applier hook when one is
+//                                       attached — "err ..." on a primary)
 //   quit                           -> ok bye
 //
 // Malformed input answers "err <message>" and parsing resumes at the next
 // keyword line. Blank lines between requests are ignored.
+//
+// Replica mode: on a read-only replica service every mutating verb —
+// admit, save, compact, and the session's open — answers exactly
+// "err read-only replica" (and bumps gvex_replica_refused_total); queries
+// and observability verbs work normally, `stats` reports the role (and
+// replication lag when the session has a lag probe), and `promote` flips
+// the SAME live sessions writable — the refusal is checked per request,
+// not captured at connect time.
 //
 // Thread-safety: the parser is pure; HandleRequest only calls the
 // (concurrency-safe) ViewService API, so multiple protocol sessions may
@@ -102,12 +136,15 @@
 #ifndef GVEX_SERVE_SERVE_PROTOCOL_H_
 #define GVEX_SERVE_SERVE_PROTOCOL_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "explain/explanation.h"
 #include "pattern/pattern.h"
+#include "serve/replica_applier.h"
 #include "serve/view_service.h"
 #include "util/status.h"
 
@@ -134,6 +171,8 @@ struct ServeRequest {
     kOpen,
     kSave,
     kCompact,
+    kReplicate,
+    kPromote,
     kQuit,
   };
   /// One past the largest Kind value (for per-verb instrument tables).
@@ -155,6 +194,12 @@ struct ServeRequest {
   /// period, enabling with 1 if none was set).
   bool trace_on = false;
   int trace_sample = 0;
+  /// For kReplicate: which replication op.
+  enum class ReplOp { kState, kFetch, kCrc };
+  ReplOp repl_op = ReplOp::kState;
+  std::string repl_name;     ///< fetch/crc: the store file name
+  uint64_t repl_offset = 0;  ///< fetch: starting byte
+  uint64_t repl_len = 0;     ///< fetch: max bytes; crc: prefix length
 };
 
 /// Per-connection protocol state. `service` is the current target; the
@@ -168,6 +213,13 @@ struct ServeSession {
   /// Database/options handed to services the `open` verb creates.
   const GraphDatabase* db = nullptr;
   ViewServiceOptions options;
+  /// Set by hosts running a replica applier: the `promote` verb invokes it
+  /// (stop shipping, release the applier's LOCK, promote the service) and
+  /// answers the promoted epoch. Without it, `promote` falls back to
+  /// ViewService::Promote directly.
+  std::function<Result<uint64_t>()> promote;
+  /// Replica hosts: appended to `stats` as ` lag_epochs <e> lag_bytes <b>`.
+  std::function<ReplicationLag()> lag_probe;
 };
 
 /// Stable lowercase name of a verb for metric labels ("labels", "admit",

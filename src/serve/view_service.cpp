@@ -261,6 +261,10 @@ Result<uint64_t> ViewService::AdmitViews(std::vector<ExplanationView> views) {
       return Status::InvalidArgument("cannot admit a view without a label");
     }
   }
+  if (read_only()) {
+    return Status::FailedPrecondition(
+        "read-only replica refuses admissions (Promote() first)");
+  }
   // Single-writer combining queue: every caller enqueues; the first one to
   // find no active leader becomes the leader and publishes every queued
   // admission as one epoch (one WAL append + fsync, one index rebuild —
@@ -539,7 +543,8 @@ std::vector<ViewQueryResult> ViewService::ExecuteBatch(
 
 const std::string& ViewService::store_dir() const {
   static const std::string empty;
-  return store_ != nullptr ? store_->dir : empty;
+  const DurableStore* store = store_ptr_.load(std::memory_order_acquire);
+  return store != nullptr ? store->dir : empty;
 }
 
 Result<std::unique_ptr<ViewService>> ViewService::Open(
@@ -583,47 +588,17 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
   auto service =
       std::unique_ptr<ViewService>(new ViewService(db, options));
 
-  auto views = std::make_shared<std::map<int, ExplanationView>>(
-      std::move(plan.snapshot.views));
-  bool replayed_any = false;
-  std::set<int> dirty;
-  for (WalRecord& record : plan.replay.records) {
-    // Records at or below the chain tip were folded into the base or a
-    // delta already (Save never resets the WAL, so the log overlaps the
-    // chain); applying them again would be a no-op anyway — skip.
-    if (record.epoch <= plan.snapshot.epoch) continue;
-    for (ExplanationView& v : record.views) {
-      dirty.insert(v.label);
-      (*views)[v.label] = std::move(v);
-    }
-    replayed_any = true;
-  }
-
-  if (plan.final_epoch > 0) {
-    auto next = std::make_shared<Snapshot>();
-    next->epoch = plan.final_epoch;
-    next->views = std::move(views);
-    if (replayed_any || !plan.postings_valid) {
-      // WAL admissions or folded deltas changed the view set — one
-      // scratch index build over the recovered state.
-      next->index = PatternIndex::Build(next->views, db, options.index);
-    } else {
-      // Pure-base warm start: decode the postings, skip the isomorphism
-      // cross-product entirely.
-      next->index =
-          PatternIndex::FromStored(next->views, db, plan.snapshot.match,
-                                   plan.snapshot.database_indexed,
-                                   plan.snapshot.postings);
-    }
-    service->Publish(std::move(next));
-  }
-
   // Chain bookkeeping: the tip is what the resolved chain persists; WAL
   // records beyond it are the dirty set the next delta save must carry.
   store->persisted_epoch = plan.snapshot.epoch;
   store->base_epoch = plan.base_epoch;
   store->have_base = plan.have_snapshot;
   store->chain_length = static_cast<int>(plan.chain.size());
+  const uint64_t wal_valid_bytes = plan.replay.valid_bytes;
+
+  std::set<int> dirty;
+  auto next = BuildRecoveredSnapshot(std::move(plan), db, options, &dirty);
+  if (next != nullptr) service->Publish(std::move(next));
   store->dirty_labels = std::move(dirty);
 
   store->wal.set_sync_every(options.store.wal_sync_every);
@@ -631,10 +606,213 @@ Result<std::unique_ptr<ViewService>> ViewService::Open(
   // WAL is written before the snapshot swap, so at worst the tail is an
   // admission whose caller never saw success).
   GVEX_RETURN_NOT_OK(store->wal.Open(dir + "/" + WalFileName(),
-                                     plan.replay.valid_bytes));
+                                     wal_valid_bytes));
   service->store_ = std::move(store);
+  service->store_ptr_.store(service->store_.get(), std::memory_order_release);
   service->RegisterDurableHealthChecks();
   return service;
+}
+
+std::shared_ptr<const ViewService::Snapshot>
+ViewService::BuildRecoveredSnapshot(RecoveryPlan plan, const GraphDatabase* db,
+                                    const ViewServiceOptions& options,
+                                    std::set<int>* dirty) {
+  auto views = std::make_shared<std::map<int, ExplanationView>>(
+      std::move(plan.snapshot.views));
+  bool replayed_any = false;
+  for (WalRecord& record : plan.replay.records) {
+    // Records at or below the chain tip were folded into the base or a
+    // delta already (Save never resets the WAL, so the log overlaps the
+    // chain); applying them again would be a no-op anyway — skip.
+    if (record.epoch <= plan.snapshot.epoch) continue;
+    for (ExplanationView& v : record.views) {
+      if (dirty != nullptr) dirty->insert(v.label);
+      (*views)[v.label] = std::move(v);
+    }
+    replayed_any = true;
+  }
+  if (plan.final_epoch == 0) return nullptr;
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = plan.final_epoch;
+  next->views = std::move(views);
+  if (replayed_any || !plan.postings_valid) {
+    // WAL admissions or folded deltas changed the view set — one scratch
+    // index build over the recovered state.
+    next->index = PatternIndex::Build(next->views, db, options.index);
+  } else {
+    // Pure-base warm start: decode the postings, skip the isomorphism
+    // cross-product entirely.
+    next->index =
+        PatternIndex::FromStored(next->views, db, plan.snapshot.match,
+                                 plan.snapshot.database_indexed,
+                                 plan.snapshot.postings);
+  }
+  return next;
+}
+
+Result<std::unique_ptr<ViewService>> ViewService::OpenReplica(
+    const std::string& dir, const GraphDatabase* db,
+    ViewServiceOptions options) {
+  GVEX_RETURN_NOT_OK(EnsureDir(dir));
+  // No LOCK, no WAL writer: the replica applier owns the directory (and
+  // holds its LOCK); this service only publishes validated state from it.
+  GVEX_ASSIGN_OR_RETURN(RecoveryPlan plan, PlanRecovery(dir));
+  if (plan.have_snapshot) {
+    options.index.match = plan.snapshot.match;
+    options.index.index_database = plan.snapshot.database_indexed;
+  }
+  auto service =
+      std::unique_ptr<ViewService>(new ViewService(db, options));
+  service->read_only_.store(true, std::memory_order_release);
+  service->replica_dir_ = dir;
+  auto next = BuildRecoveredSnapshot(std::move(plan), db, options, nullptr);
+  if (next != nullptr) service->Publish(std::move(next));
+  return service;
+}
+
+const std::string& ViewService::replication_dir() const {
+  const DurableStore* store = store_ptr_.load(std::memory_order_acquire);
+  return store != nullptr ? store->dir : replica_dir_;
+}
+
+Status ViewService::ReplicaPublishPlan(RecoveryPlan plan) {
+  if (!read_only()) {
+    return Status::FailedPrecondition(
+        "ReplicaPublishPlan requires an unpromoted replica (OpenReplica)");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> cur = Load();
+  if (plan.final_epoch < cur->epoch) {
+    return Status::IOError(StrFormat(
+        "replica is at epoch %llu but the primary's recovery plan reaches "
+        "only %llu — refusing to regress acknowledged state",
+        static_cast<unsigned long long>(cur->epoch),
+        static_cast<unsigned long long>(plan.final_epoch)));
+  }
+  if (plan.have_snapshot) {
+    // Adopt the primary's index semantics, exactly like Open would.
+    options_.index.match = plan.snapshot.match;
+    options_.index.index_database = plan.snapshot.database_indexed;
+  }
+  const uint64_t final_epoch = plan.final_epoch;
+  auto next = BuildRecoveredSnapshot(std::move(plan), db_, options_, nullptr);
+  if (next == nullptr) return Status::OK();  // empty plan, still epoch 0
+  Publish(std::move(next));
+  obs::RecordFlight(obs::FlightKind::kEpoch,
+                    "replica refreshed to epoch %llu",
+                    static_cast<unsigned long long>(final_epoch));
+  return Status::OK();
+}
+
+Status ViewService::ReplicaApplyWalRecords(
+    const std::vector<WalRecord>& records) {
+  if (!read_only()) {
+    return Status::FailedPrecondition(
+        "ReplicaApplyWalRecords requires an unpromoted replica");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const Snapshot> cur = Load();
+  uint64_t epoch = cur->epoch;
+  std::shared_ptr<std::map<int, ExplanationView>> next_views;
+  for (const WalRecord& record : records) {
+    if (record.epoch <= epoch) continue;  // already published
+    if (record.epoch != epoch + 1) {
+      // The caller escalates to the full PlanRecovery verdict, which either
+      // resolves the gap through the chain or fail-stops on lost state.
+      return Status::FailedPrecondition(StrFormat(
+          "WAL record epoch %llu does not attach to replica epoch %llu",
+          static_cast<unsigned long long>(record.epoch),
+          static_cast<unsigned long long>(epoch)));
+    }
+    if (next_views == nullptr) {
+      next_views =
+          std::make_shared<std::map<int, ExplanationView>>(*cur->views);
+    }
+    for (const ExplanationView& v : record.views) (*next_views)[v.label] = v;
+    epoch = record.epoch;
+  }
+  if (next_views == nullptr) return Status::OK();  // nothing new
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = epoch;
+  next->views = std::move(next_views);
+  next->index = PatternIndex::Build(next->views, db_, options_.index);
+  next->admitted_views = cur->admitted_views;
+  next->admitted_batches = cur->admitted_batches;
+  Publish(std::move(next));
+  obs::RecordFlight(obs::FlightKind::kEpoch,
+                    "replica applied WAL to epoch %llu",
+                    static_cast<unsigned long long>(epoch));
+  return Status::OK();
+}
+
+Status ViewService::Promote() {
+  if (!read_only()) {
+    return Status::FailedPrecondition(
+        "Promote() requires an unpromoted replica (OpenReplica)");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::string dir = replica_dir_;
+
+  // The authoritative recovery verdict over the mirrored directory — a
+  // replica must only go writable on a state a restarted primary would
+  // also recover to.
+  GVEX_ASSIGN_OR_RETURN(RecoveryPlan plan, PlanRecovery(dir));
+  std::shared_ptr<const Snapshot> cur = Load();
+  if (plan.final_epoch < cur->epoch) {
+    return Status::IOError(StrFormat(
+        "promotion would regress the replica from epoch %llu to %llu — "
+        "the mirrored directory is behind acknowledged state",
+        static_cast<unsigned long long>(cur->epoch),
+        static_cast<unsigned long long>(plan.final_epoch)));
+  }
+
+  // Become the directory's one writer. The applier must have released its
+  // LOCK before calling (ReplicaApplier::Promote orders this).
+  auto store = std::make_unique<DurableStore>();
+  store->dir = dir;
+  const std::string lock_path = dir + "/LOCK";
+  store->lock_fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                          0644);
+  if (store->lock_fd < 0) {
+    return Status::IOError(StrFormat("cannot open %s: %s", lock_path.c_str(),
+                                     std::strerror(errno)));
+  }
+  if (::flock(store->lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "store %s is still locked (the replication applier must release it "
+        "before promotion)", dir.c_str()));
+  }
+
+  if (plan.have_snapshot) {
+    options_.index.match = plan.snapshot.match;
+    options_.index.index_database = plan.snapshot.database_indexed;
+  }
+  store->persisted_epoch = plan.snapshot.epoch;
+  store->base_epoch = plan.base_epoch;
+  store->have_base = plan.have_snapshot;
+  store->chain_length = static_cast<int>(plan.chain.size());
+  const uint64_t wal_valid_bytes = plan.replay.valid_bytes;
+  const uint64_t final_epoch = plan.final_epoch;
+
+  std::set<int> dirty;
+  auto next = BuildRecoveredSnapshot(std::move(plan), db_, options_, &dirty);
+  store->dirty_labels = std::move(dirty);
+  store->wal.set_sync_every(options_.store.wal_sync_every);
+  GVEX_RETURN_NOT_OK(store->wal.Open(dir + "/" + WalFileName(),
+                                     wal_valid_bytes));
+
+  // Republish exactly the recovered state (the verdict may see WAL bytes
+  // the incremental apply path had not validated yet), then flip writable.
+  if (next != nullptr) Publish(std::move(next));
+  store_ = std::move(store);
+  store_ptr_.store(store_.get(), std::memory_order_release);
+  RegisterDurableHealthChecks();
+  read_only_.store(false, std::memory_order_release);
+  obs::RecordFlight(obs::FlightKind::kServer,
+                    "promoted to primary at epoch %llu (store %s)",
+                    static_cast<unsigned long long>(final_epoch),
+                    dir.c_str());
+  return Status::OK();
 }
 
 Status ViewService::SaveLocked(const Snapshot& snap) {
@@ -703,7 +881,11 @@ Status ViewService::SaveDeltaLocked(const Snapshot& snap) {
 }
 
 Result<SaveInfo> ViewService::Save(SaveKind kind) {
-  if (store_ == nullptr) {
+  if (read_only()) {
+    return Status::FailedPrecondition(
+        "read-only replica refuses saves (Promote() first)");
+  }
+  if (store_ptr_.load(std::memory_order_acquire) == nullptr) {
     return Status::FailedPrecondition(
         "Save() requires a durable service (ViewService::Open)");
   }
@@ -753,7 +935,11 @@ Result<SaveInfo> ViewService::Save(SaveKind kind) {
 }
 
 Result<uint64_t> ViewService::Compact() {
-  if (store_ == nullptr) {
+  if (read_only()) {
+    return Status::FailedPrecondition(
+        "read-only replica refuses compactions (Promote() first)");
+  }
+  if (store_ptr_.load(std::memory_order_acquire) == nullptr) {
     return Status::FailedPrecondition(
         "Compact() requires a durable service (ViewService::Open)");
   }
@@ -810,26 +996,27 @@ Result<uint64_t> ViewService::Compact() {
 }
 
 void ViewService::MaybeScheduleCompact(uint64_t wal_bytes) {
-  if (store_ == nullptr || options_.store.compact_wal_bytes == 0 ||
+  DurableStore* store = store_ptr_.load(std::memory_order_acquire);
+  if (store == nullptr || options_.store.compact_wal_bytes == 0 ||
       wal_bytes < options_.store.compact_wal_bytes) {
     return;
   }
   bool expected = false;
-  if (!store_->compacting.compare_exchange_strong(expected, true)) {
+  if (!store->compacting.compare_exchange_strong(expected, true)) {
     return;  // one compaction at a time
   }
   // compact_mu serializes handle join/assignment: another admitter that
   // wins the CAS the instant the worker clears the flag must wait here
   // until this move-assignment completed.
-  std::lock_guard<std::mutex> lock(store_->compact_mu);
+  std::lock_guard<std::mutex> lock(store->compact_mu);
   // The previous run's thread has finished its work (the flag was clear)
   // but may still need joining before the handle is reused.
-  if (store_->compactor.joinable()) store_->compactor.join();
-  store_->compactor = std::thread([this] {
+  if (store->compactor.joinable()) store->compactor.join();
+  store->compactor = std::thread([this, store] {
     // Best-effort: the WAL keeps everything recoverable, and the outcome
     // lands in last_compact_error for stats()/operators.
     (void)Compact();
-    store_->compacting.store(false);
+    store->compacting.store(false);
   });
 }
 
@@ -861,12 +1048,13 @@ ViewServiceStats ViewService::stats() const {
     out.cache_hits += shard->hits;
     out.cache_misses += shard->misses;
   }
-  if (store_ != nullptr) {
-    out.compactions = store_->compactions.load(std::memory_order_relaxed);
+  DurableStore* store = store_ptr_.load(std::memory_order_acquire);
+  if (store != nullptr) {
+    out.compactions = store->compactions.load(std::memory_order_relaxed);
     out.compaction_failures =
-        store_->compaction_failures.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(store_->status_mu);
-    out.last_compact_error = store_->last_compact_error;
+        store->compaction_failures.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(store->status_mu);
+    out.last_compact_error = store->last_compact_error;
   }
   return out;
 }

@@ -65,6 +65,7 @@
 #include "pattern/matcher.h"
 #include "pattern/pattern.h"
 #include "serve/pattern_index.h"
+#include "store/recovery.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 #include "util/status.h"
@@ -246,10 +247,56 @@ class ViewService {
       const std::string& dir, const GraphDatabase* db,
       ViewServiceOptions options = {});
 
-  /// True when this service was created by Open (Save/Compact available).
-  bool durable() const { return store_ != nullptr; }
+  /// True when this service was created by Open (Save/Compact available) —
+  /// or by OpenReplica once Promote() attached the store.
+  bool durable() const {
+    return store_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
   /// The store directory ("" when not durable).
   const std::string& store_dir() const;
+
+  // --- Replication (store/replication.h ships bytes; serve/
+  // replica_applier.h drives the methods below) ---
+
+  /// Opens a READ-ONLY replica over `dir`: like Open, but takes no store
+  /// LOCK and attaches no WAL writer — the replica applier owns the
+  /// directory and mirrors the primary into it; this service only publishes
+  /// what the applier validated. Queries work normally; AdmitViews / Save /
+  /// Compact answer FailedPrecondition until Promote(). An empty directory
+  /// opens as an empty epoch-0 replica.
+  static Result<std::unique_ptr<ViewService>> OpenReplica(
+      const std::string& dir, const GraphDatabase* db,
+      ViewServiceOptions options = {});
+
+  /// True for a replica that has not been promoted. Mutating verbs consult
+  /// this dynamically, so Promote() flips live protocol sessions too.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
+  /// The directory a `replicate` stream serves from: the durable store dir,
+  /// or the replica dir for OpenReplica services ("" for in-memory ones).
+  const std::string& replication_dir() const;
+
+  /// Publishes the full recovered state `plan` describes (chain image + WAL
+  /// replay), replacing the current snapshot. The applier calls this after
+  /// file-level sync passes the PlanRecovery verdict. FailedPrecondition on
+  /// a non-replica. Also refuses (IOError) a plan whose final epoch is
+  /// BELOW the replica's current epoch — acknowledged state never regresses.
+  Status ReplicaPublishPlan(RecoveryPlan plan);
+
+  /// Cheap incremental path: applies WAL `records` that extend the current
+  /// epoch contiguously (records at or below it are skipped) and publishes
+  /// ONE new snapshot. FailedPrecondition on a non-replica or on an epoch
+  /// gap — the caller then escalates to the full PlanRecovery verdict.
+  Status ReplicaApplyWalRecords(const std::vector<WalRecord>& records);
+
+  /// Flips a replica writable: re-runs the PlanRecovery verdict over the
+  /// replica directory, republishes exactly the recovered state, acquires
+  /// the store LOCK (the applier must have released it), attaches the WAL
+  /// writer, and registers the durable health checks — after this the
+  /// service is indistinguishable from one ViewService::Open built.
+  /// FailedPrecondition when not a replica; any verdict/lock/WAL failure
+  /// leaves the service read-only and unlocked.
+  Status Promote();
 
   /// Persists the current epoch into the store directory (atomic
   /// tmp+rename; the WAL is kept, so admissions racing the save stay
@@ -400,6 +447,15 @@ class ViewService {
 
   std::shared_ptr<const Snapshot> Load() const;
   void Publish(std::shared_ptr<const Snapshot> snap);
+  /// Builds the snapshot a RecoveryPlan describes: chain image + WAL replay,
+  /// postings decoded when nothing changed the view set, rebuilt otherwise.
+  /// `dirty` (optional) receives the labels WAL records past the chain tip
+  /// touched. Shared by Open, OpenReplica, ReplicaPublishPlan, and Promote
+  /// so every path recovers to IDENTICAL state. Returns null for an empty
+  /// plan (final epoch 0) — the caller keeps its epoch-0 snapshot.
+  static std::shared_ptr<const Snapshot> BuildRecoveredSnapshot(
+      RecoveryPlan plan, const GraphDatabase* db,
+      const ViewServiceOptions& options, std::set<int>* dirty);
   ViewQueryResult Execute(const Snapshot& snap, const ViewQuery& q) const;
   /// Cache-through execution: looks up (epoch, query) and fills on miss.
   ViewQueryResult ExecuteCached(const Snapshot& snap,
@@ -450,8 +506,18 @@ class ViewService {
   mutable std::vector<std::unique_ptr<CacheShard>> cache_;
   /// Persistent batch pool (null when options_.batch_workers == 0).
   std::unique_ptr<ThreadPool> batch_pool_;
-  /// Null for purely in-memory services.
+  /// Null for purely in-memory services. Owner; unlocked readers (stats,
+  /// MaybeScheduleCompact, the durable() guards) go through store_ptr_,
+  /// which Promote() publishes with release ordering on a LIVE service —
+  /// a plain read of store_ there would race the promotion.
   std::unique_ptr<DurableStore> store_;
+  std::atomic<DurableStore*> store_ptr_{nullptr};
+  /// Set by OpenReplica, cleared by Promote. Mutating entry points check it
+  /// before touching the writer path.
+  std::atomic<bool> read_only_{false};
+  /// The replica's mirrored directory ("" for non-replica services); fixed
+  /// at OpenReplica time, still valid (as store_->dir) after Promote.
+  std::string replica_dir_;
 };
 
 }  // namespace gvex

@@ -66,6 +66,25 @@ struct RecoveryPlan {
 /// (epoch 0).
 Result<RecoveryPlan> PlanRecovery(const std::string& dir);
 
+/// What VerifyStore reports on top of the plan itself.
+struct StoreVerifyReport {
+  RecoveryPlan plan;
+  /// True when another process held the store LOCK at probe time (a live
+  /// primary, or a replica applier mirroring into the directory). The plan
+  /// is then a point-in-time read that may trail the writer by an append.
+  bool writer_active = false;
+};
+
+/// The SHARED/READ verification path: computes the recovery verdict for
+/// `dir` without ever taking the store LOCK exclusively — a `gvex_store
+/// verify` against a directory a live writer (or replication applier) owns
+/// must observe, never wedge. The writer probe is a non-blocking flock
+/// LOCK_SH that is released immediately (it cannot block the verifier, and
+/// holding it for the probe's instant cannot starve a LOCK_EX acquirer);
+/// everything else is the side-effect-free PlanRecovery. Nothing in `dir`
+/// is created, truncated, or locked when this returns.
+Result<StoreVerifyReport> VerifyStore(const std::string& dir);
+
 }  // namespace gvex
 
 #endif  // GVEX_STORE_RECOVERY_H_

@@ -1,0 +1,141 @@
+// Primary -> standby WAL-shipping replication, store layer.
+//
+// The WAL (store/wal.h) is append-only and epoch-contiguous, which makes it
+// a replication log for free: a standby that mirrors the primary's store
+// directory byte-for-byte — snapshot/delta files plus a prefix of the live
+// WAL — and feeds the mirrored state through the SAME PlanRecovery verdict
+// the primary would recover with (store/recovery.h) is always promotable to
+// exactly the state a crash-restarted primary would reach.
+//
+// This header holds the shipping-side pieces:
+//   * ReplManifest — what the primary's directory currently holds: every
+//     snapshot/delta file with its size, the WAL's size and generation
+//     identity (first record epoch; see ReadWalStart), and the primary's
+//     published epoch for lag accounting.
+//   * ReplicationEndpoint — the transport abstraction the applier pulls
+//     through: manifest / ranged fetch / prefix CRC. Implementations:
+//     LocalEndpoint (in-process, for tests and same-host setups) and
+//     net/repl_client.h (TCP, speaking the `replicate` verb).
+//   * ReplicationSource — serves those three operations over a directory.
+//     Pure reads; safe to run against a LIVE primary directory (reads may
+//     observe a torn WAL tail mid-append — the applier handles that by
+//     truncating to the valid prefix and re-requesting, aka a re-ship).
+//
+// The applier side (sync state machine, fail-stop rules, promote) lives in
+// serve/replica_applier.h because it drives a ViewService.
+//
+// Fail-stop doctrine (enforced by the applier, documented here because the
+// manifest's fields exist to make these checks possible):
+//   * Same-named snapshot/delta files with different bytes can only come
+//     from two different histories — FAIL-STOP, never overwrite.
+//   * Equal WAL first-record epochs mean the shorter log must be a
+//     byte-identical prefix of the longer — a prefix-CRC mismatch is
+//     divergence, FAIL-STOP. Different first epochs are a benign generation
+//     change (the primary compacted): resync, reset the local log.
+//   * A primary whose recovery plan ends BELOW the replica's current epoch
+//     is behind acknowledged state — FAIL-STOP (never silently regress).
+
+#ifndef GVEX_STORE_REPLICATION_H_
+#define GVEX_STORE_REPLICATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gvex {
+
+/// One shippable file of the primary's directory (snapshot-*.gvxs or
+/// delta-*.gvxd — never the WAL, which has its own manifest fields, and
+/// never LOCK or foreign files).
+struct ReplFileInfo {
+  std::string name;    ///< bare file name, no directory components
+  uint64_t bytes = 0;  ///< size at manifest time (immutable once renamed)
+};
+
+/// A point-in-time inventory of the primary's store directory.
+struct ReplManifest {
+  /// The primary's published epoch (0 when the source has no epoch
+  /// provider) — drives the replica's lag-in-epochs gauge.
+  uint64_t epoch = 0;
+  /// wal.gvxw size in bytes (0 when the file does not exist).
+  uint64_t wal_bytes = 0;
+  /// Generation identity of the WAL (see WalStart in store/wal.h).
+  bool wal_has_records = false;
+  uint64_t wal_first_epoch = 0;
+  /// Snapshot + delta files, name-sorted.
+  std::vector<ReplFileInfo> files;
+};
+
+/// The transport the applier pulls replication state through. All three
+/// operations are pure reads on the primary, so they are also safe to serve
+/// FROM a replica (chained standbys).
+class ReplicationEndpoint {
+ public:
+  virtual ~ReplicationEndpoint() = default;
+  virtual Result<ReplManifest> Manifest() = 0;
+  /// Up to `max_len` bytes of `name` starting at `offset`. Short reads are
+  /// normal (EOF, or the transport's chunk cap); an empty string means the
+  /// file holds nothing at or past `offset`.
+  virtual Result<std::string> Fetch(const std::string& name, uint64_t offset,
+                                    uint64_t max_len) = 0;
+  /// CRC32 over the first `bytes` bytes of `name`. InvalidArgument when the
+  /// file is shorter than `bytes`.
+  virtual Result<uint32_t> PrefixCrc(const std::string& name,
+                                     uint64_t bytes) = 0;
+};
+
+/// Serves manifest / fetch / prefix-CRC over one store directory.
+class ReplicationSource {
+ public:
+  /// `epoch_provider` reports the primary's published epoch for the
+  /// manifest (may be null — the manifest then carries epoch 0).
+  explicit ReplicationSource(std::string dir,
+                             std::function<uint64_t()> epoch_provider = {});
+
+  Result<ReplManifest> Manifest() const;
+  Result<std::string> Fetch(const std::string& name, uint64_t offset,
+                            uint64_t max_len) const;
+  Result<uint32_t> PrefixCrc(const std::string& name, uint64_t bytes) const;
+
+  /// True for the bare names replication is allowed to touch: wal.gvxw,
+  /// snapshot-*.gvxs, delta-*.gvxd. Anything else (paths with separators,
+  /// LOCK, tmp files) is rejected — the replicate verb is reachable over
+  /// the network and must not become a file-read oracle.
+  static bool ValidFileName(const std::string& name);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::function<uint64_t()> epoch_provider_;
+};
+
+/// In-process endpoint over a ReplicationSource — what tests and same-host
+/// replicas use (the TCP endpoint lives in net/repl_client.h).
+class LocalEndpoint : public ReplicationEndpoint {
+ public:
+  explicit LocalEndpoint(std::string dir,
+                         std::function<uint64_t()> epoch_provider = {})
+      : source_(std::move(dir), std::move(epoch_provider)) {}
+
+  Result<ReplManifest> Manifest() override { return source_.Manifest(); }
+  Result<std::string> Fetch(const std::string& name, uint64_t offset,
+                            uint64_t max_len) override {
+    return source_.Fetch(name, offset, max_len);
+  }
+  Result<uint32_t> PrefixCrc(const std::string& name,
+                             uint64_t bytes) override {
+    return source_.PrefixCrc(name, bytes);
+  }
+
+ private:
+  ReplicationSource source_;
+};
+
+}  // namespace gvex
+
+#endif  // GVEX_STORE_REPLICATION_H_

@@ -138,6 +138,38 @@ Result<WalReplay> ReplayWal(const std::string& path) {
   return replay;
 }
 
+Result<WalStart> ReadWalStart(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return Status::NotFound("no WAL at " + path);
+  // The first record is bounded in practice but not in principle, so read
+  // progressively larger prefixes until one frame parses (or the file ends).
+  std::string bytes;
+  for (size_t budget = 1 << 16;; budget *= 4) {
+    f.clear();
+    f.seekg(0);
+    bytes.resize(budget);
+    f.read(&bytes[0], static_cast<std::streamsize>(budget));
+    bytes.resize(static_cast<size_t>(f.gcount()));
+    const bool whole_file = bytes.size() < budget;
+
+    WalStart start;
+    if (bytes.size() < kStoreHeaderBytes) return start;  // sub-header file
+    ByteReader in(bytes);
+    GVEX_RETURN_NOT_OK(in.GetStoreHeader(StoreFileKind::kWal));
+    std::string payload;
+    if (in.GetFramedRecord(&payload).ok()) {
+      WalRecord record;
+      if (!DecodeWalRecord(payload, &record).ok()) return start;
+      start.has_records = true;
+      start.first_epoch = record.epoch;
+      return start;
+    }
+    // Frame truncated: with the whole file in hand that is a torn first
+    // record (no records); otherwise retry with a larger prefix.
+    if (whole_file) return start;
+  }
+}
+
 WalWriter::~WalWriter() { Close(); }
 
 void WalWriter::Close() {

@@ -61,6 +61,24 @@ struct WalReplay {
 /// A valid header with a broken tail succeeds with `torn_tail` set.
 Result<WalReplay> ReplayWal(const std::string& path);
 
+/// The identity of one WAL *generation*: the epoch of its FIRST record.
+/// Compact() resets the log, and because every record the old log held had
+/// epoch <= the compacted snapshot, the reset log's first record carries a
+/// strictly LARGER epoch than the old log's first record ever did. Two logs
+/// of one store history with different first epochs are therefore different
+/// generations (resync, don't compare bytes); equal first epochs mean the
+/// shorter log must be a byte-identical prefix of the longer one — anything
+/// else is divergence. Used by the replication applier (store/replication.h).
+struct WalStart {
+  bool has_records = false;
+  uint64_t first_epoch = 0;  ///< meaningful only when has_records
+};
+
+/// Reads just enough of `path` to report its first record's epoch. NotFound
+/// when the file does not exist; a header-only (or torn-before-first-record)
+/// log reports has_records = false.
+Result<WalStart> ReadWalStart(const std::string& path);
+
 /// Append handle over one WAL file.
 class WalWriter {
  public:

@@ -6,6 +6,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace gvex {
 
@@ -98,6 +99,50 @@ bool ParseFloat(const std::string& s, float* out) {
   const float value = std::strtof(s.c_str(), &end);
   if (errno != 0 || end != s.c_str() + s.size()) return false;
   *out = value;
+  return true;
+}
+
+bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])) ||
+      s[0] == '-') {
+    return false;  // strtoull silently wraps negatives; reject them
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+std::string HexEncode(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string decoded;
+  decoded.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    decoded.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  *out = std::move(decoded);
   return true;
 }
 

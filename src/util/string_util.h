@@ -3,6 +3,7 @@
 #ifndef GVEX_UTIL_STRING_UTIL_H_
 #define GVEX_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,17 @@ bool ParseDouble(const std::string& s, double* out);
 
 /// Parses a float into *out; false on garbage/partial/overflow.
 bool ParseFloat(const std::string& s, float* out);
+
+/// Parses a base-10 unsigned 64-bit integer into *out; false on
+/// garbage/partial/overflow ("-1" fails — no negative wraparound).
+bool ParseUint64(const std::string& s, uint64_t* out);
+
+/// Lowercase hex encoding of arbitrary bytes (the replication protocol
+/// ships binary chunks as one hex token per line).
+std::string HexEncode(const std::string& bytes);
+
+/// Inverse of HexEncode; false on odd length or non-hex characters.
+bool HexDecode(const std::string& hex, std::string* out);
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...);

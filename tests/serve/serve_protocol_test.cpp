@@ -420,16 +420,19 @@ TEST_F(ServeProtocolTest, StreamEndingMidBlockAnswersErrNotPartialExecute) {
 TEST_F(ServeProtocolTest, StatsReportsUptimeAndStartEpoch) {
   const std::string out = ServeText(service_.get(), "stats\n");
   const auto words = SplitWhitespace(out);
-  // ... hit_rate X uptime_sec Y started_unix Z — appended at the end so
-  // prefix-checking clients keep working.
-  ASSERT_GE(words.size(), 4u);
-  EXPECT_EQ(words[words.size() - 4], "uptime_sec");
-  EXPECT_EQ(words[words.size() - 2], "started_unix");
+  // ... hit_rate X uptime_sec Y started_unix Z role R — appended at the
+  // end so prefix-checking clients keep working (`role` trails them; the
+  // session stats overload may append lag fields after it in turn).
+  ASSERT_GE(words.size(), 6u);
+  EXPECT_EQ(words[words.size() - 6], "uptime_sec");
+  EXPECT_EQ(words[words.size() - 4], "started_unix");
+  EXPECT_EQ(words[words.size() - 2], "role");
+  EXPECT_EQ(words[words.size() - 1], "primary");
   double uptime = -1;
-  ASSERT_TRUE(ParseDouble(words[words.size() - 3], &uptime));
+  ASSERT_TRUE(ParseDouble(words[words.size() - 5], &uptime));
   EXPECT_GE(uptime, 0.0);
   double started = 0;
-  ASSERT_TRUE(ParseDouble(words[words.size() - 1], &started));
+  ASSERT_TRUE(ParseDouble(words[words.size() - 3], &started));
   // A sane Unix epoch (after 2020-01-01, i.e. the clock isn't garbage).
   EXPECT_GT(started, 1577836800.0);
 }

@@ -1,0 +1,152 @@
+// Regression suite for the SHARED verification path: `gvex_store verify`
+// (via VerifyStore) must be able to run against a directory that a live
+// primary or a replica applier currently owns, WITHOUT taking the store
+// LOCK exclusively, creating files, or disturbing the writer. The bugs
+// this pins: an exclusive-flock verify wedging behind a live service, an
+// O_CREAT probe conjuring a LOCK file in a clean closed store, and a
+// verify "stealing" the lock so the writer's next append fails.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "serve/replica_applier.h"
+#include "serve/synthetic_store.h"
+#include "serve/view_service.h"
+#include "store/recovery.h"
+#include "store/replication.h"
+#include "store/store_test_util.h"
+
+namespace gvex {
+namespace {
+
+using testing::ScratchDir;
+using synthetic::VersionedView;
+
+synthetic::SyntheticStore SmallStore(uint64_t seed) {
+  synthetic::SyntheticStoreOptions opt;
+  opt.num_labels = 4;
+  opt.graphs_per_label = 3;
+  opt.patterns_per_label = 6;
+  opt.min_nodes = 6;
+  opt.max_nodes = 10;
+  return synthetic::MakeSyntheticStore(seed, opt);
+}
+
+std::set<std::string> ListDir(const std::string& dir) {
+  std::set<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") names.insert(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+class VerifySharedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { store_ = SmallStore(23); }
+  synthetic::SyntheticStore store_;
+};
+
+// A live service holds the LOCK exclusively. Verify must still complete,
+// report the writer, match the durable epoch — and the writer must keep
+// admitting afterwards (its lock was never stolen).
+TEST_F(VerifySharedTest, VerifiesUnderLiveWriterWithoutWedgingOrStealing) {
+  ScratchDir dir;
+  ASSERT_TRUE(dir.ok());
+  auto opened = ViewService::Open(dir.path(), &store_.db, {});
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto service = std::move(opened).value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service->AdmitView(VersionedView(store_, i % 4, 0)).ok());
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    auto report = VerifyStore(dir.path());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report.value().writer_active);
+    EXPECT_EQ(report.value().plan.final_epoch, service->epoch());
+  }
+
+  // The writer is undisturbed: it still owns the LOCK and still admits.
+  ASSERT_TRUE(service->AdmitView(VersionedView(store_, 0, 1)).ok());
+  auto after = VerifyStore(dir.path());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().plan.final_epoch, service->epoch());
+}
+
+// A cleanly closed store with no LOCK file: verify must neither create
+// one (the probe is not O_CREAT) nor change anything else in the
+// directory, and must report no active writer.
+TEST_F(VerifySharedTest, LeavesClosedStoreUntouched) {
+  ScratchDir dir;
+  ASSERT_TRUE(dir.ok());
+  uint64_t epoch = 0;
+  {
+    auto opened = ViewService::Open(dir.path(), &store_.db, {});
+    ASSERT_TRUE(opened.ok());
+    auto service = std::move(opened).value();
+    ASSERT_TRUE(service->AdmitView(VersionedView(store_, 1, 0)).ok());
+    ASSERT_TRUE(service->Save(SaveKind::kFull).ok());
+    epoch = service->epoch();
+  }
+  // Simulate a store that never had (or lost) its LOCK file.
+  ASSERT_EQ(::unlink(dir.File("LOCK").c_str()), 0);
+  const std::set<std::string> before = ListDir(dir.path());
+
+  auto report = VerifyStore(dir.path());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report.value().writer_active);
+  EXPECT_EQ(report.value().plan.final_epoch, epoch);
+  EXPECT_EQ(ListDir(dir.path()), before);  // no LOCK conjured, nothing else
+}
+
+// The replication case the satellite names: the directory is actively
+// being replicated INTO — the applier holds the LOCK. Verify must
+// complete, flag the writer, and agree with the synced epoch; the applier
+// must keep syncing and remain promotable afterwards.
+TEST_F(VerifySharedTest, VerifiesUnderReplicaApplierAndAppliesKeepFlowing) {
+  ScratchDir primary_dir, replica_dir;
+  ASSERT_TRUE(primary_dir.ok() && replica_dir.ok());
+  auto opened = ViewService::Open(primary_dir.path(), &store_.db, {});
+  ASSERT_TRUE(opened.ok());
+  auto primary = std::move(opened).value();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(primary->AdmitView(VersionedView(store_, i, 0)).ok());
+  }
+  auto applier_or = ReplicaApplier::Open(
+      replica_dir.path(), &store_.db,
+      std::make_unique<LocalEndpoint>(primary_dir.path()));
+  ASSERT_TRUE(applier_or.ok()) << applier_or.status().ToString();
+  auto applier = std::move(applier_or).value();
+  ASSERT_TRUE(applier->SyncOnce().ok());
+  ASSERT_EQ(applier->service()->epoch(), 2u);
+
+  auto report = VerifyStore(replica_dir.path());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().writer_active);
+  EXPECT_EQ(report.value().plan.final_epoch, 2u);
+
+  // Replication was not disturbed: more primary state still ships, and
+  // the replica still promotes.
+  ASSERT_TRUE(primary->AdmitView(VersionedView(store_, 2, 0)).ok());
+  ASSERT_TRUE(applier->SyncOnce().ok());
+  EXPECT_EQ(applier->service()->epoch(), 3u);
+  primary.reset();
+  auto promoted = applier->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(promoted.value(), 3u);
+}
+
+}  // namespace
+}  // namespace gvex

@@ -10,6 +10,17 @@
 //                 [--synthetic SEED] [--labels 4]
 //                 [--threads N] [--cache N] [--wal-sync N]
 //                 [--port-file path] [--stats 1]
+//                 [--replicate-from HOST:PORT] [--replicate-poll 0.5]
+//
+// Replica mode: --replicate-from HOST:PORT (requires --store DIR for the
+// standby's mirror directory) starts a WARM STANDBY instead of a primary —
+// a ReplicaApplier pulls the primary's store through the `replicate` verbs
+// into DIR and republishes every validated epoch on a READ-ONLY service.
+// Queries serve normally the whole time; admit/save/compact answer
+// "err read-only replica"; `stats` reports role + lag. Send `promote` to
+// fail over: the applier stops shipping, the recovery verdict re-runs, and
+// the SAME process flips writable (role primary, lag 0). --replicate-poll
+// sets the sync period in seconds.
 //
 // Content comes from --store/--views/--graphs exactly as in gvex_serve, or
 // from --synthetic SEED: a deterministic MakeSyntheticStore(seed) database
@@ -58,15 +69,18 @@
 
 #include "explain/view_io.h"
 #include "graph/graph_io.h"
+#include "net/repl_client.h"
 #include "net/server.h"
 #include "obs/crash.h"
 #include "obs/dump.h"
 #include "obs/flight.h"
 #include "obs/health.h"
 #include "obs/trace.h"
+#include "serve/replica_applier.h"
 #include "serve/synthetic_store.h"
 #include "serve/view_service.h"
 #include "tool_args.h"
+#include "util/string_util.h"
 
 using namespace gvex;
 
@@ -89,7 +103,11 @@ int Usage() {
       "                     [--metrics-dump file] [--metrics-dump-interval 5]\n"
       "                     [--health-file file] [--crash-dir dir]\n"
       "                     [--trace-sample N] [--slow-ms MS]\n"
-      "       (one of --views / --store / --synthetic is required)\n");
+      "                     [--replicate-from HOST:PORT] [--replicate-poll "
+      "0.5]\n"
+      "       (one of --views / --store / --synthetic is required;\n"
+      "        --replicate-from starts a warm standby mirroring the primary\n"
+      "        into --store DIR — send `promote` to fail over)\n");
   return 1;
 }
 
@@ -162,7 +180,31 @@ int main(int argc, char** argv) {
   options.store.wal_sync_every = args.GetInt("wal-sync", 1);
 
   std::unique_ptr<ViewService> service;
-  if (args.Has("store")) {
+  std::unique_ptr<ReplicaApplier> applier;
+  if (args.Has("replicate-from")) {
+    if (!args.Has("store")) {
+      return Fail(
+          "--replicate-from requires --store DIR (the standby's mirror "
+          "directory)");
+    }
+    const std::string target = args.Get("replicate-from", "");
+    const size_t colon = target.rfind(':');
+    int primary_port = 0;
+    if (colon == std::string::npos ||
+        !ParseInt(target.substr(colon + 1), &primary_port)) {
+      return Fail("--replicate-from expects HOST:PORT");
+    }
+    ReplicaApplierOptions ropts;
+    ropts.poll_interval_sec = args.GetFloat("replicate-poll", 0.5f);
+    auto opened = ReplicaApplier::Open(
+        args.Get("store", ""), have_db ? &db : nullptr,
+        std::make_unique<TcpReplicationEndpoint>(target.substr(0, colon),
+                                                 primary_port),
+        options, ropts);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    applier = std::move(opened).value();
+    applier->Start();
+  } else if (args.Has("store")) {
     auto opened = ViewService::Open(args.Get("store", ""),
                                     have_db ? &db : nullptr, options);
     if (!opened.ok()) return Fail(opened.status().ToString());
@@ -170,9 +212,19 @@ int main(int argc, char** argv) {
   } else {
     service = std::make_unique<ViewService>(have_db ? &db : nullptr, options);
   }
+  ViewService* service_ptr =
+      applier != nullptr ? applier->service() : service.get();
   if (!startup_views.empty()) {
-    auto admitted = service->AdmitViews(std::move(startup_views));
-    if (!admitted.ok()) return Fail(admitted.status().ToString());
+    if (applier != nullptr) {
+      // A standby's content comes from the primary; local admissions would
+      // be refused anyway (read-only replica).
+      std::fprintf(stderr,
+                   "note: ignoring startup views in replica mode (content "
+                   "streams from the primary)\n");
+    } else {
+      auto admitted = service_ptr->AdmitViews(std::move(startup_views));
+      if (!admitted.ok()) return Fail(admitted.status().ToString());
+    }
   }
 
   if (args.Has("trace-sample")) {
@@ -189,6 +241,15 @@ int main(int argc, char** argv) {
   topts.drain_timeout_sec = args.GetFloat("drain-timeout", 5.0f);
   topts.idle_timeout_sec = args.GetFloat("idle-timeout", 0.0f);
   topts.session.admit_quota = args.GetInt("admit-quota", 0);
+  if (applier != nullptr) {
+    // Until promotion the PRIMARY owns durability; the standby's mirror
+    // must stay byte-identical to what the applier validated, so no final
+    // save on drain.
+    topts.save_on_drain = false;
+    ReplicaApplier* applier_ptr = applier.get();
+    topts.promote_hook = [applier_ptr] { return applier_ptr->Promote(); };
+    topts.lag_probe = [applier_ptr] { return applier_ptr->lag(); };
+  }
 
   obs::CrashLoggerOptions crash;
   crash.dir = args.Get("crash-dir", ".");
@@ -196,7 +257,7 @@ int main(int argc, char** argv) {
   obs::InstallCrashLogger(crash);
 
   TcpServer server;
-  const Status started = server.Start(service.get(), have_db ? &db : nullptr,
+  const Status started = server.Start(service_ptr, have_db ? &db : nullptr,
                                       options, topts);
   if (!started.ok()) return Fail(started.ToString());
   g_server = &server;
@@ -205,7 +266,6 @@ int main(int argc, char** argv) {
 
   const std::string metrics_path = args.Get("metrics-dump", "");
   const std::string health_path = args.Get("health-file", "");
-  ViewService* service_ptr = service.get();
   // Seed the crash snapshot (and the dump files) immediately so an early
   // crash still carries a metrics section.
   DumpObservability(service_ptr, metrics_path, health_path);
@@ -223,11 +283,12 @@ int main(int argc, char** argv) {
     f << server.port() << "\n";
   }
   std::fprintf(stderr,
-               "listening on port %d (%d workers, %d labels, epoch %llu%s)\n",
+               "listening on port %d (%d workers, %d labels, epoch %llu%s%s)\n",
                server.port(), topts.workers,
-               static_cast<int>(service->Labels().size()),
-               static_cast<unsigned long long>(service->epoch()),
-               service->durable() ? ", durable" : "");
+               static_cast<int>(service_ptr->Labels().size()),
+               static_cast<unsigned long long>(service_ptr->epoch()),
+               service_ptr->durable() ? ", durable" : "",
+               applier != nullptr ? ", replica" : "");
 
   std::thread crash_test_thread;
   if (args.GetInt("crash-test", 0) != 0) {
@@ -245,6 +306,7 @@ int main(int argc, char** argv) {
 
   server.Wait();
   g_server = nullptr;
+  if (applier != nullptr) applier->Stop();
   if (dumper != nullptr) {
     dumper->Final();  // joins the dump thread, then writes the final export
     dumper.reset();

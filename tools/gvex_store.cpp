@@ -224,27 +224,37 @@ int CmdVerify(const std::string& dir) {
   // acknowledged-epoch reachability are all checked there. That re-reads
   // the newest snapshot and the WAL after the listing above — accepted:
   // a diagnostic pays double I/O to keep the verdict in one place.
-  auto plan = PlanRecovery(dir);
+  // VerifyStore is the SHARED/read path: it probes the LOCK with a
+  // non-blocking shared flock (released immediately) and never takes it
+  // exclusively, so verifying a live store — a primary mid-admission or a
+  // standby being replicated into — never wedges or steals the writer.
+  auto report = VerifyStore(dir);
   if (bad > 0) {
     std::printf("%d corrupt snapshot(s)%s\n", bad,
-                plan.ok() ? " (recovery falls back to an older epoch)" : "");
+                report.ok() ? " (recovery falls back to an older epoch)" : "");
   }
-  if (!plan.ok()) {
-    return Fail("store cannot recover: " + plan.status().ToString());
+  if (!report.ok()) {
+    return Fail("store cannot recover: " + report.status().ToString());
+  }
+  const RecoveryPlan& plan = report.value().plan;
+  if (report.value().writer_active) {
+    std::printf(
+        "note %s has an active writer (live service or replica applier); "
+        "this verify read a point-in-time view without taking the LOCK\n",
+        dir.c_str());
   }
   std::string chain = "";
-  if (plan.value().have_snapshot) {
+  if (plan.have_snapshot) {
     chain = StrFormat(" via base %llu",
-                      static_cast<unsigned long long>(
-                          plan.value().base_epoch));
-    for (uint64_t epoch : plan.value().chain) {
+                      static_cast<unsigned long long>(plan.base_epoch));
+    for (uint64_t epoch : plan.chain) {
       chain += StrFormat(" + delta %llu",
                          static_cast<unsigned long long>(epoch));
     }
   }
   std::printf("store %s is recoverable (recovery reaches epoch %llu%s)\n",
               dir.c_str(),
-              static_cast<unsigned long long>(plan.value().final_epoch),
+              static_cast<unsigned long long>(plan.final_epoch),
               chain.c_str());
   return 0;
 }

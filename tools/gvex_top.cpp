@@ -128,6 +128,11 @@ struct Scrape {
   std::map<std::string, VerbStats> verbs;
   double uptime_sec = 0;
   double live_sessions = 0;
+  bool have_role = false;     ///< saw gvex_service_replica
+  bool replica = false;       ///< gvex_service_replica != 0
+  bool have_lag = false;      ///< saw the replication lag gauges
+  double lag_epochs = 0;
+  double lag_bytes = 0;
   std::string health_overall;                ///< "" if health missing
   std::vector<std::string> health_lines;     ///< verbatim "check ..." rows
   std::chrono::steady_clock::time_point when;
@@ -198,6 +203,18 @@ bool ParseScrape(const std::string& response, Scrape* out,
     if (!ParseSample(line, &name, &labels, &value)) continue;
     if (name == "gvex_process_uptime_seconds") out->uptime_sec = value;
     if (name == "gvex_net_live_sessions") out->live_sessions = value;
+    if (name == "gvex_service_replica") {
+      out->have_role = true;
+      out->replica = value != 0;
+    }
+    if (name == "gvex_replication_lag_epochs") {
+      out->have_lag = true;
+      out->lag_epochs = value;
+    }
+    if (name == "gvex_replication_lag_bytes") {
+      out->have_lag = true;
+      out->lag_bytes = value;
+    }
     const auto verb_it = labels.find("verb");
     if (verb_it == labels.end()) continue;
     VerbStats& v = out->verbs[verb_it->second];
@@ -256,9 +273,17 @@ double IntervalQuantile(const VerbStats& prev, const VerbStats& cur,
 void Render(const Scrape& prev, const Scrape& cur, bool snapshot) {
   const double dt =
       std::chrono::duration<double>(cur.when - prev.when).count();
-  std::printf("gvex_top  uptime %.0fs  sessions %.0f  health %s\n",
+  std::printf("gvex_top  uptime %.0fs  sessions %.0f  health %s",
               cur.uptime_sec, cur.live_sessions,
               cur.health_overall.empty() ? "?" : cur.health_overall.c_str());
+  if (cur.have_role) {
+    std::printf("  role %s", cur.replica ? "replica" : "primary");
+  }
+  if (cur.have_lag) {
+    std::printf("  lag %.0f epochs / %.0f bytes", cur.lag_epochs,
+                cur.lag_bytes);
+  }
+  std::printf("\n");
   if (snapshot) {
     std::printf("%-16s %10s %10s\n", "verb", "total", "errors");
   } else {

@@ -56,19 +56,21 @@ if [[ "${sanitize}" == 1 ]]; then
 fi
 
 # The TSan lane exercises the genuinely multi-threaded paths: worker event
-# loops + accept-thread handoff + concurrent AdmitView combining (net), and
-# the query/admission races inside ViewService (serve). ASan and TSan can't
-# share a build, so this is a third tree.
+# loops + accept-thread handoff + concurrent AdmitView combining (net), the
+# query/admission races inside ViewService (serve), and the replication
+# interleaver racing admits/saves/compactions against WAL shipping (store).
+# ASan and TSan can't share a build, so this is a third tree.
 if [[ "${tsan}" == 1 ]]; then
   tsan_dir="${TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
   cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGVEX_SANITIZE=thread \
     -DGVEX_BUILD_BENCH=OFF -DGVEX_BUILD_EXAMPLES=OFF
   cmake --build "${tsan_dir}" -j "${jobs}" \
-    --target gvex_net_test gvex_serve_test gvex_obs_test
+    --target gvex_net_test gvex_serve_test gvex_obs_test gvex_store_test
   "${tsan_dir}/tests/gvex_net_test"
   "${tsan_dir}/tests/gvex_serve_test"
   "${tsan_dir}/tests/gvex_obs_test"
+  "${tsan_dir}/tests/gvex_store_test"
   exit 0
 fi
 
@@ -158,6 +160,76 @@ grep -q 'crash-test: raising SIGSEGV' "${crash_log}"
 grep -q '^metrics-snapshot bytes ' "${crash_log}"
 grep -q '^end-crash-log$' "${crash_log}"
 echo "crash smoke: ok"
+
+# Replication failover smoke: a durable synthetic primary, a warm standby
+# mirroring it over TCP, kill -9 on the primary, promote the standby over
+# its own TCP port, then gvex_top against the promoted replica must show
+# role=primary with zero replication lag.
+repl_primary="${store_scratch}/repl_primary"
+repl_replica="${store_scratch}/repl_replica"
+mkdir -p "${repl_primary}" "${repl_replica}"
+"${build_dir}/tools/gvex_netserve" --synthetic 5 --labels 4 \
+  --store "${repl_primary}" --port 0 \
+  --port-file "${store_scratch}/repl_primary_port.txt" \
+  2>"${store_scratch}/repl_primary.log" &
+repl_primary_pid=$!
+for _ in $(seq 100); do
+  [[ -s "${store_scratch}/repl_primary_port.txt" ]] && break
+  sleep 0.1
+done
+if [[ ! -s "${store_scratch}/repl_primary_port.txt" ]]; then
+  echo "replication smoke: primary never wrote its port file" >&2
+  cat "${store_scratch}/repl_primary.log" >&2
+  kill -9 "${repl_primary_pid}" 2>/dev/null || true
+  exit 1
+fi
+"${build_dir}/tools/gvex_netserve" --synthetic 5 --labels 4 \
+  --store "${repl_replica}" \
+  --replicate-from "127.0.0.1:$(cat "${store_scratch}/repl_primary_port.txt")" \
+  --replicate-poll 0.1 --port 0 \
+  --port-file "${store_scratch}/repl_replica_port.txt" \
+  2>"${store_scratch}/repl_replica.log" &
+repl_replica_pid=$!
+for _ in $(seq 100); do
+  [[ -s "${store_scratch}/repl_replica_port.txt" ]] && break
+  sleep 0.1
+done
+replica_port="$(cat "${store_scratch}/repl_replica_port.txt")"
+# Wait until the standby has applied the primary's startup admission
+# (epoch 1) — stats over the replica's own TCP port, via bash /dev/tcp.
+repl_synced=0
+for _ in $(seq 100); do
+  stats_out="$(exec 3<>"/dev/tcp/127.0.0.1/${replica_port}" \
+    && printf 'stats\nquit\n' >&3 && cat <&3 && exec 3<&- 3>&-)" || true
+  if grep -q '^ok stats epoch 1 .* role replica' <<< "${stats_out}"; then
+    repl_synced=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "${repl_synced}" != 1 ]]; then
+  echo "replication smoke: standby never reached the primary's epoch" >&2
+  cat "${store_scratch}/repl_replica.log" >&2
+  kill -9 "${repl_primary_pid}" "${repl_replica_pid}" 2>/dev/null || true
+  exit 1
+fi
+# The primary dies hard; the standby is promoted over its own port.
+kill -9 "${repl_primary_pid}"
+wait "${repl_primary_pid}" 2>/dev/null || true
+promote_out="$(exec 3<>"/dev/tcp/127.0.0.1/${replica_port}" \
+  && printf 'promote\nquit\n' >&3 && cat <&3 && exec 3<&- 3>&-)"
+grep -q '^ok promoted epoch 1$' <<< "${promote_out}"
+top_out="$("${build_dir}/tools/gvex_top" \
+  --port-file "${store_scratch}/repl_replica_port.txt" --once 1)"
+grep -q 'role primary' <<< "${top_out}"
+grep -q 'lag 0 epochs' <<< "${top_out}"
+# The promoted store owns durability now: it must accept a save.
+save_out="$(exec 3<>"/dev/tcp/127.0.0.1/${replica_port}" \
+  && printf 'save --full\nquit\n' >&3 && cat <&3 && exec 3<&- 3>&-)"
+grep -q '^ok saved epoch 1 full$' <<< "${save_out}"
+kill -TERM "${repl_replica_pid}"
+wait "${repl_replica_pid}" 2>/dev/null || true
+echo "replication failover smoke: ok"
 
 if [[ "${with_bench}" == 1 ]]; then
   "${repo_root}/tools/run_bench_baseline.sh"
